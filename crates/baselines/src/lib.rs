@@ -1,0 +1,94 @@
+//! Baseline phishing detectors for the Table X comparison.
+//!
+//! The paper compares against eight prior systems; three representative
+//! ones are implemented here against the same simulated corpus:
+//!
+//! - [`Cantina`] — Zhang et al. (WWW'07): TF-IDF signature terms queried
+//!   against a search engine, no learning;
+//! - [`BagOfWords`] — Whittaker et al. (NDSS'10) style: a linear model
+//!   over hundreds of thousands of hashed lexical features, needing far
+//!   more training data than the paper's 212 features;
+//! - [`UrlLexical`] — Ma et al. (KDD'09) style: online learning over
+//!   URL-string features only (no page content).
+//!
+//! All three consume the same [`VisitedPage`] scrape bundle as the real
+//! system, so comparisons isolate the feature/algorithm choice.
+
+mod bow;
+mod cantina;
+mod url_lexical;
+
+pub use bow::BagOfWords;
+pub use cantina::Cantina;
+pub use url_lexical::UrlLexical;
+
+use kyp_web::VisitedPage;
+
+/// Common interface of the comparison systems: a phishing confidence in
+/// `[0, 1]` for a scraped page.
+pub trait BaselineDetector {
+    /// The system's name as used in Table X.
+    fn name(&self) -> &'static str;
+
+    /// Phishing confidence in `[0, 1]`.
+    fn score(&self, page: &VisitedPage) -> f64;
+
+    /// Binary decision at the system's natural threshold (0.5).
+    fn is_phish(&self, page: &VisitedPage) -> bool {
+        self.score(page) >= 0.5
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use kyp_url::Url;
+    use kyp_web::VisitedPage;
+
+    pub fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    pub fn phish() -> VisitedPage {
+        VisitedPage {
+            starting_url: url("http://secure-check332.tk/paypago/login?x=9"),
+            landing_url: url("http://secure-check332.tk/paypago/login?x=9"),
+            redirection_chain: vec![url("http://secure-check332.tk/paypago/login?x=9")],
+            logged_links: vec![url("https://www.paypago.com/logo.png")],
+            href_links: vec![url("https://www.paypago.com/help")],
+            text: "sign in to your paypago wallet account password".into(),
+            title: "PayPago Login".into(),
+            copyright: Some("© PayPago".into()),
+            screenshot_text: "sign in to your paypago wallet".into(),
+            input_count: 2,
+            image_count: 2,
+            iframe_count: 0,
+        }
+    }
+
+    pub fn legit() -> VisitedPage {
+        VisitedPage {
+            starting_url: url("https://www.paypago.com/"),
+            landing_url: url("https://www.paypago.com/"),
+            redirection_chain: vec![url("https://www.paypago.com/")],
+            logged_links: vec![url("https://www.paypago.com/app.js")],
+            href_links: vec![url("https://www.paypago.com/wallet")],
+            text: "welcome to paypago send money with your paypago wallet".into(),
+            title: "PayPago — payments".into(),
+            copyright: Some("© 2015 PayPago Inc".into()),
+            screenshot_text: "welcome to paypago".into(),
+            input_count: 0,
+            image_count: 1,
+            iframe_count: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _take(_: &dyn BaselineDetector) {}
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the paper's Table VIII stages plus the
+//! training-side costs:
+//!
+//! - `scrape`            — simulated browser visit (Table VIII row 1)
+//! - `load_json`         — scraped-bundle deserialisation (row 2)
+//! - `extract_features`  — the 212-feature computation (row 3)
+//! - `classify`          — one Gradient Boosting prediction (row 4)
+//! - `keyterms`          — boosted prominent term extraction (Section V-A)
+//! - `target_identify`   — the five-step process on one phish (Section V-B)
+//! - `gbm_train`         — fitting the detector on a small training set
+//!
+//! Run: `cargo bench -p kyp-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kyp_core::{
+    keyterms, DataSources, DetectorConfig, FeatureExtractor, PhishDetector, TargetIdentifier,
+};
+use kyp_datagen::{CampaignConfig, Corpus};
+use kyp_ml::Dataset;
+use kyp_web::{Browser, VisitedPage};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct BenchEnv {
+    corpus: Corpus,
+    extractor: FeatureExtractor,
+    detector: PhishDetector,
+    train: Dataset,
+    phish_visit: VisitedPage,
+    phish_features: Vec<f64>,
+    phish_json: String,
+}
+
+fn env() -> BenchEnv {
+    let corpus = Corpus::generate(&CampaignConfig {
+        seed: 99,
+        phish_train: 60,
+        phish_test: 30,
+        phish_brand: 10,
+        leg_train: 240,
+        english_test: 60,
+        other_language_test: 20,
+    });
+    let extractor = FeatureExtractor::new(corpus.ranker.clone());
+    let browser = Browser::new(&corpus.world);
+    let mut train = Dataset::new(kyp_core::features::FEATURE_COUNT);
+    for url in &corpus.leg_train {
+        train.push_row(&extractor.extract(&browser.visit(url).unwrap()), false);
+    }
+    for r in &corpus.phish_train {
+        train.push_row(&extractor.extract(&browser.visit(&r.url).unwrap()), true);
+    }
+    let detector = PhishDetector::train(&train, &DetectorConfig::default());
+    let phish_visit = browser.visit(&corpus.phish_test[0].url).unwrap();
+    let phish_features = extractor.extract(&phish_visit);
+    let phish_json = serde_json::to_string(&phish_visit).unwrap();
+    BenchEnv {
+        corpus,
+        extractor,
+        detector,
+        train,
+        phish_visit,
+        phish_features,
+        phish_json,
+    }
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let env = env();
+    let browser = Browser::new(&env.corpus.world);
+    let url = env.corpus.phish_test[0].url.clone();
+
+    c.bench_function("scrape", |b| {
+        b.iter(|| black_box(browser.visit(black_box(&url)).unwrap()))
+    });
+
+    c.bench_function("load_json", |b| {
+        b.iter(|| {
+            let v: VisitedPage = serde_json::from_str(black_box(&env.phish_json)).unwrap();
+            black_box(v)
+        })
+    });
+
+    c.bench_function("extract_features", |b| {
+        b.iter(|| black_box(env.extractor.extract(black_box(&env.phish_visit))))
+    });
+
+    c.bench_function("classify", |b| {
+        b.iter(|| black_box(env.detector.score(black_box(&env.phish_features))))
+    });
+
+    c.bench_function("keyterms", |b| {
+        b.iter_batched(
+            || DataSources::from_page(&env.phish_visit),
+            |sources| black_box(keyterms::boosted_prominent_terms(&sources, 5)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let identifier = TargetIdentifier::new(Arc::new(env.corpus.engine.clone()));
+    c.bench_function("target_identify", |b| {
+        b.iter(|| black_box(identifier.identify(black_box(&env.phish_visit))))
+    });
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("gbm_train_300x212", |b| {
+        b.iter(|| {
+            black_box(PhishDetector::train(
+                black_box(&env.train),
+                &DetectorConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_stages);
+criterion_main!(benches);

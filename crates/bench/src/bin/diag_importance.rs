@@ -1,0 +1,22 @@
+//! Diagnostic: top features by gain (development aid, not a paper table).
+use kyp_bench::{harness, EvalArgs, ExperimentEnv};
+use kyp_ml::{GbmParams, GradientBoosting};
+
+fn main() {
+    let args = EvalArgs::parse();
+    let env = ExperimentEnv::prepare(&args);
+    let c = &env.corpus;
+    let phish_train: Vec<String> = c.phish_train.iter().map(|r| r.url.clone()).collect();
+    let train = harness::scrape_dataset(c, &env.extractor, &c.leg_train, &phish_train);
+    let model = GradientBoosting::fit(&train, &GbmParams::default());
+    let names = kyp_core::features::feature_names();
+    let mut imp: Vec<(f64, &String)> = model
+        .feature_importance()
+        .into_iter()
+        .zip(names.iter())
+        .collect();
+    imp.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (v, n) in imp.iter().take(25) {
+        println!("{v:.4}  {n}");
+    }
+}

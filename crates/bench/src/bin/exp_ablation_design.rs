@@ -1,0 +1,91 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! 1. **Hellinger vs Jaccard** for the f2 consistency features — Jaccard
+//!    discards term frequencies, weakening the consistency signal the
+//!    paper's conjecture relies on.
+//! 2. **Extended distributions** — restore the copyright and OCR-image
+//!    distributions the paper tabled (Table I) but discarded from f2
+//!    (14 distributions → 91 pairs → 237 features): does the extra,
+//!    slower signal pay?
+//! 3. **Feature budget** — accuracy vs number of boosting trees, probing
+//!    the paper's "small model, small training set" design point.
+//!
+//! Run: `cargo run --release -p kyp-bench --bin exp_ablation_design -- --scale 0.1`
+
+use kyp_bench::{EvalArgs, EvalRow, ExperimentEnv};
+use kyp_core::{ConsistencyMetric, ExtractorConfig, FeatureExtractor};
+use kyp_datagen::Corpus;
+use kyp_ml::{Dataset, GbmParams, GradientBoosting};
+use kyp_web::Browser;
+
+fn main() {
+    let args = EvalArgs::parse();
+    let env = ExperimentEnv::prepare(&args);
+    let c = &env.corpus;
+
+    let variants: [(&str, ExtractorConfig); 3] = [
+        ("Hellinger (paper)", ExtractorConfig::default()),
+        (
+            "Jaccard f2",
+            ExtractorConfig {
+                consistency_metric: ConsistencyMetric::Jaccard,
+                ..ExtractorConfig::default()
+            },
+        ),
+        (
+            "extended 237",
+            ExtractorConfig {
+                extended_distributions: true,
+                ..ExtractorConfig::default()
+            },
+        ),
+    ];
+
+    println!("Design ablations (threshold 0.7, English test):");
+    EvalRow::print_header("Variant");
+    for (name, config) in variants {
+        let extractor = FeatureExtractor::with_config(c.ranker.clone(), config);
+        let (train, test) = datasets(c, &extractor);
+        let model = GradientBoosting::fit(&train, &GbmParams::default());
+        let scores = model.predict_dataset(&test);
+        EvalRow::compute(name, &scores, test.labels(), 0.7).print();
+    }
+
+    // Tree-budget sweep with the paper's default features.
+    println!();
+    println!("Boosting-tree budget (fall features):");
+    EvalRow::print_header("Trees");
+    let extractor = FeatureExtractor::new(c.ranker.clone());
+    let (train, test) = datasets(c, &extractor);
+    for n_trees in [10, 25, 50, 100, 150, 300] {
+        let model = GradientBoosting::fit(
+            &train,
+            &GbmParams {
+                n_trees,
+                ..GbmParams::default()
+            },
+        );
+        let scores = model.predict_dataset(&test);
+        EvalRow::compute(format!("{n_trees}"), &scores, test.labels(), 0.7).print();
+    }
+}
+
+fn datasets(c: &Corpus, extractor: &FeatureExtractor) -> (Dataset, Dataset) {
+    let browser = Browser::new(&c.world);
+    let scrape = |legit: &[String], phish: &[String]| {
+        let mut data = Dataset::new(extractor.feature_count());
+        for (urls, label) in [(legit, false), (phish, true)] {
+            for url in urls {
+                if let Ok(visit) = browser.visit(url) {
+                    data.push_row(&extractor.extract(&visit), label);
+                }
+            }
+        }
+        data
+    };
+    let phish_train: Vec<String> = c.phish_train.iter().map(|r| r.url.clone()).collect();
+    let phish_test: Vec<String> = c.phish_test.iter().map(|r| r.url.clone()).collect();
+    let train = scrape(&c.leg_train, &phish_train);
+    let test = scrape(c.english_test(), &phish_test);
+    (train, test)
+}

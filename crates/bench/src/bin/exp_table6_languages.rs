@@ -1,0 +1,98 @@
+//! Regenerates **Table VI** (per-language accuracy), **Fig. 3**
+//! (precision vs recall) and **Fig. 4** (ROC per language).
+//!
+//! Scenario 2 of the paper: train once on `legTrain` + `phishTrain`, then
+//! evaluate against `phishTest` mixed with each language's legitimate
+//! test set at discrimination threshold 0.7.
+//!
+//! Curve series are written to `results/fig3_pr_<lang>.dat` and
+//! `results/fig4_roc_<lang>.dat` (gnuplot-ready).
+//!
+//! Run: `cargo run --release -p kyp-bench --bin exp_table6_languages -- --scale 0.05`
+
+use kyp_bench::{harness, EvalArgs, EvalRow, ExperimentEnv};
+use kyp_core::{DetectorConfig, PhishDetector};
+use kyp_ml::metrics;
+use std::fs;
+use std::io::Write as _;
+
+fn main() {
+    let args = EvalArgs::parse();
+    let env = ExperimentEnv::prepare(&args);
+    let c = &env.corpus;
+
+    // Scenario 2 training: the oldest captured datasets.
+    let phish_train: Vec<String> = c.phish_train.iter().map(|r| r.url.clone()).collect();
+    let train = harness::scrape_dataset(c, &env.extractor, &c.leg_train, &phish_train);
+    eprintln!(
+        "[train] {} instances ({} phish)",
+        train.len(),
+        train.positives()
+    );
+    let detector = PhishDetector::train(&train, &DetectorConfig::default());
+
+    // Score the phishing test set once; reuse against every language.
+    let phish_test: Vec<String> = c.phish_test.iter().map(|r| r.url.clone()).collect();
+    let phish_data = harness::scrape_dataset(c, &env.extractor, &[], &phish_test);
+    let phish_scores = detector.score_dataset(&phish_data);
+
+    fs::create_dir_all("results").expect("create results dir");
+    println!("Table VI: Detailed accuracy evaluation for six languages (threshold 0.7)");
+    EvalRow::print_header("Language");
+
+    for (lang, urls) in &c.language_tests {
+        let leg_data = harness::scrape_dataset(c, &env.extractor, urls, &[]);
+        let mut scores = detector.score_dataset(&leg_data);
+        let mut labels = vec![false; scores.len()];
+        scores.extend_from_slice(&phish_scores);
+        labels.extend(std::iter::repeat_n(true, phish_scores.len()));
+
+        let row = EvalRow::compute(lang.name(), &scores, &labels, detector.threshold());
+        row.print();
+
+        // Fig. 3: precision vs recall while sweeping the threshold.
+        let pr = metrics::precision_recall_curve(&scores, &labels);
+        write_curve(
+            &format!("results/fig3_pr_{}.dat", lang.name().to_lowercase()),
+            &format!("Fig.3 precision-recall, {}", lang.name()),
+            &pr,
+        );
+        // Fig. 4: ROC.
+        let roc = metrics::roc_curve(&scores, &labels);
+        write_curve(
+            &format!("results/fig4_roc_{}.dat", lang.name().to_lowercase()),
+            &format!("Fig.4 ROC, {}", lang.name()),
+            &roc,
+        );
+        if *lang == kyp_datagen::Language::English {
+            print_roc_sketch(lang.name(), &roc);
+        }
+    }
+    println!();
+    println!("Fig. 3 / Fig. 4 series written to results/fig3_pr_*.dat and results/fig4_roc_*.dat");
+}
+
+/// Prints a terminal sketch of an ROC curve (x: FPR, y: TPR).
+fn print_roc_sketch(lang: &str, roc: &[(f64, f64)]) {
+    // Zoom on the interesting corner, like the paper's Fig. 4 axes.
+    let zoomed: Vec<(f64, f64)> = roc
+        .iter()
+        .copied()
+        .filter(|(fpr, _)| *fpr <= 0.02)
+        .collect();
+    if zoomed.len() > 2 {
+        println!();
+        println!("ROC ({lang}), FPR in [0, 0.02]:");
+        print!("{}", kyp_bench::plot::ascii_plot(&[('*', &zoomed)], 48, 10));
+    }
+}
+
+fn write_curve(path: &str, title: &str, points: &[(f64, f64)]) {
+    let mut out = String::with_capacity(points.len() * 20);
+    out.push_str(&format!("# {title}\n"));
+    for (x, y) in points {
+        out.push_str(&format!("{x:.6} {y:.6}\n"));
+    }
+    let mut f = fs::File::create(path).expect("create curve file");
+    f.write_all(out.as_bytes()).expect("write curve file");
+}

@@ -1,0 +1,115 @@
+//! Regenerates **Table VII**, **Fig. 2** (accuracy per feature set) and
+//! **Fig. 5** (ROC per feature set).
+//!
+//! Both evaluation scenarios of the paper:
+//! - *scenario 1*: 5-fold cross-validation on `legTrain` + `phishTrain`;
+//! - *scenario 2*: train on the old sets, test on `phishTest` + `English`.
+//!
+//! For each of the eight feature groupings (f1, f2, f3, f4, f5, f1+5,
+//! f2+3+4, fall) the binary prints precision/recall/F1/FPR/AUC under both
+//! scenarios and writes the Fig. 5 ROC series to
+//! `results/fig5_roc_<set>_<scenario>.dat`. Fig. 2's bar charts plot the
+//! same numbers as the table.
+//!
+//! Run: `cargo run --release -p kyp-bench --bin exp_table7_feature_sets -- --scale 0.05`
+
+use kyp_bench::{harness, EvalArgs, EvalRow, ExperimentEnv};
+use kyp_core::FeatureSet;
+use kyp_ml::{cv, metrics, GbmParams, GradientBoosting};
+use std::fs;
+use std::io::Write as _;
+
+const THRESHOLD: f64 = 0.7;
+
+fn main() {
+    let args = EvalArgs::parse();
+    let env = ExperimentEnv::prepare(&args);
+    let c = &env.corpus;
+
+    // Full 212-feature datasets, extracted once; feature subsets are
+    // column selections.
+    let phish_train: Vec<String> = c.phish_train.iter().map(|r| r.url.clone()).collect();
+    let phish_test: Vec<String> = c.phish_test.iter().map(|r| r.url.clone()).collect();
+    let train = harness::scrape_dataset(c, &env.extractor, &c.leg_train, &phish_train);
+    let test = harness::scrape_dataset(c, &env.extractor, c.english_test(), &phish_test);
+    eprintln!(
+        "[data] train {} ({} phish) / test {} ({} phish)",
+        train.len(),
+        train.positives(),
+        test.len(),
+        test.positives()
+    );
+
+    fs::create_dir_all("results").expect("create results dir");
+    println!("Table VII: Detailed accuracy evaluation for different feature sets (threshold 0.7)");
+
+    for scenario in ["Cross-validation", "English"] {
+        println!();
+        println!("Scenario: {scenario}");
+        EvalRow::print_header("Features");
+        for set in FeatureSet::ALL_SETS {
+            let cols = set.columns();
+            let (scores, labels) = match scenario {
+                "Cross-validation" => {
+                    let sub = train.select_features(&cols);
+                    cv::cross_validate(&sub, 5, args.seed, |tr, te| {
+                        let model = GradientBoosting::fit(tr, &GbmParams::default());
+                        model.predict_dataset(te)
+                    })
+                }
+                _ => {
+                    let sub_train = train.select_features(&cols);
+                    let sub_test = test.select_features(&cols);
+                    let model = GradientBoosting::fit(&sub_train, &GbmParams::default());
+                    (model.predict_dataset(&sub_test), sub_test.labels().to_vec())
+                }
+            };
+            let row = EvalRow::compute(set.label(), &scores, &labels, THRESHOLD);
+            row.print();
+
+            // Fig. 5: ROC per feature set.
+            let roc = metrics::roc_curve(&scores, &labels);
+            let tag = set.label().replace([',', '.'], "");
+            let scen_tag = if scenario == "English" {
+                "english"
+            } else {
+                "cv"
+            };
+            write_curve(
+                &format!("results/fig5_roc_{tag}_{scen_tag}.dat"),
+                &format!("Fig.5 ROC, {} ({scenario})", set.label()),
+                &roc,
+            );
+        }
+    }
+    println!();
+    println!("Fig. 2 bars plot the table above; Fig. 5 ROC series in results/fig5_roc_*.dat");
+
+    // Feature-importance epilogue (Section VII-A's relevance discussion).
+    let model = GradientBoosting::fit(&train, &GbmParams::default());
+    let importance = model.feature_importance();
+    let mut by_group = [0.0f64; 5];
+    for (set, slot) in [
+        (FeatureSet::F1, 0),
+        (FeatureSet::F2, 1),
+        (FeatureSet::F3, 2),
+        (FeatureSet::F4, 3),
+        (FeatureSet::F5, 4),
+    ] {
+        by_group[slot] = set.columns().iter().map(|&i| importance[i]).sum();
+    }
+    println!();
+    println!("Share of model gain per feature group (fall model):");
+    for (label, v) in ["f1", "f2", "f3", "f4", "f5"].iter().zip(by_group) {
+        println!("  {label}: {:.3}", v);
+    }
+}
+
+fn write_curve(path: &str, title: &str, points: &[(f64, f64)]) {
+    let mut out = format!("# {title}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x:.6} {y:.6}\n"));
+    }
+    let mut f = fs::File::create(path).expect("create curve file");
+    f.write_all(out.as_bytes()).expect("write curve file");
+}

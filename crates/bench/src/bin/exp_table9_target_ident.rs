@@ -1,0 +1,75 @@
+//! Regenerates **Table IX** (target identification results).
+//!
+//! Runs the five-step target identifier over the `phishBrand` replica and
+//! counts, for top-1/top-2/top-3 candidate lists: correctly identified
+//! targets, pages whose target is unknown even to ground truth (hint-less
+//! kits), and missed targets. Success rate counts unknowns as successes,
+//! as in the paper ("these webpages ... are thus included in the
+//! computing of the success rate" — they cannot be attributed by any
+//! method).
+//!
+//! Run: `cargo run --release -p kyp-bench --bin exp_table9_target_ident -- --scale 0.05`
+
+use kyp_bench::{EvalArgs, ExperimentEnv};
+use kyp_core::{TargetIdentifier, TargetVerdict};
+use kyp_web::Browser;
+use std::sync::Arc;
+
+fn main() {
+    let args = EvalArgs::parse();
+    let env = ExperimentEnv::prepare(&args);
+    let c = &env.corpus;
+
+    let identifier = TargetIdentifier::new(Arc::new(c.engine.clone()));
+    let browser = Browser::new(&c.world);
+
+    let mut total = 0usize;
+    let mut unknown_truth = 0usize;
+    let mut wrongly_legit = 0usize;
+    let mut identified = [0usize; 3]; // top-1, top-2, top-3
+    let mut only_one_candidate = 0usize;
+
+    for record in &c.phish_brand {
+        let Ok(visit) = browser.visit(&record.url) else {
+            continue;
+        };
+        total += 1;
+        let verdict = identifier.identify(&visit);
+
+        match &record.target {
+            None => {
+                // Ground truth itself has no target (paper: 17/600).
+                unknown_truth += 1;
+            }
+            Some(target) => match &verdict {
+                TargetVerdict::Phish { candidates } => {
+                    for (slot, k) in (1..=3).enumerate() {
+                        if verdict.has_target_in_top(target, k) {
+                            identified[slot] += 1;
+                        }
+                    }
+                    if candidates.len() == 1 {
+                        only_one_candidate += 1;
+                    }
+                }
+                TargetVerdict::Legitimate { .. } => wrongly_legit += 1,
+                TargetVerdict::Unknown => {}
+            },
+        }
+    }
+
+    println!("Table IX: Target identification results ({total} phishBrand pages)");
+    println!(
+        "{:<8} {:>11} {:>9} {:>8} {:>13}",
+        "Targets", "Identified", "Unknown", "Missed", "Success rate"
+    );
+    for (slot, k) in (1..=3).enumerate() {
+        let id = identified[slot];
+        let missed = total - id - unknown_truth;
+        let success = 100.0 * (id + unknown_truth) as f64 / total.max(1) as f64;
+        println!("top-{k:<4} {id:>11} {unknown_truth:>9} {missed:>8} {success:>12.1}%");
+    }
+    println!();
+    println!("Pages with a single identified candidate: {only_one_candidate}  [paper: 311/600]");
+    println!("Phish wrongly confirmed legitimate by search: {wrongly_legit}");
+}

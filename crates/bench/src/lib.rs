@@ -1,0 +1,15 @@
+//! Experiment harness for the *Know Your Phish* reproduction.
+//!
+//! Shared machinery for the per-table/per-figure experiment binaries in
+//! `src/bin/` (see DESIGN.md for the experiment index): scraping URL lists
+//! into feature datasets, scoring, and formatting the paper's tables.
+//!
+//! Every binary accepts a `--scale <fraction>` argument (default 0.05)
+//! that scales Table V sizes, and `--seed <n>` to vary the corpus.
+
+pub mod harness;
+pub mod plot;
+pub mod table;
+
+pub use harness::{scrape_dataset, scrape_visits, EvalArgs, ExperimentEnv};
+pub use table::{fmt_f, print_curve, EvalRow};

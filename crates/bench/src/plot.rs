@@ -1,0 +1,123 @@
+//! Minimal ASCII line plots for terminal inspection of the figure
+//! experiments (the `.dat` files remain the precise output).
+
+/// Renders `(x, y)` series as an ASCII plot of the given size.
+///
+/// Each series is drawn with its own glyph (`labels[i].0`); axes are
+/// annotated with the data ranges. Intended for quick eyeballing of ROC /
+/// precision-recall shapes, not for publication.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_bench::plot::ascii_plot;
+/// let curve = vec![(0.0, 0.0), (0.1, 0.9), (1.0, 1.0)];
+/// let art = ascii_plot(&[('*', &curve)], 20, 8);
+/// assert!(art.contains('*'));
+/// ```
+pub fn ascii_plot(series: &[(char, &[(f64, f64)])], width: usize, height: usize) -> String {
+    let width = width.max(2);
+    let height = height.max(2);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max += 1.0;
+    }
+    if y_max == y_min {
+        y_max += 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (glyph, points) in series {
+        for &(x, y) in points.iter() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row; // origin bottom-left
+            grid[row][col.min(width - 1)] = *glyph;
+        }
+    }
+
+    let mut out = String::with_capacity((width + 12) * (height + 2));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>8.3} ")
+        } else if i == height - 1 {
+            format!("{y_min:>8.3} ")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}{:<10.3}{}{:>10.3}\n",
+        " ".repeat(10),
+        x_min,
+        " ".repeat(width.saturating_sub(20)),
+        x_max
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_basic_curve() {
+        let curve = vec![(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)];
+        let art = ascii_plot(&[('o', &curve)], 30, 10);
+        assert_eq!(art.matches('o').count(), 3);
+        assert!(art.contains("1.000"));
+        assert!(art.contains("0.000"));
+    }
+
+    #[test]
+    fn multiple_series_distinct_glyphs() {
+        let a = vec![(0.0, 0.0), (1.0, 1.0)];
+        let b = vec![(0.0, 1.0), (1.0, 0.0)];
+        let art = ascii_plot(&[('a', &a), ('b', &b)], 20, 8);
+        assert!(art.contains('a'));
+        assert!(art.contains('b'));
+    }
+
+    #[test]
+    fn empty_and_degenerate_input() {
+        assert_eq!(ascii_plot(&[], 10, 5), "(no data)\n");
+        let flat = vec![(0.5, 0.5)];
+        let art = ascii_plot(&[('x', &flat)], 10, 5);
+        assert!(art.contains('x'));
+        let nan = vec![(f64::NAN, 1.0)];
+        assert_eq!(ascii_plot(&[('x', &nan)], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn clamps_tiny_dimensions() {
+        let curve = vec![(0.0, 0.0), (1.0, 1.0)];
+        let art = ascii_plot(&[('*', &curve)], 0, 0);
+        assert!(art.contains('*'));
+    }
+}

@@ -1,0 +1,165 @@
+//! Feature set f2: 66 term-usage-consistency features — the pairwise
+//! (squared) Hellinger distances between the 12 term distributions of
+//! Table I, excluding copyright and image (Section IV-B).
+//!
+//! The conjecture these features encode: legitimate pages use the same
+//! key terms coherently across *all* their parts (a bank's text, title,
+//! domain name and internal links all spell the brand), while a phish can
+//! only imitate the parts its author controls — the registrar-constrained
+//! RDN and the uncontrolled external links betray the inconsistency.
+
+use crate::features::ConsistencyMetric;
+use crate::DataSources;
+use kyp_text::TermDistribution;
+use kyp_web::ocr::{simulate_ocr, OcrConfig};
+use kyp_web::VisitedPage;
+
+fn distance(a: &TermDistribution, b: &TermDistribution, metric: ConsistencyMetric) -> f64 {
+    match metric {
+        ConsistencyMetric::Hellinger => a.hellinger_squared(b),
+        ConsistencyMetric::Jaccard => a.jaccard_distance(b),
+    }
+    .unwrap_or(0.0)
+}
+
+/// Pushes the 66 f2 features: pairwise distances for all pairs `(i, j)`
+/// with `i < j` over [`DataSources::f2_distributions`]. Pairs involving an
+/// empty distribution yield 0 (the paper's null features).
+pub(crate) fn push_f2(sources: &DataSources, metric: ConsistencyMetric, out: &mut Vec<f64>) {
+    let dists = sources.f2_distributions();
+    for i in 0..dists.len() {
+        for j in i + 1..dists.len() {
+            out.push(distance(dists[i], dists[j], metric));
+        }
+    }
+}
+
+/// Pushes the 91 extended f2 features: the 12 standard distributions plus
+/// copyright and the OCR-read image distribution (all of Table I),
+/// pairwise. The paper discarded copyright (often empty) and image (OCR
+/// is slow); this is the extension path for the DESIGN.md ablation.
+pub(crate) fn push_f2_extended(
+    page: &VisitedPage,
+    sources: &DataSources,
+    ocr: &OcrConfig,
+    metric: ConsistencyMetric,
+    out: &mut Vec<f64>,
+) {
+    let image = TermDistribution::from_text(&simulate_ocr(&page.screenshot_text, ocr));
+    let base = sources.f2_distributions();
+    let mut dists: Vec<&TermDistribution> = base.to_vec();
+    dists.push(&sources.copyright);
+    dists.push(&image);
+    debug_assert_eq!(dists.len(), 14);
+    for i in 0..dists.len() {
+        for j in i + 1..dists.len() {
+            out.push(distance(dists[i], dists[j], metric));
+        }
+    }
+}
+
+/// Pushes the 66 f2 feature names (`f2.hellinger.text~title`, ...).
+pub(crate) fn push_names(names: &mut Vec<String>) {
+    let labels = DataSources::f2_names();
+    for i in 0..labels.len() {
+        for j in i + 1..labels.len() {
+            names.push(format!("f2.hellinger.{}~{}", labels[i], labels[j]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::test_pages::{legit, phish};
+
+    fn f2_of(page: &kyp_web::VisitedPage) -> Vec<f64> {
+        let sources = DataSources::from_page(page);
+        let mut out = Vec::new();
+        push_f2(&sources, ConsistencyMetric::Hellinger, &mut out);
+        out
+    }
+
+    #[test]
+    fn produces_66_features_in_unit_interval() {
+        for page in [phish(), legit()] {
+            let out = f2_of(&page);
+            assert_eq!(out.len(), 66);
+            assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn names_align() {
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), 66);
+        assert_eq!(names[0], "f2.hellinger.text~title");
+        assert_eq!(names[65], "f2.hellinger.extlog~extlink");
+    }
+
+    #[test]
+    fn phish_rdn_inconsistency_shows() {
+        // For the phish, the landing RDN (badhost.tk) shares nothing with
+        // the title (PayPal Secure Login): distance should be 1.
+        let names = {
+            let mut n = Vec::new();
+            push_names(&mut n);
+            n
+        };
+        let phish_f2 = f2_of(&phish());
+        let idx = names
+            .iter()
+            .position(|n| n == "f2.hellinger.title~landrdn")
+            .unwrap();
+        assert!(
+            phish_f2[idx] > 0.99,
+            "phish title~landrdn = {}",
+            phish_f2[idx]
+        );
+
+        // For the legitimate page, the brand term appears in both.
+        let legit_f2 = f2_of(&legit());
+        assert!(
+            legit_f2[idx] < phish_f2[idx],
+            "legit {} vs phish {}",
+            legit_f2[idx],
+            phish_f2[idx]
+        );
+    }
+
+    #[test]
+    fn jaccard_metric_also_bounded() {
+        let sources = DataSources::from_page(&phish());
+        let mut out = Vec::new();
+        push_f2(&sources, ConsistencyMetric::Jaccard, &mut out);
+        assert_eq!(out.len(), 66);
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn extended_produces_91_features() {
+        let page = phish();
+        let sources = DataSources::from_page(&page);
+        let mut out = Vec::new();
+        push_f2_extended(
+            &page,
+            &sources,
+            &kyp_web::ocr::OcrConfig::default(),
+            ConsistencyMetric::Hellinger,
+            &mut out,
+        );
+        assert_eq!(out.len(), 91);
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn empty_sources_are_null_not_extreme() {
+        let mut p = phish();
+        p.text.clear();
+        p.title.clear();
+        let out = f2_of(&p);
+        // text~title pair (index 0) must be 0, not 1.
+        assert_eq!(out[0], 0.0);
+    }
+}

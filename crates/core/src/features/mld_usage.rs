@@ -1,0 +1,175 @@
+//! Feature set f3: 22 features on the usage of the starting and landing
+//! mld across the page (Section IV-B).
+//!
+//! Legitimate sites register domains that spell their brand, so the mld
+//! reappears in the text, title and link URLs; phishing domains have no
+//! relation to the page's purported brand. Twelve binary features test
+//! whether the mld occurs as a term in {text, title, intlog, extlog,
+//! intlink, extlink} (6 per mld), and ten features sum the probability
+//! mass of terms that are substrings of the mld over {title, intlog,
+//! extlog, intlink, extlink} (5 per mld; text is excluded — its many short
+//! terms would match spuriously).
+
+use crate::DataSources;
+use kyp_text::canonicalize_char;
+use kyp_web::VisitedPage;
+
+/// Canonical letter-only form of an mld: `secure-login2` → `securelogin`.
+///
+/// The mld may contain digits and hyphens which term extraction would
+/// split on; comparisons use the letters only.
+pub fn canonical_mld(mld: &str) -> String {
+    mld.chars().filter_map(canonicalize_char).collect()
+}
+
+pub(crate) fn push_f3(page: &VisitedPage, sources: &DataSources, out: &mut Vec<f64>) {
+    let start_mld = page
+        .starting_url
+        .mld()
+        .map(canonical_mld)
+        .unwrap_or_default();
+    let land_mld = page
+        .landing_url
+        .mld()
+        .map(canonical_mld)
+        .unwrap_or_default();
+
+    for mld in [&start_mld, &land_mld] {
+        let binary_sources = [
+            &sources.text,
+            &sources.title,
+            &sources.intlog,
+            &sources.extlog,
+            &sources.intlink,
+            &sources.extlink,
+        ];
+        for dist in binary_sources {
+            let present = !mld.is_empty() && dist.contains(mld);
+            out.push(f64::from(present));
+        }
+    }
+    for mld in [&start_mld, &land_mld] {
+        let mass_sources = [
+            &sources.title,
+            &sources.intlog,
+            &sources.extlog,
+            &sources.intlink,
+            &sources.extlink,
+        ];
+        for dist in mass_sources {
+            let mass = if mld.is_empty() {
+                0.0
+            } else {
+                dist.substring_mass_of(mld)
+            };
+            out.push(mass);
+        }
+    }
+}
+
+pub(crate) fn push_names(names: &mut Vec<String>) {
+    for which in ["start", "land"] {
+        for src in ["text", "title", "intlog", "extlog", "intlink", "extlink"] {
+            names.push(format!("f3.{which}_mld.in.{src}"));
+        }
+    }
+    for which in ["start", "land"] {
+        for src in ["title", "intlog", "extlog", "intlink", "extlink"] {
+            names.push(format!("f3.{which}_mld.mass.{src}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::test_pages::{legit, phish};
+
+    fn f3_of(page: &kyp_web::VisitedPage) -> Vec<f64> {
+        let sources = DataSources::from_page(page);
+        let mut out = Vec::new();
+        push_f3(page, &sources, &mut out);
+        out
+    }
+
+    #[test]
+    fn produces_22_features() {
+        assert_eq!(f3_of(&phish()).len(), 22);
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), 22);
+    }
+
+    #[test]
+    fn legit_mld_appears_in_sources() {
+        // legit() lands on www.mybank.com and its text contains "mybank".
+        let out = f3_of(&legit());
+        let names = {
+            let mut n = Vec::new();
+            push_names(&mut n);
+            n
+        };
+        let idx = names
+            .iter()
+            .position(|n| n == "f3.land_mld.in.text")
+            .unwrap();
+        assert_eq!(out[idx], 1.0);
+        // intlink FreeURL contains "mybank" in a path segment.
+        let idx2 = names
+            .iter()
+            .position(|n| n == "f3.land_mld.in.intlink")
+            .unwrap();
+        assert_eq!(out[idx2], 1.0);
+    }
+
+    #[test]
+    fn phish_mld_absent_from_sources() {
+        // phish() is hosted on badhost.tk; "badhost" never appears in
+        // text or title.
+        let out = f3_of(&phish());
+        let names = {
+            let mut n = Vec::new();
+            push_names(&mut n);
+            n
+        };
+        for probe in ["f3.land_mld.in.text", "f3.land_mld.in.title"] {
+            let idx = names.iter().position(|n| n == probe).unwrap();
+            assert_eq!(out[idx], 0.0, "{probe}");
+        }
+    }
+
+    #[test]
+    fn canonical_mld_strips_separators() {
+        assert_eq!(canonical_mld("pay-pal"), "paypal");
+        assert_eq!(canonical_mld("secure2bank"), "securebank");
+        assert_eq!(canonical_mld("BANKofAmérica"), "bankofamerica");
+        assert_eq!(canonical_mld("123"), "");
+    }
+
+    #[test]
+    fn ip_url_gives_zero_features() {
+        let mut p = phish();
+        p.starting_url = crate::features::test_pages::url("http://10.0.0.1/x");
+        p.landing_url = p.starting_url.clone();
+        p.redirection_chain = vec![p.starting_url.clone()];
+        let out = f3_of(&p);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn substring_mass_rewards_brand_spelling_domains() {
+        // The legitimate page's internal links live on mybank.com, and
+        // title contains "mybank": mass features should be positive.
+        let out = f3_of(&legit());
+        let names = {
+            let mut n = Vec::new();
+            push_names(&mut n);
+            n
+        };
+        let idx = names
+            .iter()
+            .position(|n| n == "f3.land_mld.mass.title")
+            .unwrap();
+        assert!(out[idx] > 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Feature set f4: 13 RDN-usage-consistency features (Section IV-B).
+//!
+//! The paper names the category — "statistics related to the use of
+//! similar and different RDNs in starting URL, landing URL, redirection
+//! chain, loaded content and HREF links" — without itemising the 13
+//! statistics; DESIGN.md documents the motivated itemisation implemented
+//! here. Legitimate pages use more internal RDNs and fewer redirections
+//! than phishing pages.
+
+use kyp_url::Url;
+use kyp_web::VisitedPage;
+use std::collections::HashMap;
+
+fn rdn_of(url: &Url) -> String {
+    url.rdn().unwrap_or_else(|| url.host().to_string())
+}
+
+fn distinct_rdns<'a>(urls: impl Iterator<Item = &'a Url>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for u in urls {
+        let r = rdn_of(u);
+        if !out.contains(&r) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+pub(crate) fn push_f4(page: &VisitedPage, out: &mut Vec<f64>) {
+    let (intlog, extlog) = page.logged_split();
+    let (intlink, extlink) = page.href_split();
+    let landing_rdn = rdn_of(&page.landing_url);
+
+    // 1. redirection chain length
+    out.push(page.redirection_chain.len() as f64);
+    // 2. distinct RDNs in the chain
+    out.push(distinct_rdns(page.redirection_chain.iter()).len() as f64);
+    // 3. starting RDN == landing RDN
+    out.push(f64::from(rdn_of(&page.starting_url) == landing_rdn));
+    // 4./5. distinct RDNs in logged / HREF links
+    out.push(distinct_rdns(page.logged_links.iter()).len() as f64);
+    out.push(distinct_rdns(page.href_links.iter()).len() as f64);
+    // 6./7. internal ratio of logged / HREF links
+    let ratio = |int: usize, ext: usize| {
+        let total = int + ext;
+        if total == 0 {
+            0.0
+        } else {
+            int as f64 / total as f64
+        }
+    };
+    out.push(ratio(intlog.len(), extlog.len()));
+    out.push(ratio(intlink.len(), extlink.len()));
+    // 8./9. distinct external RDNs in logged / HREF links
+    out.push(distinct_rdns(extlog.iter().copied()).len() as f64);
+    out.push(distinct_rdns(extlink.iter().copied()).len() as f64);
+    // 10./11. landing RDN referenced by logged / HREF links
+    out.push(f64::from(
+        page.logged_links.iter().any(|u| rdn_of(u) == landing_rdn),
+    ));
+    out.push(f64::from(
+        page.href_links.iter().any(|u| rdn_of(u) == landing_rdn),
+    ));
+    // 12. distinct RDNs across chain + logged + HREF
+    out.push(
+        distinct_rdns(
+            page.redirection_chain
+                .iter()
+                .chain(&page.logged_links)
+                .chain(&page.href_links),
+        )
+        .len() as f64,
+    );
+    // 13. largest share of any single *external* RDN over all links —
+    // phish point heavily at one target domain.
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for u in extlog.iter().chain(extlink.iter()) {
+        *counts.entry(rdn_of(u)).or_insert(0) += 1;
+    }
+    let total_links = page.logged_links.len() + page.href_links.len();
+    let max_ext = counts.values().copied().max().unwrap_or(0);
+    out.push(if total_links == 0 {
+        0.0
+    } else {
+        max_ext as f64 / total_links as f64
+    });
+}
+
+pub(crate) fn push_names(names: &mut Vec<String>) {
+    for n in [
+        "f4.chain_len",
+        "f4.chain_distinct_rdns",
+        "f4.start_eq_land_rdn",
+        "f4.logged_distinct_rdns",
+        "f4.href_distinct_rdns",
+        "f4.logged_internal_ratio",
+        "f4.href_internal_ratio",
+        "f4.logged_ext_distinct_rdns",
+        "f4.href_ext_distinct_rdns",
+        "f4.land_rdn_in_logged",
+        "f4.land_rdn_in_href",
+        "f4.all_distinct_rdns",
+        "f4.max_external_rdn_share",
+    ] {
+        names.push(n.to_owned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::test_pages::{legit, phish};
+
+    fn f4_of(page: &VisitedPage) -> Vec<f64> {
+        let mut out = Vec::new();
+        push_f4(page, &mut out);
+        out
+    }
+
+    #[test]
+    fn produces_13_features() {
+        assert_eq!(f4_of(&phish()).len(), 13);
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn phish_has_low_internal_ratio_and_high_target_share() {
+        let p = f4_of(&phish());
+        let l = f4_of(&legit());
+        // internal ratio of logged links: phish loads most content from
+        // the target, legit from itself.
+        assert!(
+            p[5] < l[5],
+            "logged internal ratio: phish {} legit {}",
+            p[5],
+            l[5]
+        );
+        assert!(p[6] < l[6], "href internal ratio");
+        // max external RDN share: the phish funnels to paypal.com.
+        assert!(
+            p[12] > l[12],
+            "external share: phish {} legit {}",
+            p[12],
+            l[12]
+        );
+    }
+
+    #[test]
+    fn chain_statistics() {
+        let l = f4_of(&legit());
+        assert_eq!(l[0], 2.0); // two URLs in chain
+        assert_eq!(l[1], 1.0); // one distinct RDN
+        assert_eq!(l[2], 1.0); // start RDN == land RDN
+    }
+
+    #[test]
+    fn landing_rdn_reference_flags() {
+        let l = f4_of(&legit());
+        assert_eq!(l[9], 1.0, "legit loads own resources");
+        assert_eq!(l[10], 1.0, "legit links to itself");
+        let p = f4_of(&phish());
+        assert_eq!(p[9], 1.0, "phish also loads own css");
+        assert_eq!(p[10], 0.0, "phish href links all point at target");
+    }
+
+    #[test]
+    fn no_links_yields_zeros() {
+        let mut p = phish();
+        p.logged_links.clear();
+        p.href_links.clear();
+        let out = f4_of(&p);
+        assert_eq!(out[3], 0.0);
+        assert_eq!(out[5], 0.0);
+        assert_eq!(out[12], 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Keyterm extraction (Section V-A): a small set of terms characterising
+//! the brand/service a page talks about.
+//!
+//! A *keyterm* is a term that appears in several user-visible data sources
+//! of the page. Three extraction variants are used in sequence by the
+//! target identifier:
+//!
+//! - **boosted prominent terms** — intersection candidates over all five
+//!   visible sources;
+//! - **prominent terms** — like boosted, but the text∩links intersection
+//!   alone does not qualify a term (news sites repeat link anchors in
+//!   text, which would flood the list with irrelevant terms);
+//! - **OCR prominent terms** — terms read off the screenshot by OCR that
+//!   also occur in at least one other source (handles image-based pages,
+//!   at the cost of a slow OCR pass).
+
+use crate::DataSources;
+use kyp_text::{extract_term_set, TermDistribution};
+use kyp_web::ocr::{simulate_ocr, OcrConfig};
+use kyp_web::VisitedPage;
+use std::collections::HashSet;
+
+/// The paper's keyterm list length (N=5, "proved to be a sufficient
+/// number to represent a webpage").
+pub const DEFAULT_KEYTERM_COUNT: usize = 5;
+
+/// The five user-visible term sets of Section V-A.
+#[derive(Debug, Clone)]
+pub struct VisibleSets {
+    /// `T_start ∪ T_startrdn ∪ T_land ∪ T_landrdn`.
+    pub url: HashSet<String>,
+    /// `T_title`.
+    pub title: HashSet<String>,
+    /// `T_text`.
+    pub text: HashSet<String>,
+    /// `T_copyright`.
+    pub copyright: HashSet<String>,
+    /// `T_intlink ∪ T_extlink` (FreeURL terms of HREF links).
+    pub links: HashSet<String>,
+}
+
+impl VisibleSets {
+    /// Builds the five sets from a page's term distributions.
+    pub fn from_sources(sources: &DataSources) -> Self {
+        let set = |dists: &[&TermDistribution]| -> HashSet<String> {
+            dists
+                .iter()
+                .flat_map(|d| d.terms().map(str::to_owned))
+                .collect()
+        };
+        VisibleSets {
+            url: set(&[
+                &sources.start,
+                &sources.startrdn,
+                &sources.land,
+                &sources.landrdn,
+            ]),
+            title: set(&[&sources.title]),
+            text: set(&[&sources.text]),
+            copyright: set(&[&sources.copyright]),
+            links: set(&[&sources.intlink, &sources.extlink]),
+        }
+    }
+
+    /// In how many of the five sets the term occurs, with flags for the
+    /// text and links memberships (needed by the *prominent* variant).
+    fn membership(&self, term: &str) -> (usize, bool, bool) {
+        let in_text = self.text.contains(term);
+        let in_links = self.links.contains(term);
+        let count = usize::from(self.url.contains(term))
+            + usize::from(self.title.contains(term))
+            + usize::from(in_text)
+            + usize::from(self.copyright.contains(term))
+            + usize::from(in_links);
+        (count, in_text, in_links)
+    }
+
+    /// Union of all five sets.
+    pub fn all_terms(&self) -> HashSet<String> {
+        let mut all = self.url.clone();
+        all.extend(self.title.iter().cloned());
+        all.extend(self.text.iter().cloned());
+        all.extend(self.copyright.iter().cloned());
+        all.extend(self.links.iter().cloned());
+        all
+    }
+}
+
+/// Overall frequency of terms across the visible parts of the page, used
+/// as the keyterm ranking criterion.
+fn visible_frequency(sources: &DataSources) -> TermDistribution {
+    let mut freq = sources.text.clone();
+    for d in [
+        &sources.title,
+        &sources.copyright,
+        &sources.start,
+        &sources.startrdn,
+        &sources.land,
+        &sources.landrdn,
+        &sources.intlink,
+        &sources.extlink,
+    ] {
+        freq.merge(d);
+    }
+    freq
+}
+
+fn rank_terms(candidates: Vec<String>, freq: &TermDistribution, n: usize) -> Vec<String> {
+    let mut scored: Vec<(String, u32)> = candidates
+        .into_iter()
+        .map(|t| {
+            let c = freq.count(&t);
+            (t, c)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    scored.into_iter().take(n).map(|(t, _)| t).collect()
+}
+
+/// Extracts the top-`n` **boosted prominent terms**: terms occurring in at
+/// least two of the five visible sources, ranked by overall frequency.
+pub fn boosted_prominent_terms(sources: &DataSources, n: usize) -> Vec<String> {
+    let sets = VisibleSets::from_sources(sources);
+    let freq = visible_frequency(sources);
+    let candidates = sets
+        .all_terms()
+        .into_iter()
+        .filter(|t| sets.membership(t).0 >= 2)
+        .collect();
+    rank_terms(candidates, &freq, n)
+}
+
+/// Extracts the top-`n` **prominent terms**: like boosted, but a term
+/// whose only two sources are text and HREF links does not qualify.
+pub fn prominent_terms(sources: &DataSources, n: usize) -> Vec<String> {
+    let sets = VisibleSets::from_sources(sources);
+    let freq = visible_frequency(sources);
+    let candidates = sets
+        .all_terms()
+        .into_iter()
+        .filter(|t| {
+            let (count, in_text, in_links) = sets.membership(t);
+            count >= 2 && !(count == 2 && in_text && in_links)
+        })
+        .collect();
+    rank_terms(candidates, &freq, n)
+}
+
+/// Extracts the top-`n` **OCR prominent terms**: terms recognised on the
+/// page screenshot that also occur in at least one other visible source.
+pub fn ocr_prominent_terms(
+    page: &VisitedPage,
+    sources: &DataSources,
+    ocr: &OcrConfig,
+    n: usize,
+) -> Vec<String> {
+    let read = simulate_ocr(&page.screenshot_text, ocr);
+    let image_terms = extract_term_set(&read);
+    let sets = VisibleSets::from_sources(sources);
+    let freq = visible_frequency(sources);
+    let candidates = image_terms
+        .into_iter()
+        .filter(|t| sets.membership(t).0 >= 1)
+        .collect();
+    rank_terms(candidates, &freq, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::test_pages::{legit, phish};
+
+    #[test]
+    fn boosted_finds_brand_terms_on_phish() {
+        let p = phish();
+        let s = DataSources::from_page(&p);
+        let terms = boosted_prominent_terms(&s, 5);
+        assert!(
+            terms.contains(&"paypal".to_string()),
+            "expected paypal in {terms:?}"
+        );
+        assert!(terms.len() <= 5);
+    }
+
+    #[test]
+    fn boosted_finds_brand_on_legit() {
+        let l = legit();
+        let s = DataSources::from_page(&l);
+        let terms = boosted_prominent_terms(&s, 5);
+        assert!(
+            terms.contains(&"mybank".to_string()),
+            "expected mybank in {terms:?}"
+        );
+    }
+
+    #[test]
+    fn prominent_drops_text_link_only_terms() {
+        // Build a news-like page: "mortgages" appears in text and in a link
+        // anchor URL, nowhere else.
+        let mut l = legit();
+        l.title = "Daily News".into();
+        l.copyright = None;
+        let s = DataSources::from_page(&l);
+        let boosted = boosted_prominent_terms(&s, 20);
+        let prominent = prominent_terms(&s, 20);
+        // "mortgages" is in text and intlink FreeURL only.
+        assert!(boosted.contains(&"mortgages".to_string()));
+        assert!(!prominent.contains(&"mortgages".to_string()));
+    }
+
+    #[test]
+    fn ocr_terms_come_from_screenshot() {
+        let mut p = phish();
+        // Image-based page: no HTML text, brand only in the rendering.
+        p.text = String::new();
+        p.screenshot_text = "PayPal please sign in with your paypal password".into();
+        let s = DataSources::from_page(&p);
+        let cfg = OcrConfig {
+            substitution_rate: 0.0,
+            drop_rate: 0.0,
+            word_loss_rate: 0.0,
+            seed: 0,
+        };
+        let terms = ocr_prominent_terms(&p, &s, &cfg, 5);
+        assert!(terms.contains(&"paypal".to_string()), "{terms:?}");
+    }
+
+    #[test]
+    fn empty_page_has_no_keyterms() {
+        let mut p = phish();
+        p.text = String::new();
+        p.title = String::new();
+        p.copyright = None;
+        p.href_links.clear();
+        p.logged_links.clear();
+        p.screenshot_text = String::new();
+        let s = DataSources::from_page(&p);
+        // URL still carries "paypal" and "signin" terms, but they appear in
+        // a single source now, so nothing qualifies.
+        assert!(boosted_prominent_terms(&s, 5).is_empty());
+        assert!(prominent_terms(&s, 5).is_empty());
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let p = phish();
+        let s = DataSources::from_page(&p);
+        assert_eq!(
+            boosted_prominent_terms(&s, 5),
+            boosted_prominent_terms(&s, 5)
+        );
+    }
+
+    #[test]
+    fn frequency_ranks_boosted_terms() {
+        // A term used in many sources and often must outrank a term that
+        // merely crosses the two-source threshold.
+        let mut p = phish();
+        p.text = "paypal paypal paypal account secure".into();
+        p.title = "paypal account".into();
+        let s = DataSources::from_page(&p);
+        let terms = boosted_prominent_terms(&s, 5);
+        assert_eq!(
+            terms.first().map(String::as_str),
+            Some("paypal"),
+            "{terms:?}"
+        );
+    }
+
+    #[test]
+    fn ocr_noise_degrades_gracefully() {
+        // Heavy OCR noise loses terms but never invents non-canonical ones.
+        let p = phish();
+        let s = DataSources::from_page(&p);
+        let noisy = kyp_web::ocr::OcrConfig {
+            substitution_rate: 0.5,
+            drop_rate: 0.3,
+            word_loss_rate: 0.3,
+            seed: 1,
+        };
+        let terms = ocr_prominent_terms(&p, &s, &noisy, 5);
+        for t in &terms {
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(t.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn visible_sets_membership_counts() {
+        let p = phish();
+        let s = DataSources::from_page(&p);
+        let sets = VisibleSets::from_sources(&s);
+        // "paypal" is visible in url (path), title, text, copyright and links.
+        let all = sets.all_terms();
+        assert!(all.contains("paypal"));
+        assert!(sets.url.contains("paypal"));
+        assert!(sets.title.contains("paypal"));
+        assert!(sets.text.contains("paypal"));
+    }
+
+    #[test]
+    fn n_limits_output() {
+        let p = phish();
+        let s = DataSources::from_page(&p);
+        assert!(boosted_prominent_terms(&s, 2).len() <= 2);
+        assert!(boosted_prominent_terms(&s, 0).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+use kyp_text::TermDistribution;
+use kyp_url::Url;
+use kyp_web::VisitedPage;
+
+/// The term distributions of the paper's Table I, computed once per page
+/// and shared by the f2/f3 features and the keyterm extractor.
+///
+/// Distributions are grouped by the phisher's *level of control*
+/// (internal vs external links, split on the RDNs of the redirection
+/// chain) and *constraints* (RDN — registrar-constrained — vs FreeURL —
+/// freely choosable), per Section III-A.
+#[derive(Debug, Clone)]
+pub struct DataSources {
+    /// `D_text`: rendered body text.
+    pub text: TermDistribution,
+    /// `D_title`: page title.
+    pub title: TermDistribution,
+    /// `D_copyright`: copyright notice (used by keyterms, not by f2).
+    pub copyright: TermDistribution,
+    /// `D_start`: FreeURL of the starting URL.
+    pub start: TermDistribution,
+    /// `D_land`: FreeURL of the landing URL.
+    pub land: TermDistribution,
+    /// `D_intlog`: FreeURL of internal logged links.
+    pub intlog: TermDistribution,
+    /// `D_intlink`: FreeURL of internal HREF links.
+    pub intlink: TermDistribution,
+    /// `D_startrdn`: RDN of the starting URL.
+    pub startrdn: TermDistribution,
+    /// `D_landrdn`: RDN of the landing URL.
+    pub landrdn: TermDistribution,
+    /// `D_intrdn`: RDNs of internal links (HREF and logged).
+    pub intrdn: TermDistribution,
+    /// `D_extrdn`: RDNs of external logged links.
+    pub extrdn: TermDistribution,
+    /// `D_extlog`: FreeURL of external logged links.
+    pub extlog: TermDistribution,
+    /// `D_extlink`: FreeURL of external HREF links.
+    pub extlink: TermDistribution,
+}
+
+impl DataSources {
+    /// Computes every distribution from a scraped page.
+    pub fn from_page(page: &VisitedPage) -> Self {
+        let (intlog_urls, extlog_urls) = page.logged_split();
+        let (intlink_urls, extlink_urls) = page.href_split();
+
+        let free = |urls: &[&Url]| {
+            TermDistribution::from_texts(urls.iter().map(|u| u.free_url().joined()))
+        };
+        let rdns =
+            |urls: &[&Url]| TermDistribution::from_texts(urls.iter().filter_map(|u| u.rdn()));
+
+        let mut intrdn = rdns(&intlink_urls);
+        intrdn.merge(&rdns(&intlog_urls));
+
+        DataSources {
+            text: TermDistribution::from_text(&page.text),
+            title: TermDistribution::from_text(&page.title),
+            copyright: TermDistribution::from_text(page.copyright.as_deref().unwrap_or("")),
+            start: TermDistribution::from_text(&page.starting_url.free_url().joined()),
+            land: TermDistribution::from_text(&page.landing_url.free_url().joined()),
+            intlog: free(&intlog_urls),
+            intlink: free(&intlink_urls),
+            startrdn: TermDistribution::from_text(&page.starting_url.rdn().unwrap_or_default()),
+            landrdn: TermDistribution::from_text(&page.landing_url.rdn().unwrap_or_default()),
+            intrdn,
+            extrdn: rdns(&extlog_urls),
+            extlog: free(&extlog_urls),
+            extlink: free(&extlink_urls),
+        }
+    }
+
+    /// The 12 distributions used by the f2 consistency features, in the
+    /// crate's canonical order (Table I minus copyright and image).
+    pub fn f2_distributions(&self) -> [&TermDistribution; 12] {
+        [
+            &self.text,
+            &self.title,
+            &self.start,
+            &self.land,
+            &self.intlog,
+            &self.intlink,
+            &self.startrdn,
+            &self.landrdn,
+            &self.intrdn,
+            &self.extrdn,
+            &self.extlog,
+            &self.extlink,
+        ]
+    }
+
+    /// Names matching [`DataSources::f2_distributions`], for feature naming.
+    pub fn f2_names() -> [&'static str; 12] {
+        [
+            "text", "title", "start", "land", "intlog", "intlink", "startrdn", "landrdn", "intrdn",
+            "extrdn", "extlog", "extlink",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn page() -> VisitedPage {
+        VisitedPage {
+            starting_url: url("http://evil-host.tk/paypal/login?session=abc"),
+            landing_url: url("http://evil-host.tk/paypal/login?session=abc"),
+            redirection_chain: vec![url("http://evil-host.tk/paypal/login?session=abc")],
+            logged_links: vec![
+                url("http://evil-host.tk/style.css"),
+                url("https://www.paypal.com/logo.png"),
+            ],
+            href_links: vec![
+                url("https://www.paypal.com/help"),
+                url("http://evil-host.tk/submit"),
+            ],
+            text: "log in to your paypal account".into(),
+            title: "PayPal Login".into(),
+            copyright: Some("© PayPal Inc".into()),
+            screenshot_text: "log in to your paypal account".into(),
+            input_count: 2,
+            image_count: 1,
+            iframe_count: 0,
+        }
+    }
+
+    #[test]
+    fn distributions_reflect_sources() {
+        let s = DataSources::from_page(&page());
+        assert!(s.text.contains("paypal"));
+        assert!(s.title.contains("paypal"));
+        assert!(s.title.contains("login"));
+        assert!(s.copyright.contains("paypal"));
+        // FreeURL of the starting URL: path "paypal/login" + query.
+        assert!(s.start.contains("paypal"));
+        assert!(s.start.contains("session"));
+        // startrdn holds the phisher's registered domain terms.
+        assert!(s.startrdn.contains("evil"));
+        assert!(s.startrdn.contains("host"));
+        assert!(!s.startrdn.contains("paypal"));
+    }
+
+    #[test]
+    fn internal_external_split_follows_chain_control() {
+        let s = DataSources::from_page(&page());
+        // paypal.com is NOT in the redirection chain → external.
+        assert!(s.extrdn.contains("paypal"));
+        assert!(!s.intrdn.contains("paypal"));
+        assert!(s.intrdn.contains("evil"));
+        // External HREF FreeURL contains "help".
+        assert!(s.extlink.contains("help"));
+        assert!(s.intlink.contains("submit"));
+        // External logged FreeURL: "logo.png" → "logo" + "png".
+        assert!(s.extlog.contains("logo"));
+        assert!(s.intlog.contains("css"));
+    }
+
+    #[test]
+    fn f2_distribution_count() {
+        let s = DataSources::from_page(&page());
+        assert_eq!(s.f2_distributions().len(), 12);
+        assert_eq!(DataSources::f2_names().len(), 12);
+    }
+
+    #[test]
+    fn missing_copyright_is_empty() {
+        let mut p = page();
+        p.copyright = None;
+        let s = DataSources::from_page(&p);
+        assert!(s.copyright.is_empty());
+    }
+
+    #[test]
+    fn ip_urls_give_empty_rdn_distributions() {
+        let mut p = page();
+        p.starting_url = url("http://192.168.1.1/login");
+        p.landing_url = url("http://192.168.1.1/login");
+        p.redirection_chain = vec![url("http://192.168.1.1/login")];
+        let s = DataSources::from_page(&p);
+        assert!(
+            s.startrdn.is_empty(),
+            "paper: IP URLs → empty distributions"
+        );
+        assert!(s.landrdn.is_empty());
+    }
+}

@@ -1,0 +1,538 @@
+//! Target identification (Section V-B): decide whether a suspected page
+//! is legitimate, and if not, which brand it impersonates.
+//!
+//! The five-step process, implemented verbatim:
+//!
+//! 1. Extract *boosted prominent terms*; collect mlds from the page's URLs
+//!    and links; for every collected mld that can be *composed* from the
+//!    keyterms (separated by dashes or digits), query the search engine
+//!    with the guessed domain. If the suspected RDN comes back → the page
+//!    is legitimate.
+//! 2. Query the engine with the *prominent terms*. Suspected RDN in the
+//!    results → legitimate. Result mlds that appear in a controlled data
+//!    source become candidate targets → step 5.
+//! 3. Same as 2 with *boosted prominent terms*.
+//! 4. Same as 2 with *OCR prominent terms* (slow path, image-based pages).
+//! 5. Rank candidates by how often they appear across the page's data
+//!    sources; return the top 1–3.
+
+use crate::keyterms::{self, DEFAULT_KEYTERM_COUNT};
+use crate::DataSources;
+use kyp_search::{SearchEngine, SearchHit};
+use kyp_text::extract_terms;
+use kyp_url::Url;
+use kyp_web::ocr::OcrConfig;
+use kyp_web::VisitedPage;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Configuration of the target identifier.
+#[derive(Debug, Clone)]
+pub struct TargetIdentifierConfig {
+    /// Keyterm list length (the paper's N = 5).
+    pub keyterm_count: usize,
+    /// Number of search results inspected per query.
+    pub search_results: usize,
+    /// Maximum candidates returned (the paper evaluates top-1/2/3).
+    pub max_candidates: usize,
+    /// OCR noise profile for step 4.
+    pub ocr: OcrConfig,
+}
+
+impl Default for TargetIdentifierConfig {
+    fn default() -> Self {
+        TargetIdentifierConfig {
+            keyterm_count: DEFAULT_KEYTERM_COUNT,
+            search_results: 10,
+            max_candidates: 3,
+            ocr: OcrConfig::default(),
+        }
+    }
+}
+
+/// One candidate target brand, ranked by appearances in the page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetCandidate {
+    /// The brand's main level domain, e.g. `paypal`.
+    pub mld: String,
+    /// The brand's registered domain, e.g. `paypal.com`.
+    pub rdn: String,
+    /// How many times the mld appears across the page's data sources.
+    pub appearances: usize,
+}
+
+/// Outcome of target identification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetVerdict {
+    /// The page's own domain came back from a search — deemed legitimate.
+    Legitimate {
+        /// Which step (1–4) confirmed legitimacy.
+        step: u8,
+    },
+    /// Candidate targets found: the page impersonates `candidates[0]`
+    /// (best first).
+    Phish {
+        /// Ranked candidate targets (at most `max_candidates`).
+        candidates: Vec<TargetCandidate>,
+    },
+    /// No legitimacy confirmation and no target found (the paper's
+    /// "suspicious" outcome in Section VI-D).
+    Unknown,
+}
+
+impl TargetVerdict {
+    /// The best candidate mld, if the verdict is `Phish`.
+    pub fn top_target(&self) -> Option<&str> {
+        match self {
+            TargetVerdict::Phish { candidates } => candidates.first().map(|c| c.mld.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `true` when `mld` is among the top-`k` candidates.
+    pub fn has_target_in_top(&self, mld: &str, k: usize) -> bool {
+        match self {
+            TargetVerdict::Phish { candidates } => candidates.iter().take(k).any(|c| c.mld == mld),
+            _ => false,
+        }
+    }
+}
+
+/// The target identification system of Section V.
+///
+/// Holds a handle to the search-engine substrate (shared with other
+/// components) and the process configuration.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_core::{TargetIdentifier, TargetVerdict};
+/// use kyp_search::SearchEngine;
+/// use kyp_web::{Browser, Page, WebWorld};
+/// use std::sync::Arc;
+///
+/// let mut engine = SearchEngine::new();
+/// engine.index_page("mybank.com", "mybank", "mybank online banking welcome mybank");
+///
+/// let mut world = WebWorld::new();
+/// world.add_page("https://mybank.com/", Page::new(
+///     "<title>MyBank</title><body>Welcome to mybank banking <a href=\"/login\">mybank login</a></body>"));
+/// let visit = Browser::new(&world).visit("https://mybank.com/")?;
+///
+/// let ident = TargetIdentifier::new(Arc::new(engine));
+/// assert!(matches!(ident.identify(&visit), TargetVerdict::Legitimate { .. }));
+/// # Ok::<(), kyp_web::VisitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TargetIdentifier {
+    engine: Arc<SearchEngine>,
+    config: TargetIdentifierConfig,
+}
+
+impl TargetIdentifier {
+    /// Creates an identifier with default configuration.
+    pub fn new(engine: Arc<SearchEngine>) -> Self {
+        Self::with_config(engine, TargetIdentifierConfig::default())
+    }
+
+    /// Creates an identifier with explicit configuration.
+    pub fn with_config(engine: Arc<SearchEngine>, config: TargetIdentifierConfig) -> Self {
+        TargetIdentifier { engine, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TargetIdentifierConfig {
+        &self.config
+    }
+
+    /// Runs the five-step identification process on a page.
+    pub fn identify(&self, page: &VisitedPage) -> TargetVerdict {
+        let sources = DataSources::from_page(page);
+        self.identify_with_sources(page, &sources)
+    }
+
+    /// Like [`identify`](Self::identify) but reuses precomputed term
+    /// distributions.
+    pub fn identify_with_sources(
+        &self,
+        page: &VisitedPage,
+        sources: &DataSources,
+    ) -> TargetVerdict {
+        let n = self.config.keyterm_count;
+        let k = self.config.search_results;
+        let suspected = suspected_rdns(page);
+        let controlled_terms = controlled_term_set(sources);
+
+        // ---- Step 1: guess the target FQDN from boosted prominent terms.
+        let boosted = keyterms::boosted_prominent_terms(sources, n);
+        let collected = collect_mlds(page);
+        for (mld, rdn) in &collected {
+            if !composable(mld, &boosted) {
+                continue;
+            }
+            let hits = self.engine.query_domain(rdn, k);
+            if hits.iter().any(|h| suspected.contains(&h.rdn)) {
+                return TargetVerdict::Legitimate { step: 1 };
+            }
+        }
+
+        // ---- Steps 2-4: keyterm searches.
+        let prominent = keyterms::prominent_terms(sources, n);
+        match self.search_step(&prominent, &suspected, &controlled_terms, 2) {
+            StepOutcome::Legitimate(step) => return TargetVerdict::Legitimate { step },
+            StepOutcome::Candidates(c) => return self.step5(page, sources, c),
+            StepOutcome::Continue => {}
+        }
+        match self.search_step(&boosted, &suspected, &controlled_terms, 3) {
+            StepOutcome::Legitimate(step) => return TargetVerdict::Legitimate { step },
+            StepOutcome::Candidates(c) => return self.step5(page, sources, c),
+            StepOutcome::Continue => {}
+        }
+        let ocr_terms = keyterms::ocr_prominent_terms(page, sources, &self.config.ocr, n);
+        match self.search_step(&ocr_terms, &suspected, &controlled_terms, 4) {
+            StepOutcome::Legitimate(step) => return TargetVerdict::Legitimate { step },
+            StepOutcome::Candidates(c) => return self.step5(page, sources, c),
+            StepOutcome::Continue => {}
+        }
+
+        TargetVerdict::Unknown
+    }
+
+    fn search_step(
+        &self,
+        terms: &[String],
+        suspected: &HashSet<String>,
+        controlled_terms: &HashSet<String>,
+        step: u8,
+    ) -> StepOutcome {
+        if terms.is_empty() {
+            return StepOutcome::Continue;
+        }
+        let hits = self.engine.query(terms, self.config.search_results);
+        if hits.iter().any(|h| suspected.contains(&h.rdn)) {
+            return StepOutcome::Legitimate(step);
+        }
+        let candidates: Vec<SearchHit> = hits
+            .into_iter()
+            .filter(|h| mld_appears_in(&h.mld, controlled_terms))
+            .collect();
+        if candidates.is_empty() {
+            StepOutcome::Continue
+        } else {
+            StepOutcome::Candidates(candidates)
+        }
+    }
+
+    /// Step 5: rank candidate mlds by appearances across the page.
+    fn step5(
+        &self,
+        page: &VisitedPage,
+        sources: &DataSources,
+        hits: Vec<SearchHit>,
+    ) -> TargetVerdict {
+        let mut candidates: Vec<TargetCandidate> = Vec::new();
+        for hit in hits {
+            if candidates.iter().any(|c| c.mld == hit.mld) {
+                continue;
+            }
+            let appearances = count_appearances(&hit.mld, page, sources);
+            candidates.push(TargetCandidate {
+                mld: hit.mld,
+                rdn: hit.rdn,
+                appearances,
+            });
+        }
+        candidates.sort_by(|a, b| {
+            b.appearances
+                .cmp(&a.appearances)
+                .then_with(|| a.mld.cmp(&b.mld))
+        });
+        candidates.truncate(self.config.max_candidates);
+        TargetVerdict::Phish { candidates }
+    }
+}
+
+enum StepOutcome {
+    Legitimate(u8),
+    Candidates(Vec<SearchHit>),
+    Continue,
+}
+
+/// RDNs of the suspected page itself (starting and landing URLs).
+fn suspected_rdns(page: &VisitedPage) -> HashSet<String> {
+    [&page.starting_url, &page.landing_url]
+        .into_iter()
+        .filter_map(Url::rdn)
+        .collect()
+}
+
+/// mld/RDN pairs collected from the page's URLs and links (paper Step 1).
+fn collect_mlds(page: &VisitedPage) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut push = |url: &Url| {
+        if let (Some(mld), Some(rdn)) = (url.mld(), url.rdn()) {
+            if !out.iter().any(|(_, r)| *r == rdn) {
+                out.push((mld.to_owned(), rdn));
+            }
+        }
+    };
+    push(&page.starting_url);
+    push(&page.landing_url);
+    for u in page.logged_links.iter().chain(&page.href_links) {
+        push(u);
+    }
+    out
+}
+
+/// Terms of every *controlled* data source (Section III-A: everything but
+/// the external links).
+fn controlled_term_set(sources: &DataSources) -> HashSet<String> {
+    let mut set = HashSet::new();
+    for d in [
+        &sources.text,
+        &sources.title,
+        &sources.copyright,
+        &sources.start,
+        &sources.land,
+        &sources.startrdn,
+        &sources.landrdn,
+        &sources.intlog,
+        &sources.intlink,
+        &sources.intrdn,
+    ] {
+        set.extend(d.terms().map(str::to_owned));
+    }
+    set
+}
+
+/// Whether a candidate mld "appears in" a term set: either verbatim as a
+/// term, or composable from the set's terms.
+fn mld_appears_in(mld: &str, terms: &HashSet<String>) -> bool {
+    let canon = crate::features::canonical_mld(mld);
+    if canon.is_empty() {
+        return false;
+    }
+    if terms.contains(&canon) {
+        return true;
+    }
+    let term_vec: Vec<String> = terms
+        .iter()
+        .filter(|t| canon.contains(t.as_str()))
+        .cloned()
+        .collect();
+    composable(mld, &term_vec)
+}
+
+/// Whether `mld` can be composed from `keyterms`, possibly separated by a
+/// dash or a string of digits (paper Step 1). Short filler runs of at most
+/// two letters (e.g. the "of" in `bankofamerica`) are tolerated, capped at
+/// three filler letters overall, and at least one keyterm must be used.
+pub(crate) fn composable(mld: &str, keyterms: &[String]) -> bool {
+    let mld = mld.to_ascii_lowercase();
+    if keyterms.is_empty() || mld.is_empty() {
+        return false;
+    }
+    fn rec(
+        s: &[u8],
+        pos: usize,
+        filler_left: usize,
+        used_keyterm: bool,
+        keyterms: &[String],
+    ) -> bool {
+        if pos == s.len() {
+            return used_keyterm;
+        }
+        let c = s[pos] as char;
+        // Separator characters are free.
+        if c == '-' || c.is_ascii_digit() {
+            return rec(s, pos + 1, filler_left, used_keyterm, keyterms);
+        }
+        // Try each keyterm as a prefix.
+        for k in keyterms {
+            let kb = k.as_bytes();
+            if s[pos..].starts_with(kb) && rec(s, pos + kb.len(), filler_left, true, keyterms) {
+                return true;
+            }
+        }
+        // Tolerate a short filler letter.
+        if filler_left > 0 && c.is_ascii_alphabetic() {
+            return rec(s, pos + 1, filler_left - 1, used_keyterm, keyterms);
+        }
+        false
+    }
+    rec(mld.as_bytes(), 0, 3, false, keyterms)
+}
+
+/// How many times a candidate mld appears across the page's data sources:
+/// term occurrences in every distribution plus links whose RDN contains it.
+fn count_appearances(mld: &str, page: &VisitedPage, sources: &DataSources) -> usize {
+    let canon = crate::features::canonical_mld(mld);
+    if canon.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    for d in [
+        &sources.text,
+        &sources.title,
+        &sources.copyright,
+        &sources.start,
+        &sources.land,
+        &sources.startrdn,
+        &sources.landrdn,
+        &sources.intlog,
+        &sources.intlink,
+        &sources.intrdn,
+        &sources.extrdn,
+        &sources.extlog,
+        &sources.extlink,
+    ] {
+        count += d.count(&canon) as usize;
+    }
+    for u in page.logged_links.iter().chain(&page.href_links) {
+        if let Some(rdn) = u.rdn() {
+            let rdn_terms = extract_terms(&rdn).join("");
+            if rdn_terms.contains(&canon) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::test_pages::{legit, phish};
+
+    fn engine() -> Arc<SearchEngine> {
+        let mut e = SearchEngine::new();
+        e.index_page(
+            "paypal.com",
+            "paypal",
+            "paypal account login send money online payments paypal secure",
+        );
+        e.index_page(
+            "mybank.com",
+            "mybank",
+            "mybank online banking welcome accounts mortgages mybank",
+        );
+        e.index_page("weather.com", "weather", "weather forecast sun rain");
+        Arc::new(e)
+    }
+
+    #[test]
+    fn phish_target_identified() {
+        let ident = TargetIdentifier::new(engine());
+        let verdict = ident.identify(&phish());
+        assert_eq!(verdict.top_target(), Some("paypal"));
+        assert!(verdict.has_target_in_top("paypal", 1));
+    }
+
+    #[test]
+    fn legit_site_confirmed() {
+        let ident = TargetIdentifier::new(engine());
+        let verdict = ident.identify(&legit());
+        assert!(
+            matches!(verdict, TargetVerdict::Legitimate { .. }),
+            "got {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn hintless_page_is_unknown() {
+        // A credential-harvesting page with no brand hint anywhere
+        // (the paper's 17 "unknown target" pages).
+        let mut p = phish();
+        p.text = "enter your details below to continue".into();
+        p.title = "Account verification".into();
+        p.copyright = None;
+        p.screenshot_text = p.text.clone();
+        p.href_links.clear();
+        p.logged_links.clear();
+        p.starting_url = crate::features::test_pages::url("http://xgh-3321.tk/v/f?x=1");
+        p.landing_url = p.starting_url.clone();
+        p.redirection_chain = vec![p.starting_url.clone()];
+        let ident = TargetIdentifier::new(engine());
+        assert_eq!(ident.identify(&p), TargetVerdict::Unknown);
+    }
+
+    #[test]
+    fn composable_paper_examples() {
+        let kt = |s: &[&str]| s.iter().map(|t| t.to_string()).collect::<Vec<_>>();
+        // bankofamerica from {bank, america}: "of" is filler.
+        assert!(composable("bankofamerica", &kt(&["bank", "america"])));
+        // Dash and digit separators.
+        assert!(composable("pay-pal2secure", &kt(&["pay", "pal", "secure"])));
+        // Not composable from unrelated terms.
+        assert!(!composable("bankofamerica", &kt(&["weather", "forecast"])));
+        // Requires at least one keyterm.
+        assert!(!composable("ab", &kt(&["weather"])));
+        assert!(!composable("bank", &[]));
+    }
+
+    #[test]
+    fn composable_rejects_long_fillers() {
+        let kt = vec!["bank".to_string()];
+        assert!(!composable("bankinternational", &kt));
+        assert!(composable("bank-24", &kt));
+    }
+
+    #[test]
+    fn image_based_phish_found_via_ocr() {
+        let mut p = phish();
+        // Strip HTML text/title so steps 2-3 have nothing to work with;
+        // brand only on the screenshot and in external links.
+        p.text = String::new();
+        p.title = String::new();
+        p.copyright = None;
+        p.screenshot_text = "PayPal sign in paypal secure payments paypal".into();
+        let cfg = TargetIdentifierConfig {
+            ocr: kyp_web::ocr::OcrConfig {
+                substitution_rate: 0.0,
+                drop_rate: 0.0,
+                word_loss_rate: 0.0,
+                seed: 0,
+            },
+            ..TargetIdentifierConfig::default()
+        };
+        let ident = TargetIdentifier::with_config(engine(), cfg);
+        let verdict = ident.identify(&p);
+        assert_eq!(verdict.top_target(), Some("paypal"), "got {verdict:?}");
+    }
+
+    #[test]
+    fn candidates_capped_at_max() {
+        let ident = TargetIdentifier::new(engine());
+        if let TargetVerdict::Phish { candidates } = ident.identify(&phish()) {
+            assert!(candidates.len() <= 3);
+            // Ranked: appearances non-increasing.
+            for w in candidates.windows(2) {
+                assert!(w[0].appearances >= w[1].appearances);
+            }
+        } else {
+            panic!("expected phish verdict");
+        }
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        let v = TargetVerdict::Phish {
+            candidates: vec![
+                TargetCandidate {
+                    mld: "paypal".into(),
+                    rdn: "paypal.com".into(),
+                    appearances: 9,
+                },
+                TargetCandidate {
+                    mld: "mybank".into(),
+                    rdn: "mybank.com".into(),
+                    appearances: 2,
+                },
+            ],
+        };
+        assert_eq!(v.top_target(), Some("paypal"));
+        assert!(v.has_target_in_top("mybank", 2));
+        assert!(!v.has_target_in_top("mybank", 1));
+        assert_eq!(TargetVerdict::Unknown.top_target(), None);
+    }
+}

@@ -1,0 +1,264 @@
+//! The synthetic brand corpus: the services phishing campaigns target.
+//!
+//! The paper's `phishBrand` set covers 126 distinct targets; this corpus
+//! provides 130+ synthetic brands with realistic name shapes (single-word,
+//! compound, hyphenated) across the sectors phishers actually hit
+//! (payments, banking, email, social, e-commerce, ...). All names are
+//! fabricated; structural realism is what matters to the features.
+
+use serde::{Deserialize, Serialize};
+
+/// Business sector of a brand; drives its page vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Sector {
+    /// Online payments and money transfer.
+    Payments,
+    /// Retail banking.
+    Banking,
+    /// Web mail and messaging.
+    Email,
+    /// Social networking.
+    Social,
+    /// Online shopping.
+    Ecommerce,
+    /// Parcel delivery and logistics.
+    Logistics,
+    /// Streaming and gaming.
+    Entertainment,
+    /// Telecom and utilities.
+    Telecom,
+}
+
+impl Sector {
+    /// English vocabulary characteristic of the sector (brand pages and
+    /// phish mimicking them sprinkle these terms).
+    pub fn keywords(&self) -> &'static [&'static str] {
+        match self {
+            Sector::Payments => &["payment", "money", "transfer", "wallet", "balance", "send"],
+            Sector::Banking => &["banking", "account", "credit", "loan", "mortgage", "branch"],
+            Sector::Email => &["mail", "inbox", "message", "contact", "folder", "compose"],
+            Sector::Social => &["friends", "profile", "share", "photo", "message", "follow"],
+            Sector::Ecommerce => &["shop", "cart", "order", "shipping", "deal", "product"],
+            Sector::Logistics => &[
+                "parcel", "tracking", "delivery", "shipment", "courier", "pickup",
+            ],
+            Sector::Entertainment => &["stream", "watch", "play", "game", "movie", "series"],
+            Sector::Telecom => &["mobile", "plan", "data", "roaming", "contract", "phone"],
+        }
+    }
+}
+
+/// One brand: a service with a registered domain phishers impersonate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Brand {
+    /// The mld of the brand's domain, e.g. `paypago`.
+    pub name: String,
+    /// Human display name, e.g. `PayPago`.
+    pub display: String,
+    /// The registered domain, e.g. `paypago.com`.
+    pub domain: String,
+    /// Business sector.
+    pub sector: Sector,
+}
+
+impl Brand {
+    fn new(name: &str, display: &str, suffix: &str, sector: Sector) -> Self {
+        Brand {
+            name: name.to_owned(),
+            display: display.to_owned(),
+            domain: format!("{name}.{suffix}"),
+            sector,
+        }
+    }
+
+    /// The brand's terms as they appear after canonicalisation (e.g.
+    /// `pay-safe` → `["pay", "safe"]`).
+    pub fn terms(&self) -> Vec<String> {
+        kyp_text::extract_terms(&self.display)
+    }
+}
+
+/// The standard brand corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrandCorpus {
+    brands: Vec<Brand>,
+}
+
+impl BrandCorpus {
+    /// Builds the standard 130-brand corpus (deterministic).
+    pub fn standard() -> Self {
+        let mut brands = Vec::new();
+
+        // Hand-shaped anchor brands covering the common name shapes.
+        let anchors: &[(&str, &str, &str, Sector)] = &[
+            ("paypago", "PayPago", "com", Sector::Payments),
+            ("moneygrid", "MoneyGrid", "com", Sector::Payments),
+            ("swiftcoin", "SwiftCoin", "io", Sector::Payments),
+            ("bankofarcadia", "Bank of Arcadia", "com", Sector::Banking),
+            ("northbank", "NorthBank", "com", Sector::Banking),
+            (
+                "creditunion-plus",
+                "CreditUnion Plus",
+                "org",
+                Sector::Banking,
+            ),
+            ("firstmeridian", "First Meridian", "com", Sector::Banking),
+            ("mailhaven", "MailHaven", "com", Sector::Email),
+            ("postalo", "Postalo", "net", Sector::Email),
+            ("chattersphere", "ChatterSphere", "com", Sector::Social),
+            ("linkloop", "LinkLoop", "com", Sector::Social),
+            ("shoporama", "Shoporama", "com", Sector::Ecommerce),
+            ("megamarket", "MegaMarket", "com", Sector::Ecommerce),
+            ("auctionline", "AuctionLine", "com", Sector::Ecommerce),
+            ("parcelwing", "ParcelWing", "com", Sector::Logistics),
+            ("expressroute", "ExpressRoute", "com", Sector::Logistics),
+            ("streamvale", "StreamVale", "com", Sector::Entertainment),
+            ("gamerealm", "GameRealm", "com", Sector::Entertainment),
+            ("telenova", "TeleNova", "com", Sector::Telecom),
+            ("mobiline", "MobiLine", "com", Sector::Telecom),
+        ];
+        for (name, display, suffix, sector) in anchors {
+            brands.push(Brand::new(name, display, suffix, *sector));
+        }
+
+        // Programmatic brands: first × second part combinations, cycled
+        // through sectors and suffixes for variety.
+        const FIRST: [&str; 11] = [
+            "pay", "bank", "shop", "mail", "cloud", "trade", "coin", "swift", "nova", "prime",
+            "metro",
+        ];
+        const SECOND: [&str; 10] = [
+            "pal", "zone", "hub", "line", "port", "center", "express", "direct", "one", "go",
+        ];
+        const SECTORS: [Sector; 8] = [
+            Sector::Payments,
+            Sector::Banking,
+            Sector::Email,
+            Sector::Social,
+            Sector::Ecommerce,
+            Sector::Logistics,
+            Sector::Entertainment,
+            Sector::Telecom,
+        ];
+        const SUFFIXES: [&str; 5] = ["com", "net", "io", "co", "org"];
+        for (i, first) in FIRST.iter().enumerate() {
+            for (j, second) in SECOND.iter().enumerate() {
+                let name = format!("{first}{second}");
+                if brands.iter().any(|b: &Brand| b.name == name) {
+                    continue;
+                }
+                let display = format!("{}{}", capitalize(first), capitalize(second));
+                let sector = SECTORS[(i * SECOND.len() + j) % SECTORS.len()];
+                let suffix = SUFFIXES[(i + j) % SUFFIXES.len()];
+                brands.push(Brand::new(&name, &display, suffix, sector));
+            }
+        }
+        BrandCorpus { brands }
+    }
+
+    /// All brands.
+    pub fn brands(&self) -> &[Brand] {
+        &self.brands
+    }
+
+    /// Number of brands.
+    pub fn len(&self) -> usize {
+        self.brands.len()
+    }
+
+    /// `true` when the corpus is empty (never for `standard`).
+    pub fn is_empty(&self) -> bool {
+        self.brands.is_empty()
+    }
+
+    /// Brand at index `i % len` (convenient cyclic access for generators).
+    pub fn cyclic(&self, i: usize) -> &Brand {
+        &self.brands[i % self.brands.len()]
+    }
+
+    /// Finds a brand by mld name.
+    pub fn by_name(&self, name: &str) -> Option<&Brand> {
+        self.brands.iter().find(|b| b.name == name)
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_large_enough_for_phishbrand() {
+        let c = BrandCorpus::standard();
+        assert!(c.len() >= 126, "need ≥126 targets, got {}", c.len());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = BrandCorpus::standard();
+        let names: std::collections::HashSet<&str> =
+            c.brands().iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names.len(), c.len());
+    }
+
+    #[test]
+    fn domains_parse_with_brand_mld() {
+        let c = BrandCorpus::standard();
+        for b in c.brands() {
+            let url = kyp_url::Url::parse(&format!("https://{}/", b.domain)).unwrap();
+            assert_eq!(url.mld(), Some(b.name.as_str()), "{}", b.domain);
+        }
+    }
+
+    #[test]
+    fn compound_brand_terms() {
+        let c = BrandCorpus::standard();
+        let boa = c.by_name("bankofarcadia").unwrap();
+        assert_eq!(boa.terms(), ["bank", "arcadia"]);
+        let pp = c.by_name("paypago").unwrap();
+        assert_eq!(pp.terms(), ["paypago"]);
+    }
+
+    #[test]
+    fn cyclic_access_wraps() {
+        let c = BrandCorpus::standard();
+        assert_eq!(c.cyclic(0).name, c.cyclic(c.len()).name);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            BrandCorpus::standard().brands().len(),
+            BrandCorpus::standard().brands().len()
+        );
+        assert_eq!(
+            BrandCorpus::standard().brands()[42],
+            BrandCorpus::standard().brands()[42]
+        );
+    }
+
+    #[test]
+    fn sector_keywords_nonempty() {
+        for s in [
+            Sector::Payments,
+            Sector::Banking,
+            Sector::Email,
+            Sector::Social,
+            Sector::Ecommerce,
+            Sector::Logistics,
+            Sector::Entertainment,
+            Sector::Telecom,
+        ] {
+            assert!(s.keywords().len() >= 4);
+        }
+    }
+}

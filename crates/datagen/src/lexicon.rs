@@ -1,0 +1,665 @@
+//! Per-language word pools used by the page generators.
+//!
+//! The paper's language-independence claim (Table VI covers English,
+//! French, German, Portuguese, Italian and Spanish) requires corpora whose
+//! term statistics differ per language — including accented characters
+//! that exercise the canonicalisation of Section III-B.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The six evaluation languages of the paper's Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// English (the training language).
+    English,
+    /// French.
+    French,
+    /// German.
+    German,
+    /// Italian.
+    Italian,
+    /// Portuguese.
+    Portuguese,
+    /// Spanish.
+    Spanish,
+}
+
+impl Language {
+    /// All six languages, English first (the paper trains on English).
+    pub const ALL: [Language; 6] = [
+        Language::English,
+        Language::French,
+        Language::German,
+        Language::Italian,
+        Language::Portuguese,
+        Language::Spanish,
+    ];
+
+    /// Display name used in experiment output (matches Table VI rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Language::English => "English",
+            Language::French => "French",
+            Language::German => "German",
+            Language::Italian => "Italian",
+            Language::Portuguese => "Portuguese",
+            Language::Spanish => "Spanish",
+        }
+    }
+
+    /// Common prose words of the language (with native diacritics).
+    pub fn common_words(&self) -> &'static [&'static str] {
+        match self {
+            Language::English => EN_COMMON,
+            Language::French => FR_COMMON,
+            Language::German => DE_COMMON,
+            Language::Italian => IT_COMMON,
+            Language::Portuguese => PT_COMMON,
+            Language::Spanish => ES_COMMON,
+        }
+    }
+
+    /// Web/service vocabulary (login, account, ...) in the language.
+    pub fn service_words(&self) -> &'static [&'static str] {
+        match self {
+            Language::English => EN_SERVICE,
+            Language::French => FR_SERVICE,
+            Language::German => DE_SERVICE,
+            Language::Italian => IT_SERVICE,
+            Language::Portuguese => PT_SERVICE,
+            Language::Spanish => ES_SERVICE,
+        }
+    }
+
+    /// ISO-639-ish path code used for localised site sections
+    /// (`brand.com/fr/...`); empty for English (the default section).
+    pub fn path_code(&self) -> &'static str {
+        match self {
+            Language::English => "",
+            Language::French => "fr",
+            Language::German => "de",
+            Language::Italian => "it",
+            Language::Portuguese => "pt",
+            Language::Spanish => "es",
+        }
+    }
+
+    /// The language's "welcome" phrase for page headings.
+    pub fn welcome(&self) -> &'static str {
+        match self {
+            Language::English => "Welcome to",
+            Language::French => "Bienvenue sur",
+            Language::German => "Willkommen bei",
+            Language::Italian => "Benvenuto su",
+            Language::Portuguese => "Bem-vindo ao",
+            Language::Spanish => "Bienvenido a",
+        }
+    }
+}
+
+/// Samples `n` words from the language's prose pool.
+pub fn sample_words<R: Rng>(rng: &mut R, language: Language, n: usize) -> Vec<&'static str> {
+    let pool = language.common_words();
+    (0..n)
+        .map(|_| *pool.choose(rng).expect("non-empty pool"))
+        .collect()
+}
+
+/// Samples a sentence of `n` prose words with `k` service words mixed in.
+pub fn sample_sentence<R: Rng>(rng: &mut R, language: Language, n: usize, k: usize) -> String {
+    let mut words: Vec<&str> = sample_words(rng, language, n);
+    let service = language.service_words();
+    for _ in 0..k {
+        let pos = rng.gen_range(0..=words.len());
+        words.insert(pos, service.choose(rng).expect("non-empty pool"));
+    }
+    words.join(" ")
+}
+
+/// ASCII-only short tokens for generated domain names.
+pub const DOMAIN_TOKENS: &[&str] = &[
+    "web", "net", "data", "info", "media", "tech", "digital", "online", "portal", "hub", "group",
+    "lab", "soft", "apps", "cloud", "host", "link", "zone", "base", "core", "prime", "smart",
+    "fast", "easy", "true", "blue", "red", "green", "nord", "star", "alpha", "delta", "omega",
+    "metro", "urban", "terra", "aqua", "solar", "lunar", "pixel",
+];
+
+/// Public suffixes used for generated legitimate domains, per language.
+pub fn legit_suffixes(language: Language) -> &'static [&'static str] {
+    match language {
+        Language::English => &["com", "org", "net", "io", "co", "us", "info"],
+        Language::French => &["fr", "com", "net", "org"],
+        Language::German => &["de", "com", "net", "org"],
+        Language::Italian => &["it", "com", "net", "org"],
+        Language::Portuguese => &["pt", "com.br", "com", "net"],
+        Language::Spanish => &["es", "com", "net", "com.ar"],
+    }
+}
+
+/// Cheap/abused suffixes phishers favour.
+pub const PHISH_SUFFIXES: &[&str] = &[
+    "tk", "ml", "ga", "cf", "gq", "xyz", "top", "pw", "info", "click",
+];
+
+const EN_COMMON: &[&str] = &[
+    "the",
+    "house",
+    "world",
+    "people",
+    "time",
+    "year",
+    "market",
+    "report",
+    "story",
+    "water",
+    "family",
+    "music",
+    "garden",
+    "travel",
+    "school",
+    "street",
+    "mountain",
+    "river",
+    "company",
+    "weather",
+    "morning",
+    "evening",
+    "winter",
+    "summer",
+    "football",
+    "theatre",
+    "kitchen",
+    "holiday",
+    "science",
+    "history",
+    "nature",
+    "village",
+    "island",
+    "doctor",
+    "teacher",
+    "window",
+    "bridge",
+    "forest",
+    "animal",
+    "flower",
+    "coffee",
+    "dinner",
+    "letter",
+    "number",
+    "picture",
+    "question",
+    "answer",
+    "moment",
+    "reason",
+    "project",
+    "student",
+    "culture",
+    "economy",
+    "election",
+    "government",
+    "industry",
+    "quality",
+    "journey",
+    "library",
+    "museum",
+];
+const EN_SERVICE: &[&str] = &[
+    "login", "account", "secure", "password", "payment", "billing", "support", "service", "update",
+    "verify", "signin", "customer", "profile", "settings", "checkout", "wallet",
+];
+
+const FR_COMMON: &[&str] = &[
+    "maison",
+    "monde",
+    "gens",
+    "temps",
+    "année",
+    "marché",
+    "rapport",
+    "histoire",
+    "eau",
+    "famille",
+    "musique",
+    "jardin",
+    "voyage",
+    "école",
+    "rue",
+    "montagne",
+    "rivière",
+    "société",
+    "météo",
+    "matin",
+    "soir",
+    "hiver",
+    "été",
+    "théâtre",
+    "cuisine",
+    "vacances",
+    "science",
+    "nature",
+    "village",
+    "île",
+    "médecin",
+    "professeur",
+    "fenêtre",
+    "pont",
+    "forêt",
+    "animal",
+    "fleur",
+    "café",
+    "dîner",
+    "lettre",
+    "numéro",
+    "image",
+    "question",
+    "réponse",
+    "moment",
+    "raison",
+    "projet",
+    "étudiant",
+    "culture",
+    "économie",
+    "élection",
+    "gouvernement",
+    "industrie",
+    "qualité",
+    "bibliothèque",
+    "musée",
+    "santé",
+    "journée",
+];
+const FR_SERVICE: &[&str] = &[
+    "connexion",
+    "compte",
+    "sécurisé",
+    "motdepasse",
+    "paiement",
+    "facturation",
+    "assistance",
+    "service",
+    "miseàjour",
+    "vérifier",
+    "identifiant",
+    "client",
+    "profil",
+    "paramètres",
+];
+
+const DE_COMMON: &[&str] = &[
+    "haus",
+    "welt",
+    "leute",
+    "zeit",
+    "jahr",
+    "markt",
+    "bericht",
+    "geschichte",
+    "wasser",
+    "familie",
+    "musik",
+    "garten",
+    "reise",
+    "schule",
+    "straße",
+    "berg",
+    "fluss",
+    "firma",
+    "wetter",
+    "morgen",
+    "abend",
+    "winter",
+    "sommer",
+    "fußball",
+    "theater",
+    "küche",
+    "urlaub",
+    "wissenschaft",
+    "natur",
+    "dorf",
+    "insel",
+    "arzt",
+    "lehrer",
+    "fenster",
+    "brücke",
+    "wald",
+    "tier",
+    "blume",
+    "kaffee",
+    "abendessen",
+    "brief",
+    "nummer",
+    "bild",
+    "frage",
+    "antwort",
+    "moment",
+    "grund",
+    "projekt",
+    "student",
+    "kultur",
+    "wirtschaft",
+    "wahl",
+    "regierung",
+    "industrie",
+    "qualität",
+    "bibliothek",
+    "museum",
+    "gesundheit",
+];
+const DE_SERVICE: &[&str] = &[
+    "anmeldung",
+    "konto",
+    "sicher",
+    "passwort",
+    "zahlung",
+    "rechnung",
+    "unterstützung",
+    "dienst",
+    "aktualisierung",
+    "bestätigen",
+    "kunde",
+    "profil",
+    "einstellungen",
+    "kasse",
+];
+
+const IT_COMMON: &[&str] = &[
+    "casa",
+    "mondo",
+    "gente",
+    "tempo",
+    "anno",
+    "mercato",
+    "rapporto",
+    "storia",
+    "acqua",
+    "famiglia",
+    "musica",
+    "giardino",
+    "viaggio",
+    "scuola",
+    "strada",
+    "montagna",
+    "fiume",
+    "società",
+    "meteo",
+    "mattina",
+    "sera",
+    "inverno",
+    "estate",
+    "calcio",
+    "teatro",
+    "cucina",
+    "vacanza",
+    "scienza",
+    "natura",
+    "villaggio",
+    "isola",
+    "medico",
+    "maestro",
+    "finestra",
+    "ponte",
+    "foresta",
+    "animale",
+    "fiore",
+    "caffè",
+    "cena",
+    "lettera",
+    "numero",
+    "immagine",
+    "domanda",
+    "risposta",
+    "momento",
+    "ragione",
+    "progetto",
+    "studente",
+    "cultura",
+    "economia",
+    "elezione",
+    "governo",
+    "industria",
+    "qualità",
+    "biblioteca",
+    "museo",
+    "salute",
+    "giornata",
+    "città",
+];
+const IT_SERVICE: &[&str] = &[
+    "accesso",
+    "conto",
+    "sicuro",
+    "password",
+    "pagamento",
+    "fattura",
+    "assistenza",
+    "servizio",
+    "aggiornamento",
+    "verificare",
+    "cliente",
+    "profilo",
+    "impostazioni",
+];
+
+const PT_COMMON: &[&str] = &[
+    "casa",
+    "mundo",
+    "pessoas",
+    "tempo",
+    "ano",
+    "mercado",
+    "relatório",
+    "história",
+    "água",
+    "família",
+    "música",
+    "jardim",
+    "viagem",
+    "escola",
+    "rua",
+    "montanha",
+    "rio",
+    "empresa",
+    "clima",
+    "manhã",
+    "noite",
+    "inverno",
+    "verão",
+    "futebol",
+    "teatro",
+    "cozinha",
+    "férias",
+    "ciência",
+    "natureza",
+    "aldeia",
+    "ilha",
+    "médico",
+    "professor",
+    "janela",
+    "ponte",
+    "floresta",
+    "animal",
+    "flor",
+    "café",
+    "jantar",
+    "carta",
+    "número",
+    "imagem",
+    "pergunta",
+    "resposta",
+    "momento",
+    "razão",
+    "projeto",
+    "estudante",
+    "cultura",
+    "economia",
+    "eleição",
+    "governo",
+    "indústria",
+    "qualidade",
+    "biblioteca",
+    "museu",
+    "saúde",
+    "cidade",
+    "coração",
+];
+const PT_SERVICE: &[&str] = &[
+    "entrar",
+    "conta",
+    "seguro",
+    "senha",
+    "pagamento",
+    "fatura",
+    "suporte",
+    "serviço",
+    "atualização",
+    "verificar",
+    "cliente",
+    "perfil",
+    "configurações",
+    "carteira",
+];
+
+const ES_COMMON: &[&str] = &[
+    "casa",
+    "mundo",
+    "gente",
+    "tiempo",
+    "año",
+    "mercado",
+    "informe",
+    "historia",
+    "agua",
+    "familia",
+    "música",
+    "jardín",
+    "viaje",
+    "escuela",
+    "calle",
+    "montaña",
+    "río",
+    "empresa",
+    "clima",
+    "mañana",
+    "noche",
+    "invierno",
+    "verano",
+    "fútbol",
+    "teatro",
+    "cocina",
+    "vacaciones",
+    "ciencia",
+    "naturaleza",
+    "pueblo",
+    "isla",
+    "médico",
+    "profesor",
+    "ventana",
+    "puente",
+    "bosque",
+    "animal",
+    "flor",
+    "café",
+    "cena",
+    "carta",
+    "número",
+    "imagen",
+    "pregunta",
+    "respuesta",
+    "momento",
+    "razón",
+    "proyecto",
+    "estudiante",
+    "cultura",
+    "economía",
+    "elección",
+    "gobierno",
+    "industria",
+    "calidad",
+    "biblioteca",
+    "museo",
+    "salud",
+    "ciudad",
+    "corazón",
+];
+const ES_SERVICE: &[&str] = &[
+    "acceso",
+    "cuenta",
+    "seguro",
+    "contraseña",
+    "pago",
+    "factura",
+    "soporte",
+    "servicio",
+    "actualización",
+    "verificar",
+    "cliente",
+    "perfil",
+    "ajustes",
+    "cartera",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn all_languages_have_pools() {
+        for lang in Language::ALL {
+            assert!(lang.common_words().len() >= 50, "{}", lang.name());
+            assert!(lang.service_words().len() >= 10, "{}", lang.name());
+            assert!(!lang.welcome().is_empty());
+            assert!(!legit_suffixes(lang).is_empty());
+        }
+    }
+
+    #[test]
+    fn non_english_pools_carry_diacritics() {
+        for lang in [
+            Language::French,
+            Language::German,
+            Language::Italian,
+            Language::Portuguese,
+            Language::Spanish,
+        ] {
+            let has_accents = lang.common_words().iter().any(|w| !w.is_ascii());
+            assert!(
+                has_accents,
+                "{} pool should exercise canonicalisation",
+                lang.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(
+            sample_sentence(&mut a, Language::French, 10, 2),
+            sample_sentence(&mut b, Language::French, 10, 2)
+        );
+    }
+
+    #[test]
+    fn sentence_mixes_service_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = sample_sentence(&mut rng, Language::English, 5, 3);
+        assert_eq!(s.split(' ').count(), 8);
+    }
+
+    #[test]
+    fn suffixes_are_valid_psl_entries() {
+        for lang in Language::ALL {
+            for s in legit_suffixes(lang) {
+                assert!(kyp_url::psl::is_public_suffix(s), "{s}");
+            }
+        }
+        for s in PHISH_SUFFIXES {
+            assert!(kyp_url::psl::is_public_suffix(s), "{s}");
+        }
+    }
+}

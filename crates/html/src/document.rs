@@ -1,0 +1,302 @@
+use crate::tokenizer::{Token, Tokenizer};
+
+/// The data sources extracted from a page's HTML (paper Section II-C).
+///
+/// See the [crate docs](crate) for an overview and an example.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    title: String,
+    text: String,
+    href_links: Vec<String>,
+    resource_links: Vec<String>,
+    copyright: Option<String>,
+    input_count: usize,
+    image_count: usize,
+    iframe_count: usize,
+}
+
+impl Document {
+    /// Parses HTML source and extracts every data source in one pass.
+    ///
+    /// The parser is forgiving: unknown tags are ignored, missing `<body>`
+    /// means all text outside `<head>` counts as body text, and broken
+    /// markup degrades to text.
+    pub fn parse(html: &str) -> Self {
+        let mut doc = Document::default();
+        let mut in_title = false;
+        let mut in_head = false;
+        let mut text_parts: Vec<String> = Vec::new();
+
+        for token in Tokenizer::new(html) {
+            match token {
+                Token::StartTag { name, attrs, .. } => match name.as_str() {
+                    "head" => in_head = true,
+                    "title" => in_title = true,
+                    "a" | "area" => {
+                        if let Some(href) = attr(&attrs, "href") {
+                            if !href.is_empty() && !href.starts_with('#') {
+                                doc.href_links.push(href.to_owned());
+                            }
+                        }
+                    }
+                    "img" => {
+                        doc.image_count += 1;
+                        if let Some(src) = attr(&attrs, "src") {
+                            if !src.is_empty() {
+                                doc.resource_links.push(src.to_owned());
+                            }
+                        }
+                    }
+                    "script" | "embed" | "source" | "audio" | "video" => {
+                        if let Some(src) = attr(&attrs, "src") {
+                            if !src.is_empty() {
+                                doc.resource_links.push(src.to_owned());
+                            }
+                        }
+                    }
+                    "link" => {
+                        if let Some(href) = attr(&attrs, "href") {
+                            if !href.is_empty() {
+                                doc.resource_links.push(href.to_owned());
+                            }
+                        }
+                    }
+                    "iframe" | "frame" => {
+                        doc.iframe_count += 1;
+                        if let Some(src) = attr(&attrs, "src") {
+                            if !src.is_empty() {
+                                doc.resource_links.push(src.to_owned());
+                            }
+                        }
+                    }
+                    "input" | "textarea" | "select" => {
+                        // Only fields that collect user data count
+                        // (phishing pages exist to harvest input).
+                        let non_data = attr(&attrs, "type").is_some_and(|t| {
+                            matches!(t, "hidden" | "submit" | "button" | "reset" | "image")
+                        });
+                        if !non_data {
+                            doc.input_count += 1;
+                        }
+                    }
+                    _ => {}
+                },
+                Token::EndTag { name } => match name.as_str() {
+                    "head" => in_head = false,
+                    "title" => in_title = false,
+                    _ => {}
+                },
+                Token::Text(t) => {
+                    if in_title {
+                        doc.title.push_str(&t);
+                    } else if !in_head {
+                        let trimmed = t.trim();
+                        if !trimmed.is_empty() {
+                            text_parts.push(trimmed.to_owned());
+                        }
+                    }
+                }
+                Token::RawText(_) => {}
+            }
+        }
+
+        doc.text = text_parts.join(" ");
+        doc.title = doc.title.trim().to_owned();
+        doc.copyright = find_copyright(&doc.text);
+        doc
+    }
+
+    /// The `<title>` content (paper data source *Title*).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The rendered body text (paper data source *Text*).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Raw `href` targets of outgoing links (paper data source *HREF links*).
+    pub fn href_links(&self) -> &[String] {
+        &self.href_links
+    }
+
+    /// Raw URLs of embedded resources a browser would fetch while loading
+    /// the page — the seed of the *logged links* data source.
+    pub fn resource_links(&self) -> &[String] {
+        &self.resource_links
+    }
+
+    /// The copyright notice found in the text, if any.
+    pub fn copyright(&self) -> Option<&str> {
+        self.copyright.as_deref()
+    }
+
+    /// Number of visible input fields (feature set *f5*).
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Number of images (feature set *f5*).
+    pub fn image_count(&self) -> usize {
+        self.image_count
+    }
+
+    /// Number of iframes/frames (feature set *f5*).
+    pub fn iframe_count(&self) -> usize {
+        self.iframe_count
+    }
+}
+
+fn attr<'a>(attrs: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Finds the copyright notice inside rendered text: the sentence-ish
+/// segment around `©`, `(c)` or the word "copyright".
+fn find_copyright(text: &str) -> Option<String> {
+    // Byte offsets must index `text` itself: Unicode lowercasing can
+    // change byte lengths, so case-insensitive matching is done in place.
+    let idx = text
+        .find('©')
+        .or_else(|| find_ascii_ci(text, "copyright"))
+        .or_else(|| find_ascii_ci(text, "(c)"))?;
+    // Expand to segment boundaries (periods or end of string), capped to a
+    // reasonable notice length.
+    let start = text[..idx].rfind('.').map_or(0, |i| i + 1);
+    let end = text[idx..].find('.').map_or(text.len(), |i| idx + i);
+    let notice = text[start..end].trim();
+    let notice: String = notice.chars().take(200).collect();
+    (!notice.is_empty()).then_some(notice)
+}
+
+/// Byte offset of the first ASCII-case-insensitive occurrence of `pat`.
+fn find_ascii_ci(haystack: &str, pat: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let p = pat.as_bytes();
+    if p.is_empty() || p.len() > h.len() {
+        return None;
+    }
+    (0..=h.len() - p.len()).find(|&i| h[i..i + p.len()].eq_ignore_ascii_case(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r##"<!DOCTYPE html>
+<html><head>
+  <title> Example Bank — Sign in </title>
+  <link rel="stylesheet" href="/css/main.css">
+  <script src="https://cdn.example.net/lib.js"></script>
+</head>
+<body>
+  <h1>Welcome to Example Bank</h1>
+  <p>Access your account securely.</p>
+  <a href="/accounts">Accounts</a>
+  <a href="https://partner.example.org/offers">Offers</a>
+  <a href="#top">top</a>
+  <form><input type="text" name="user"><input type="password" name="pw">
+        <input type="hidden" name="csrf"></form>
+  <img src="/img/logo.png"><img src="https://cdn.example.net/hero.jpg">
+  <iframe src="https://ads.example.ad/frame"></iframe>
+  <footer>© 2015 Example Bank Inc. All rights reserved.</footer>
+</body></html>"##;
+
+    #[test]
+    fn extracts_title() {
+        let doc = Document::parse(PAGE);
+        assert_eq!(doc.title(), "Example Bank — Sign in");
+    }
+
+    #[test]
+    fn extracts_text_without_head_or_scripts() {
+        let doc = Document::parse(PAGE);
+        assert!(doc.text().contains("Welcome to Example Bank"));
+        assert!(doc.text().contains("Access your account securely."));
+        assert!(!doc.text().contains("stylesheet"));
+        assert!(!doc.text().contains("lib.js"));
+    }
+
+    #[test]
+    fn extracts_href_links_skipping_fragments() {
+        let doc = Document::parse(PAGE);
+        assert_eq!(
+            doc.href_links(),
+            ["/accounts", "https://partner.example.org/offers"]
+        );
+    }
+
+    #[test]
+    fn extracts_resource_links() {
+        let doc = Document::parse(PAGE);
+        assert_eq!(
+            doc.resource_links(),
+            [
+                "/css/main.css",
+                "https://cdn.example.net/lib.js",
+                "/img/logo.png",
+                "https://cdn.example.net/hero.jpg",
+                "https://ads.example.ad/frame",
+            ]
+        );
+    }
+
+    #[test]
+    fn counts_f5_elements() {
+        let doc = Document::parse(PAGE);
+        assert_eq!(doc.input_count(), 2, "hidden input must not count");
+        assert_eq!(doc.image_count(), 2);
+        assert_eq!(doc.iframe_count(), 1);
+    }
+
+    #[test]
+    fn finds_copyright() {
+        let doc = Document::parse(PAGE);
+        let c = doc.copyright().unwrap();
+        assert!(c.contains("Example Bank Inc"), "got {c:?}");
+    }
+
+    #[test]
+    fn copyright_word_form() {
+        let doc = Document::parse("<body>Copyright 2015 Acme Corp. Other text.</body>");
+        assert_eq!(doc.copyright(), Some("Copyright 2015 Acme Corp"));
+    }
+
+    #[test]
+    fn no_copyright() {
+        let doc = Document::parse("<body>hello world</body>");
+        assert_eq!(doc.copyright(), None);
+    }
+
+    #[test]
+    fn empty_page() {
+        let doc = Document::parse("");
+        assert_eq!(doc.title(), "");
+        assert_eq!(doc.text(), "");
+        assert!(doc.href_links().is_empty());
+        assert_eq!(doc.input_count(), 0);
+    }
+
+    #[test]
+    fn text_without_body_tag() {
+        let doc = Document::parse("<p>loose text</p>");
+        assert_eq!(doc.text(), "loose text");
+    }
+
+    #[test]
+    fn textarea_and_select_count_as_inputs() {
+        let doc = Document::parse("<body><textarea></textarea><select></select></body>");
+        assert_eq!(doc.input_count(), 2);
+    }
+
+    #[test]
+    fn entities_in_text_and_title() {
+        let doc = Document::parse("<title>A &amp; B</title><body>caf&eacute;</body>");
+        assert_eq!(doc.title(), "A & B");
+        assert_eq!(doc.text(), "café");
+    }
+}

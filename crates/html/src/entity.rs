@@ -1,0 +1,125 @@
+//! Minimal HTML entity decoding — the named entities our generators emit
+//! plus numeric character references.
+
+/// Decodes HTML entities in `input`.
+///
+/// Handles the common named entities (`&amp;`, `&lt;`, `&gt;`, `&quot;`,
+/// `&apos;`, `&nbsp;`, `&copy;`, `&reg;`, accented-letter entities like
+/// `&eacute;`) and numeric references (`&#233;`, `&#x00E9;`). Unknown
+/// entities are passed through verbatim.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(kyp_html::decode_entities("caf&eacute; &copy; 2015"), "café © 2015");
+/// assert_eq!(kyp_html::decode_entities("1 &lt; 2 &amp;&amp; 3 &gt; 2"), "1 < 2 && 3 > 2");
+/// ```
+pub fn decode_entities(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut rest = input;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        match decode_one(rest) {
+            Some((c, consumed)) => {
+                out.push(c);
+                rest = &rest[consumed..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Tries to decode a single entity at the start of `s` (which begins with
+/// `&`). Returns the character and the number of bytes consumed.
+fn decode_one(s: &str) -> Option<(char, usize)> {
+    let end = s[1..].find(';')? + 1;
+    if end > 12 {
+        return None; // entities are short; avoid scanning far ahead
+    }
+    let name = &s[1..end];
+    let c = if let Some(num) = name.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix(['x', 'X']) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            num.parse::<u32>().ok()?
+        };
+        char::from_u32(code)?
+    } else {
+        match name {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            "nbsp" => ' ',
+            "copy" => '©',
+            "reg" => '®',
+            "trade" => '™',
+            "eacute" => 'é',
+            "egrave" => 'è',
+            "agrave" => 'à',
+            "ccedil" => 'ç',
+            "uuml" => 'ü',
+            "ouml" => 'ö',
+            "auml" => 'ä',
+            "szlig" => 'ß',
+            "ntilde" => 'ñ',
+            "atilde" => 'ã',
+            "otilde" => 'õ',
+            "iacute" => 'í',
+            "oacute" => 'ó',
+            "uacute" => 'ú',
+            "aacute" => 'á',
+            _ => return None,
+        }
+    };
+    Some((c, end + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_entities() {
+        assert_eq!(decode_entities("&lt;b&gt;"), "<b>");
+        assert_eq!(decode_entities("a &amp; b"), "a & b");
+        assert_eq!(decode_entities("&quot;x&quot;"), "\"x\"");
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(decode_entities("&#65;"), "A");
+        assert_eq!(decode_entities("&#x41;"), "A");
+        assert_eq!(decode_entities("&#233;"), "é");
+    }
+
+    #[test]
+    fn unknown_entity_passes_through() {
+        assert_eq!(decode_entities("&bogus; &"), "&bogus; &");
+        assert_eq!(decode_entities("fish & chips"), "fish & chips");
+    }
+
+    #[test]
+    fn accented_entities() {
+        assert_eq!(decode_entities("&eacute;&uuml;&ntilde;"), "éüñ");
+    }
+
+    #[test]
+    fn no_entities_is_identity() {
+        assert_eq!(decode_entities("plain text"), "plain text");
+        assert_eq!(decode_entities(""), "");
+    }
+
+    #[test]
+    fn invalid_numeric_reference() {
+        assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode_entities("&#1114112;"), "&#1114112;"); // out of range
+    }
+}

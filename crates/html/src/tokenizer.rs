@@ -1,0 +1,349 @@
+//! A forgiving, single-pass HTML tokenizer.
+//!
+//! Produces a flat stream of start tags (with attributes), end tags and
+//! text runs. Comments and doctypes are skipped; the contents of `script`
+//! and `style` elements are consumed as raw text and emitted as
+//! [`Token::RawText`] so they never pollute the rendered-text extraction.
+
+/// One token of the HTML input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="value" ...>`; `self_closing` is true for `<br/>`.
+    StartTag {
+        /// Lowercased tag name.
+        name: String,
+        /// Attribute name/value pairs, names lowercased, values
+        /// entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>` with the name lowercased.
+    EndTag {
+        /// Lowercased tag name.
+        name: String,
+    },
+    /// A run of document text, entity-decoded.
+    Text(String),
+    /// The raw contents of a `<script>` or `<style>` element.
+    RawText(String),
+}
+
+/// Streaming tokenizer over an HTML string.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_html::{Token, Tokenizer};
+/// let tokens: Vec<Token> = Tokenizer::new("<p>hi</p>").collect();
+/// assert_eq!(tokens.len(), 3);
+/// assert_eq!(tokens[1], Token::Text("hi".into()));
+/// ```
+#[derive(Debug)]
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Set when the previous start tag opened a raw-text element
+    /// (`script`/`style`); holds the closing tag to look for.
+    pending_raw: Option<&'static str>,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            pos: 0,
+            pending_raw: None,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn take_raw_text(&mut self, close: &str) -> Token {
+        let rest = self.rest();
+        let lower = rest.to_ascii_lowercase();
+        match lower.find(close) {
+            Some(idx) => {
+                let content = &rest[..idx];
+                self.pos += idx;
+                Token::RawText(content.to_owned())
+            }
+            None => {
+                self.pos = self.input.len();
+                Token::RawText(rest.to_owned())
+            }
+        }
+    }
+
+    fn take_tag(&mut self) -> Option<Token> {
+        // self.rest() starts with '<'.
+        let rest = self.rest();
+        let bytes = rest.as_bytes();
+        if rest.starts_with("<!--") {
+            // Comment: skip to -->.
+            match rest.find("-->") {
+                Some(idx) => self.pos += idx + 3,
+                None => self.pos = self.input.len(),
+            }
+            return self.next();
+        }
+        if rest.starts_with("<!") || rest.starts_with("<?") {
+            // Doctype / processing instruction: skip to '>'.
+            match rest.find('>') {
+                Some(idx) => self.pos += idx + 1,
+                None => self.pos = self.input.len(),
+            }
+            return self.next();
+        }
+        let closing = bytes.get(1) == Some(&b'/');
+        let name_start = if closing { 2 } else { 1 };
+        // A '<' not followed by a letter is literal text.
+        match bytes.get(name_start) {
+            Some(c) if c.is_ascii_alphabetic() => {}
+            _ => {
+                self.pos += 1;
+                return Some(Token::Text("<".to_owned()));
+            }
+        }
+        let tag_end = match rest.find('>') {
+            Some(idx) => idx,
+            None => {
+                // Unterminated tag: treat the rest as text.
+                self.pos = self.input.len();
+                return Some(Token::Text(rest.to_owned()));
+            }
+        };
+        let inner = &rest[name_start..tag_end];
+        self.pos += tag_end + 1;
+
+        let mut chars = inner.char_indices();
+        let name_end = chars
+            .find(|(_, c)| !c.is_ascii_alphanumeric())
+            .map_or(inner.len(), |(i, _)| i);
+        let name = inner[..name_end].to_ascii_lowercase();
+        if closing {
+            return Some(Token::EndTag { name });
+        }
+        let attr_str = &inner[name_end..];
+        let self_closing = attr_str.trim_end().ends_with('/');
+        let attrs = parse_attrs(attr_str.trim_end_matches('/'));
+        if name == "script" && !self_closing {
+            self.pending_raw = Some("</script");
+        } else if name == "style" && !self_closing {
+            self.pending_raw = Some("</style");
+        }
+        Some(Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        })
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        if let Some(close) = self.pending_raw.take() {
+            let tok = self.take_raw_text(close);
+            if let Token::RawText(ref t) = tok {
+                if t.is_empty() {
+                    return self.next();
+                }
+            }
+            return Some(tok);
+        }
+        if self.pos >= self.input.len() {
+            return None;
+        }
+        if self.rest().starts_with('<') {
+            return self.take_tag();
+        }
+        let rest = self.rest();
+        let end = rest.find('<').unwrap_or(rest.len());
+        let text = &rest[..end];
+        self.pos += end;
+        Some(Token::Text(crate::entity::decode_entities(text)))
+    }
+}
+
+fn parse_attrs(input: &str) -> Vec<(String, String)> {
+    let b = input.as_bytes();
+    let mut attrs = Vec::new();
+    let mut i = 0;
+    let n = b.len();
+    while i < n {
+        // Skip whitespace between attributes.
+        while i < n && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= n {
+            break;
+        }
+        // Attribute name: up to '=', whitespace or end.
+        let name_start = i;
+        while i < n && b[i] != b'=' && !b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name = input[name_start..i].to_ascii_lowercase();
+        // Skip whitespace before a possible '='.
+        let mut j = i;
+        while j < n && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let mut value = String::new();
+        if j < n && b[j] == b'=' {
+            j += 1;
+            while j < n && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < n && (b[j] == b'"' || b[j] == b'\'') {
+                let quote = b[j];
+                j += 1;
+                let v_start = j;
+                while j < n && b[j] != quote {
+                    j += 1;
+                }
+                value = crate::entity::decode_entities(&input[v_start..j]);
+                if j < n {
+                    j += 1; // closing quote
+                }
+            } else {
+                let v_start = j;
+                while j < n && !b[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                value = crate::entity::decode_entities(&input[v_start..j]);
+            }
+            i = j;
+        }
+        if !name.is_empty() {
+            attrs.push((name, value));
+        }
+    }
+    attrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(html: &str) -> Vec<Token> {
+        Tokenizer::new(html).collect()
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = tokens("<p>hello</p>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag {
+                    name: "p".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
+                Token::Text("hello".into()),
+                Token::EndTag { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_unquoted() {
+        let toks = tokens(r#"<a href="https://x.com/a" class=link id='z'>go</a>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "a");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("href".to_string(), "https://x.com/a".to_string()),
+                        ("class".to_string(), "link".to_string()),
+                        ("id".to_string(), "z".to_string()),
+                    ]
+                );
+            }
+            t => panic!("unexpected token {t:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing_and_void() {
+        let toks = tokens(r#"<img src="/x.png"/><br>"#);
+        assert!(matches!(
+            &toks[0],
+            Token::StartTag { name, self_closing: true, .. } if name == "img"
+        ));
+        assert!(matches!(
+            &toks[1],
+            Token::StartTag { name, self_closing: false, .. } if name == "br"
+        ));
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let toks = tokens("<!DOCTYPE html><!-- hidden <b>bold</b> -->text");
+        assert_eq!(toks, vec![Token::Text("text".into())]);
+    }
+
+    #[test]
+    fn script_content_is_raw() {
+        let toks = tokens("<script>var a = '<p>not html</p>';</script>after");
+        assert_eq!(toks.len(), 4);
+        assert!(matches!(&toks[1], Token::RawText(t) if t.contains("not html")));
+        assert_eq!(toks[3], Token::Text("after".into()));
+    }
+
+    #[test]
+    fn style_content_is_raw() {
+        let toks = tokens("<style>p { color: red }</style>");
+        assert!(matches!(&toks[1], Token::RawText(t) if t.contains("color")));
+    }
+
+    #[test]
+    fn entities_decoded_in_text() {
+        let toks = tokens("<p>a &amp; b</p>");
+        assert_eq!(toks[1], Token::Text("a & b".into()));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokens("1 < 2");
+        let text: String = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Text(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(text, "1 < 2");
+    }
+
+    #[test]
+    fn unterminated_tag_is_text() {
+        let toks = tokens("before <a href=");
+        assert!(toks.len() >= 2);
+    }
+
+    #[test]
+    fn unterminated_script() {
+        let toks = tokens("<script>never closed");
+        assert!(matches!(&toks[1], Token::RawText(t) if t.contains("never")));
+    }
+
+    #[test]
+    fn case_insensitive_tags() {
+        let toks = tokens("<DIV CLASS=\"x\"></DIV>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "div"));
+        assert!(matches!(&toks[1], Token::EndTag { name } if name == "div"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokens("").is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Stratified k-fold cross-validation (the paper's *scenario 1*).
+
+use crate::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Assigns each example to one of `k` folds, stratified by label so every
+/// fold preserves the class ratio.
+///
+/// Returns a fold index per example.
+///
+/// # Panics
+///
+/// Panics when `k < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let labels = vec![true, false, true, false, true, false];
+/// let folds = kyp_ml::cv::stratified_folds(&labels, 3, 1);
+/// assert_eq!(folds.len(), 6);
+/// assert!(folds.iter().all(|&f| f < 3));
+/// ```
+pub fn stratified_folds(labels: &[bool], k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut folds = vec![0usize; labels.len()];
+    for class in [true, false] {
+        let mut idx: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        idx.shuffle(&mut rng);
+        for (pos, i) in idx.into_iter().enumerate() {
+            folds[i] = pos % k;
+        }
+    }
+    folds
+}
+
+/// The train/test split for one fold.
+#[derive(Debug, Clone)]
+pub struct FoldSplit {
+    /// Training rows (all folds but `fold`).
+    pub train: Vec<usize>,
+    /// Held-out rows (fold `fold`).
+    pub test: Vec<usize>,
+}
+
+/// Produces the `k` train/test splits for a fold assignment.
+pub fn fold_splits(folds: &[usize], k: usize) -> Vec<FoldSplit> {
+    (0..k)
+        .map(|fold| {
+            let (test, train): (Vec<usize>, Vec<usize>) =
+                (0..folds.len()).partition(|&i| folds[i] == fold);
+            FoldSplit { train, test }
+        })
+        .collect()
+}
+
+/// Runs k-fold cross-validation: `fit_predict(train, test)` must return a
+/// score per test row. Returns pooled `(scores, labels)` over all folds,
+/// ready for [`metrics`](crate::metrics).
+pub fn cross_validate<F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    mut fit_predict: F,
+) -> (Vec<f64>, Vec<bool>)
+where
+    F: FnMut(&Dataset, &Dataset) -> Vec<f64>,
+{
+    let folds = stratified_folds(data.labels(), k, seed);
+    let mut all_scores = Vec::with_capacity(data.len());
+    let mut all_labels = Vec::with_capacity(data.len());
+    for split in fold_splits(&folds, k) {
+        let train = data.select_rows(&split.train);
+        let test = data.select_rows(&split.test);
+        let scores = fit_predict(&train, &test);
+        assert_eq!(
+            scores.len(),
+            test.len(),
+            "fit_predict must score every test row"
+        );
+        all_scores.extend(scores);
+        all_labels.extend(test.labels().iter().copied());
+    }
+    (all_scores, all_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n_pos: usize, n_neg: usize) -> Vec<bool> {
+        let mut l = vec![true; n_pos];
+        l.extend(vec![false; n_neg]);
+        l
+    }
+
+    #[test]
+    fn folds_cover_all_examples() {
+        let l = labels(50, 200);
+        let folds = stratified_folds(&l, 5, 0);
+        assert_eq!(folds.len(), 250);
+        for fold in 0..5 {
+            assert!(folds.contains(&fold));
+        }
+    }
+
+    #[test]
+    fn stratification_preserves_ratio() {
+        let l = labels(100, 400);
+        let folds = stratified_folds(&l, 5, 3);
+        for fold in 0..5 {
+            let pos = l
+                .iter()
+                .zip(&folds)
+                .filter(|&(&y, &f)| y && f == fold)
+                .count();
+            let neg = l
+                .iter()
+                .zip(&folds)
+                .filter(|&(&y, &f)| !y && f == fold)
+                .count();
+            assert_eq!(pos, 20);
+            assert_eq!(neg, 80);
+        }
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_complete() {
+        let l = labels(10, 30);
+        let folds = stratified_folds(&l, 4, 9);
+        for split in fold_splits(&folds, 4) {
+            assert_eq!(split.train.len() + split.test.len(), 40);
+            let mut seen: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..40).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let l = labels(20, 20);
+        assert_eq!(stratified_folds(&l, 4, 5), stratified_folds(&l, 4, 5));
+        assert_ne!(stratified_folds(&l, 4, 5), stratified_folds(&l, 4, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn k_one_panics() {
+        stratified_folds(&[true, false], 1, 0);
+    }
+
+    #[test]
+    fn cross_validate_pools_all_rows() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push_row(&[i as f64], i % 2 == 0);
+        }
+        let (scores, labels) = cross_validate(&d, 5, 0, |_train, test| {
+            // Trivial "model": score = feature value.
+            (0..test.len()).map(|i| test.row(i)[0]).collect()
+        });
+        assert_eq!(scores.len(), 100);
+        assert_eq!(labels.len(), 100);
+        assert_eq!(labels.iter().filter(|&&l| l).count(), 50);
+    }
+}

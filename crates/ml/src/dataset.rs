@@ -1,0 +1,218 @@
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major feature matrix with binary labels.
+///
+/// Labels follow the paper's convention: `true` = phishing, `false` =
+/// legitimate.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_ml::Dataset;
+/// let mut d = Dataset::new(3);
+/// d.push_row(&[1.0, 2.0, 3.0], true);
+/// d.push_row(&[4.0, 5.0, 6.0], false);
+/// assert_eq!(d.len(), 2);
+/// assert_eq!(d.row(1), &[4.0, 5.0, 6.0]);
+/// assert_eq!(d.positives(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    n_features: usize,
+    x: Vec<f64>,
+    y: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with `n_features` columns.
+    pub fn new(n_features: usize) -> Self {
+        Dataset {
+            n_features,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Creates an empty dataset with capacity for `rows` rows.
+    pub fn with_capacity(n_features: usize, rows: usize) -> Self {
+        Dataset {
+            n_features,
+            x: Vec::with_capacity(n_features * rows),
+            y: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Appends one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features.len() != n_features`.
+    pub fn push_row(&mut self, features: &[f64], label: bool) {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "expected {} features, got {}",
+            self.n_features,
+            features.len()
+        );
+        self.x.extend_from_slice(features);
+        self.y.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// `true` when the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The feature vector of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The label of example `i` (`true` = phishing).
+    pub fn label(&self, i: usize) -> bool {
+        self.y[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.y
+    }
+
+    /// Count of positive (phishing) examples.
+    pub fn positives(&self) -> usize {
+        self.y.iter().filter(|&&l| l).count()
+    }
+
+    /// Count of negative (legitimate) examples.
+    pub fn negatives(&self) -> usize {
+        self.len() - self.positives()
+    }
+
+    /// A new dataset containing only the given feature columns, in the
+    /// given order (used for the per-feature-set evaluation of Table VII).
+    pub fn select_features(&self, columns: &[usize]) -> Dataset {
+        let mut out = Dataset::with_capacity(columns.len(), self.len());
+        let mut buf = vec![0.0; columns.len()];
+        for i in 0..self.len() {
+            let row = self.row(i);
+            for (k, &c) in columns.iter().enumerate() {
+                buf[k] = row[c];
+            }
+            out.push_row(&buf, self.y[i]);
+        }
+        out
+    }
+
+    /// A new dataset containing only the given example rows.
+    pub fn select_rows(&self, rows: &[usize]) -> Dataset {
+        let mut out = Dataset::with_capacity(self.n_features, rows.len());
+        for &i in rows {
+            out.push_row(self.row(i), self.y[i]);
+        }
+        out
+    }
+
+    /// Appends every example of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when feature counts differ.
+    pub fn append(&mut self, other: &Dataset) {
+        assert_eq!(self.n_features, other.n_features);
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+    }
+
+    /// Iterates over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool)> + '_ {
+        (0..self.len()).map(move |i| (self.row(i), self.y[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(2);
+        d.push_row(&[1.0, 10.0], true);
+        d.push_row(&[2.0, 20.0], false);
+        d.push_row(&[3.0, 30.0], true);
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(2), &[3.0, 30.0]);
+        assert!(d.label(0));
+        assert!(!d.label(1));
+        assert_eq!(d.positives(), 2);
+        assert_eq!(d.negatives(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 features")]
+    fn wrong_width_panics() {
+        let mut d = Dataset::new(2);
+        d.push_row(&[1.0], true);
+    }
+
+    #[test]
+    fn select_features_reorders() {
+        let d = sample();
+        let s = d.select_features(&[1, 0]);
+        assert_eq!(s.row(0), &[10.0, 1.0]);
+        assert_eq!(s.labels(), d.labels());
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let d = sample();
+        let s = d.select_rows(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[3.0, 30.0]);
+        assert!(s.label(1));
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = sample();
+        let b = sample();
+        a.append(&b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.row(5), &[3.0, 30.0]);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let d = sample();
+        let rows: Vec<_> = d.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], (&[2.0, 20.0][..], false));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(4);
+        assert!(d.is_empty());
+        assert_eq!(d.positives(), 0);
+    }
+}

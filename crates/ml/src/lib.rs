@@ -1,0 +1,46 @@
+//! Machine-learning substrate for the *Know Your Phish* reproduction.
+//!
+//! The paper (Section IV-C) classifies webpages with **Gradient
+//! Boosting** (Friedman 2002): an ensemble of shallow regression trees
+//! fitted iteratively to the gradient of a logistic loss, producing a
+//! confidence value in `[0, 1]` that is compared against a discrimination
+//! threshold (0.7 in the paper, favouring the *legitimate* class).
+//!
+//! The crate provides everything the reproduction needs and nothing more:
+//!
+//! - [`Dataset`] — a dense feature matrix with binary labels,
+//! - [`GradientBoosting`] — stochastic gradient boosting with
+//!   histogram-binned exact splits and Newton leaf values,
+//! - [`SparseLogisticRegression`] — the online linear baseline used by the
+//!   Ma-et-al.-style comparison system,
+//! - [`metrics`] — precision/recall/F1/FPR, ROC, AUC and P-R curves,
+//! - [`cv`] — stratified k-fold cross-validation.
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_ml::{Dataset, GradientBoosting, GbmParams};
+//!
+//! // A linearly separable toy problem.
+//! let mut data = Dataset::new(2);
+//! for i in 0..200 {
+//!     let v = i as f64 / 100.0;
+//!     data.push_row(&[v, -v], v > 1.0);
+//! }
+//! let model = GradientBoosting::fit(&data, &GbmParams::default());
+//! assert!(model.predict_proba(&[1.8, -1.8]) > 0.7);
+//! assert!(model.predict_proba(&[0.2, -0.2]) < 0.3);
+//! ```
+
+mod dataset;
+mod gbm;
+mod logreg;
+mod tree;
+
+pub mod cv;
+pub mod metrics;
+
+pub use dataset::Dataset;
+pub use gbm::{GbmParams, GradientBoosting};
+pub use logreg::{hash_feature, SparseLogisticRegression};
+pub use tree::RegressionTree;

@@ -1,0 +1,308 @@
+//! Classification metrics: the quantities reported in the paper's Tables
+//! VI and VII (precision, recall, F1, false-positive rate, AUC) and the
+//! curves of Figs. 3–5 (precision-recall and ROC).
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix; positives are phishing pages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Phish classified as phish.
+    pub tp: usize,
+    /// Legitimate classified as phish (the costly error).
+    pub fp: usize,
+    /// Legitimate classified as legitimate.
+    pub tn: usize,
+    /// Phish classified as legitimate.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from scores at a discrimination
+    /// threshold: `score >= threshold` predicts phishing.
+    pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&s, &y) in scores.iter().zip(labels) {
+            match (s >= threshold, y) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision: `tp / (tp + fp)`; 1.0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall (true-positive rate): `tp / (tp + fn)`; 1.0 without positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score: the harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// False-positive rate: `fp / (fp + tn)`; 0.0 without negatives.
+    pub fn fpr(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fp as f64 / denom as f64
+        }
+    }
+
+    /// Accuracy: `(tp + tn) / total`.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Total number of scored examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// The ROC curve: `(fpr, tpr)` points for decreasing thresholds, starting
+/// at `(0, 0)` and ending at `(1, 1)` (Fig. 4 / Fig. 5 of the paper).
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return vec![(0.0, 0.0), (1.0, 1.0)];
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut curve = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        // Process ties in one block so the curve is threshold-consistent.
+        let s = scores[order[i]];
+        while i < order.len() && scores[order[i]] == s {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push((fp as f64 / neg as f64, tp as f64 / pos as f64));
+    }
+    curve
+}
+
+/// Area under the ROC curve via the Mann-Whitney statistic (ties counted
+/// half). Returns 0.5 when one class is absent.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Rank-based computation, O(n log n).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let s = scores[order[i]];
+        let start = i;
+        while i < order.len() && scores[order[i]] == s {
+            i += 1;
+        }
+        // Average rank for the tie block (1-based ranks).
+        let avg_rank = (start + 1 + i) as f64 / 2.0;
+        for &idx in &order[start..i] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+    }
+    let pos_f = pos as f64;
+    let neg_f = neg as f64;
+    (rank_sum_pos - pos_f * (pos_f + 1.0) / 2.0) / (pos_f * neg_f)
+}
+
+/// Precision-recall points for decreasing thresholds (Fig. 3).
+pub fn precision_recall_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut curve = Vec::new();
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let s = scores[order[i]];
+        while i < order.len() && scores[order[i]] == s {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / pos as f64;
+        curve.push((precision, recall));
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_basic() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.7);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.fpr(), 0.5);
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let scores = [1.0, 1.0, 0.0, 0.0];
+        let labels = [true, true, false, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_zero() {
+        let scores = [0.0, 0.0, 1.0, 1.0];
+        let labels = [true, true, false, false];
+        assert_eq!(auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn random_scores_auc_half_with_ties() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert_eq!(auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_matches_trapezoid_on_roc() {
+        let scores = [0.9, 0.7, 0.6, 0.55, 0.4, 0.2];
+        let labels = [true, true, false, true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        let mut trap = 0.0;
+        for w in curve.windows(2) {
+            trap += (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0;
+        }
+        assert!((auc(&scores, &labels) - trap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_starts_and_ends_correctly() {
+        let scores = [0.8, 0.6, 0.4, 0.2];
+        let labels = [true, false, true, false];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        // Monotone in both coordinates.
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_class() {
+        let scores = [0.5, 0.6];
+        let labels = [true, true];
+        assert_eq!(auc(&scores, &labels), 0.5);
+        assert_eq!(roc_curve(&scores, &labels), vec![(0.0, 0.0), (1.0, 1.0)]);
+        let c = Confusion::at_threshold(&scores, &labels, 0.7);
+        assert_eq!(c.fpr(), 0.0);
+    }
+
+    #[test]
+    fn pr_curve_recall_reaches_one() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let curve = precision_recall_curve(&scores, &labels);
+        assert_eq!(curve.last().map(|p| p.1), Some(1.0));
+        // First point: only the top score predicted positive → precision 1.
+        assert_eq!(curve.first(), Some(&(1.0, 0.5)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = Confusion::at_threshold(&[], &[], 0.5);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+        assert!(precision_recall_curve(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn threshold_inclusive() {
+        let c = Confusion::at_threshold(&[0.7], &[true], 0.7);
+        assert_eq!(c.tp, 1, "score == threshold predicts positive");
+    }
+}

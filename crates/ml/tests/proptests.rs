@@ -1,0 +1,108 @@
+//! Property-based tests for the ML substrate: probability bounds,
+//! metric identities and cross-validation integrity on random data.
+
+use kyp_ml::{cv, metrics, Dataset, GbmParams, GradientBoosting, RegressionTree};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    // 2-feature datasets with both classes guaranteed present.
+    proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, any::<bool>()), 20..80).prop_map(|rows| {
+        let mut d = Dataset::new(2);
+        for (a, b, y) in rows {
+            d.push_row(&[a, b], y);
+        }
+        // Force both classes.
+        d.push_row(&[0.0, 0.0], true);
+        d.push_row(&[1.0, 1.0], false);
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Predicted probabilities always stay in [0, 1], on and off the
+    /// training manifold.
+    #[test]
+    fn gbm_probabilities_bounded(data in dataset_strategy(), probe in proptest::collection::vec(-10.0f64..10.0, 2)) {
+        let model = GradientBoosting::fit(&data, &GbmParams { n_trees: 15, ..Default::default() });
+        for i in 0..data.len() {
+            let p = model.predict_proba(data.row(i));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        let p = model.predict_proba(&probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// Feature importances are a distribution (non-negative, sum ≤ 1).
+    #[test]
+    fn importances_normalised(data in dataset_strategy()) {
+        let model = GradientBoosting::fit(&data, &GbmParams { n_trees: 10, ..Default::default() });
+        let imp = model.feature_importance();
+        prop_assert_eq!(imp.len(), 2);
+        prop_assert!(imp.iter().all(|&v| v >= 0.0));
+        let sum: f64 = imp.iter().sum();
+        prop_assert!(sum <= 1.0 + 1e-9);
+    }
+
+    /// A regression tree's prediction is always within the range of its
+    /// training targets (piecewise means cannot extrapolate).
+    #[test]
+    fn tree_predictions_within_target_range(
+        targets in proptest::collection::vec(-5.0f64..5.0, 10..60),
+        probe in -10.0f64..10.0,
+    ) {
+        let mut d = Dataset::new(1);
+        for (i, _) in targets.iter().enumerate() {
+            d.push_row(&[i as f64], false);
+        }
+        let tree = RegressionTree::fit(&d, &targets, 4);
+        let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let pred = tree.predict(&[probe]);
+        prop_assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9, "{pred} outside [{lo}, {hi}]");
+    }
+
+    /// AUC is antisymmetric under label flip: AUC(s, y) = 1 − AUC(s, ¬y).
+    #[test]
+    fn auc_label_flip(
+        scores in proptest::collection::vec(0.0f64..1.0, 6..50),
+    ) {
+        let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 3 == 0).collect();
+        let flipped: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let a = metrics::auc(&scores, &labels);
+        let b = metrics::auc(&scores, &flipped);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+    }
+
+    /// Confusion counts always partition the dataset.
+    #[test]
+    fn confusion_partitions(
+        scores in proptest::collection::vec(0.0f64..1.0, 1..60),
+        threshold in 0.0f64..1.0,
+    ) {
+        let labels: Vec<bool> = scores.iter().map(|s| *s > 0.5).collect();
+        let c = metrics::Confusion::at_threshold(&scores, &labels, threshold);
+        prop_assert_eq!(c.total(), scores.len());
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert!((0.0..=1.0).contains(&c.fpr()));
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+    }
+
+    /// Every example lands in exactly one CV test fold.
+    #[test]
+    fn cv_folds_partition(n_pos in 5usize..30, n_neg in 5usize..30, k in 2usize..6) {
+        let mut labels = vec![true; n_pos];
+        labels.extend(vec![false; n_neg]);
+        let folds = cv::stratified_folds(&labels, k, 1);
+        let splits = cv::fold_splits(&folds, k);
+        let mut seen = vec![0usize; labels.len()];
+        for split in &splits {
+            for &i in &split.test {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,315 @@
+//! A search-engine substrate for the *Know Your Phish* target
+//! identification component.
+//!
+//! The paper's target identifier (Section V-B) queries a web search engine
+//! with keyterms and inspects the registered domain names (RDNs) of the
+//! results, under the assumption that *a search engine does not return a
+//! phishing site as a top hit* — fresh phish are not yet indexed, old
+//! phish are already blacklisted.
+//!
+//! Offline we realise that assumption literally: [`SearchEngine`] is an
+//! inverted index with TF-IDF ranking over the **legitimate** corpus only.
+//! The query interface matches what the identification process needs:
+//! keyterm queries returning ranked RDNs ([`SearchEngine::query`]) and
+//! domain-guess lookups ([`SearchEngine::query_domain`], paper Step 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_search::SearchEngine;
+//!
+//! let mut engine = SearchEngine::new();
+//! engine.index_page("bankofamerica.com", "bankofamerica",
+//!                   "bank of america sign in online banking america");
+//! engine.index_page("weather.com", "weather", "weather forecast rain sun");
+//!
+//! let hits = engine.query(&["bank".into(), "america".into()], 3);
+//! assert_eq!(hits[0].rdn, "bankofamerica.com");
+//! ```
+
+use kyp_text::extract_terms;
+use std::collections::HashMap;
+
+/// One search result: a registered domain with its relevance score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Registered domain name of the result, e.g. `bankofamerica.com`.
+    pub rdn: String,
+    /// Main level domain of the result, e.g. `bankofamerica`.
+    pub mld: String,
+    /// TF-IDF relevance score (higher is better).
+    pub score: f64,
+}
+
+#[derive(Debug, Clone)]
+struct DocInfo {
+    rdn: String,
+    mld: String,
+    norm: f64,
+}
+
+/// An inverted-index search engine over indexed pages.
+///
+/// See the [crate docs](crate) for the role this plays and an example.
+#[derive(Debug, Clone, Default)]
+pub struct SearchEngine {
+    docs: Vec<DocInfo>,
+    /// term → (document id, term frequency) postings.
+    postings: HashMap<String, Vec<(u32, f64)>>,
+}
+
+impl SearchEngine {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes one page: its RDN, mld and searchable text (title, body,
+    /// domain terms — whatever the caller deems visible to a crawler).
+    pub fn index_page(&mut self, rdn: &str, mld: &str, text: &str) {
+        let id = self.docs.len() as u32;
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        // Domain terms are searchable too, like a real engine.
+        for term in extract_terms(text).into_iter().chain(extract_terms(rdn)) {
+            *tf.entry(term).or_insert(0.0) += 1.0;
+        }
+        let norm = tf.values().map(|c| c * c).sum::<f64>().sqrt().max(1.0);
+        for (term, count) in tf {
+            self.postings.entry(term).or_default().push((id, count));
+        }
+        self.docs.push(DocInfo {
+            rdn: rdn.to_owned(),
+            mld: mld.to_owned(),
+            norm,
+        });
+    }
+
+    /// Number of indexed pages.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        let df = self.postings.get(term).map_or(0, Vec::len) as f64;
+        let n = self.docs.len() as f64;
+        ((1.0 + n) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// Queries the index with keyterms, returning the top-`k` distinct
+    /// RDNs by TF-IDF cosine score (paper Steps 2–4).
+    pub fn query(&self, terms: &[String], k: usize) -> Vec<SearchHit> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for term in terms {
+            let idf = self.idf(term);
+            if let Some(post) = self.postings.get(term.as_str()) {
+                for &(doc, tf) in post {
+                    *scores.entry(doc).or_insert(0.0) += tf * idf * idf;
+                }
+            }
+        }
+        let mut scored: Vec<(u32, f64)> = scores
+            .into_iter()
+            .map(|(d, s)| (d, s / self.docs[d as usize].norm))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    self.docs[a.0 as usize]
+                        .rdn
+                        .cmp(&self.docs[b.0 as usize].rdn)
+                })
+        });
+        let mut hits: Vec<SearchHit> = Vec::new();
+        for (doc, score) in scored {
+            let info = &self.docs[doc as usize];
+            if hits.iter().any(|h| h.rdn == info.rdn) {
+                continue;
+            }
+            hits.push(SearchHit {
+                rdn: info.rdn.clone(),
+                mld: info.mld.clone(),
+                score,
+            });
+            if hits.len() >= k {
+                break;
+            }
+        }
+        hits
+    }
+
+    /// Looks up a guessed domain (paper Step 1): returns hits whose RDN or
+    /// mld matches the guess's registrable part.
+    ///
+    /// The guess may be a bare FQDN like `bankofamerica.com` or
+    /// `www.bankofamerica.com`.
+    pub fn query_domain(&self, guess: &str, k: usize) -> Vec<SearchHit> {
+        let guess = guess.trim().trim_end_matches('.').to_ascii_lowercase();
+        let guess_mld = guess
+            .rsplit('.')
+            .nth(1)
+            .unwrap_or(guess.as_str())
+            .to_owned();
+        let mut hits = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for info in &self.docs {
+            let matched = guess == info.rdn
+                || guess.ends_with(&format!(".{}", info.rdn))
+                || info.mld == guess_mld
+                || info.mld == guess;
+            if matched && seen.insert(info.rdn.clone()) {
+                hits.push(SearchHit {
+                    rdn: info.rdn.clone(),
+                    mld: info.mld.clone(),
+                    score: 1.0,
+                });
+                if hits.len() >= k {
+                    break;
+                }
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SearchEngine {
+        let mut e = SearchEngine::new();
+        e.index_page(
+            "bankofamerica.com",
+            "bankofamerica",
+            "bank of america online banking sign in secure america bank",
+        );
+        e.index_page(
+            "paypal.com",
+            "paypal",
+            "paypal send money online payments account login",
+        );
+        e.index_page("weather.com", "weather", "weather forecast rain sun cloud");
+        e
+    }
+
+    #[test]
+    fn keyterm_query_ranks_relevant_site_first() {
+        let e = engine();
+        let hits = e.query(&["bank".into(), "america".into(), "banking".into()], 3);
+        assert_eq!(hits[0].rdn, "bankofamerica.com");
+        assert_eq!(hits[0].mld, "bankofamerica");
+    }
+
+    #[test]
+    fn unrelated_terms_return_nothing() {
+        let e = engine();
+        assert!(e.query(&["zebra".into()], 3).is_empty());
+        assert!(e.query(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn distinctive_term_beats_common_term() {
+        let mut e = SearchEngine::new();
+        e.index_page("a.com", "a", "login login login login paypal");
+        e.index_page("b.com", "b", "login");
+        e.index_page("c.com", "c", "login");
+        let hits = e.query(&["paypal".into()], 2);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rdn, "a.com");
+    }
+
+    #[test]
+    fn query_domain_exact_and_fqdn() {
+        let e = engine();
+        let hits = e.query_domain("bankofamerica.com", 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rdn, "bankofamerica.com");
+        let www = e.query_domain("www.paypal.com", 3);
+        assert_eq!(www[0].rdn, "paypal.com");
+    }
+
+    #[test]
+    fn query_domain_matches_mld_across_tld() {
+        let e = engine();
+        // A guess with the wrong TLD still surfaces the brand site.
+        let hits = e.query_domain("paypal.net", 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rdn, "paypal.com");
+    }
+
+    #[test]
+    fn query_domain_unknown() {
+        let e = engine();
+        assert!(e.query_domain("totally-unknown.xyz", 3).is_empty());
+    }
+
+    #[test]
+    fn multiple_pages_same_rdn_dedup() {
+        let mut e = SearchEngine::new();
+        e.index_page("x.com", "x", "alpha beta");
+        e.index_page("x.com", "x", "alpha gamma");
+        let hits = e.query(&["alpha".into()], 5);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn domain_terms_are_searchable() {
+        let mut e = SearchEngine::new();
+        e.index_page("stripebank.io", "stripebank", "welcome to our site");
+        let hits = e.query(&["stripebank".into()], 3);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_query_terms_do_not_double_count_ranking() {
+        // Repeating a query term scores it twice, but ordering against a
+        // clearly better document must not flip.
+        let e = engine();
+        let once = e.query(&["bank".into(), "america".into()], 3);
+        let dup = e.query(&["bank".into(), "bank".into(), "america".into()], 3);
+        assert_eq!(once[0].rdn, dup[0].rdn);
+    }
+
+    #[test]
+    fn scores_are_positive_and_ordered() {
+        let e = engine();
+        let hits = e.query(&["online".into(), "account".into()], 5);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert!(hits.iter().all(|h| h.score > 0.0));
+    }
+
+    #[test]
+    fn empty_engine_is_silent() {
+        let e = SearchEngine::new();
+        assert!(e.is_empty());
+        assert!(e.query(&["anything".into()], 5).is_empty());
+        assert!(e.query_domain("paypago.com", 5).is_empty());
+    }
+
+    #[test]
+    fn query_domain_trailing_dot_and_case() {
+        let e = engine();
+        assert_eq!(e.query_domain("PayPal.COM.", 3).len(), 1);
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let mut e = SearchEngine::new();
+        for i in 0..10 {
+            e.index_page(
+                &format!("site{i}.com"),
+                &format!("site{i}"),
+                "common word here",
+            );
+        }
+        assert_eq!(e.query(&["common".into()], 3).len(), 3);
+        assert_eq!(e.len(), 10);
+    }
+}

@@ -1,0 +1,127 @@
+//! Character canonicalisation: map upper case, accented and "special"
+//! letters to a matching letter in `{a..z}` (paper Section III-B).
+
+/// Canonicalises a single character.
+///
+/// Returns `Some(letter)` with `letter ∈ [a-z]` when the character is a
+/// letter that has a natural ASCII counterpart — plain ASCII letters,
+/// Latin-1 and Latin-Extended-A accented letters, and a handful of Greek
+/// look-alikes the paper's example mentions (`β → b`). Returns `None` for
+/// everything else (digits, punctuation, whitespace, CJK, ...), which acts
+/// as a term separator.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_text::canonicalize_char;
+/// assert_eq!(canonicalize_char('B'), Some('b'));
+/// assert_eq!(canonicalize_char('é'), Some('e'));
+/// assert_eq!(canonicalize_char('ß'), Some('s'));
+/// assert_eq!(canonicalize_char('4'), None);
+/// ```
+pub fn canonicalize_char(c: char) -> Option<char> {
+    if c.is_ascii_lowercase() {
+        return Some(c);
+    }
+    if c.is_ascii_uppercase() {
+        return Some(c.to_ascii_lowercase());
+    }
+    // Fold case first so we only have to table lowercase code points.
+    let c = c.to_lowercase().next().unwrap_or(c);
+    let mapped = match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' | 'æ' | 'α' => 'a',
+        'β' => 'b',
+        'ç' | 'ć' | 'ĉ' | 'ċ' | 'č' => 'c',
+        'ď' | 'đ' | 'ð' | 'δ' => 'd',
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' | 'ε' | 'η' => 'e',
+        'ĝ' | 'ğ' | 'ġ' | 'ģ' | 'γ' => 'g',
+        'ĥ' | 'ħ' => 'h',
+        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' | 'ı' | 'ι' => 'i',
+        'ĵ' => 'j',
+        'ķ' | 'κ' => 'k',
+        'ĺ' | 'ļ' | 'ľ' | 'ŀ' | 'ł' | 'λ' => 'l',
+        'μ' => 'm',
+        'ñ' | 'ń' | 'ņ' | 'ň' | 'ŋ' | 'ν' => 'n',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ŏ' | 'ő' | 'œ' | 'ο' | 'ω' => 'o',
+        'π' | 'ρ' => 'p',
+        'ŕ' | 'ŗ' | 'ř' => 'r',
+        'ś' | 'ŝ' | 'ş' | 'š' | 'ß' | 'σ' | 'ς' => 's',
+        'ţ' | 'ť' | 'ŧ' | 'þ' | 'τ' => 't',
+        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' | 'ű' | 'ų' | 'υ' => 'u',
+        'ŵ' => 'w',
+        'χ' | 'ξ' => 'x',
+        'ý' | 'ÿ' | 'ŷ' => 'y',
+        'ź' | 'ż' | 'ž' | 'ζ' => 'z',
+        _ => return None,
+    };
+    Some(mapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_letters_pass_through() {
+        for c in 'a'..='z' {
+            assert_eq!(canonicalize_char(c), Some(c));
+        }
+        for c in 'A'..='Z' {
+            assert_eq!(canonicalize_char(c), Some(c.to_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn separators_return_none() {
+        for c in ['0', '9', ' ', '-', '_', '.', '/', '?', '=', '!', '漢', '🦀'] {
+            assert_eq!(canonicalize_char(c), None, "char {c:?}");
+        }
+    }
+
+    #[test]
+    fn paper_example_b_variants() {
+        for c in ['B', 'β'] {
+            assert_eq!(canonicalize_char(c), Some('b'));
+        }
+    }
+
+    #[test]
+    fn language_specific_letters() {
+        // French
+        assert_eq!(canonicalize_char('é'), Some('e'));
+        assert_eq!(canonicalize_char('ç'), Some('c'));
+        // German
+        assert_eq!(canonicalize_char('ü'), Some('u'));
+        assert_eq!(canonicalize_char('ß'), Some('s'));
+        assert_eq!(canonicalize_char('Ä'), Some('a'));
+        // Spanish
+        assert_eq!(canonicalize_char('ñ'), Some('n'));
+        // Portuguese
+        assert_eq!(canonicalize_char('ã'), Some('a'));
+        assert_eq!(canonicalize_char('õ'), Some('o'));
+        // Italian
+        assert_eq!(canonicalize_char('ò'), Some('o'));
+        // Nordic
+        assert_eq!(canonicalize_char('å'), Some('a'));
+        assert_eq!(canonicalize_char('ø'), Some('o'));
+    }
+
+    #[test]
+    fn uppercase_accents_fold() {
+        assert_eq!(canonicalize_char('É'), Some('e'));
+        assert_eq!(canonicalize_char('Ü'), Some('u'));
+        assert_eq!(canonicalize_char('Ñ'), Some('n'));
+    }
+
+    #[test]
+    fn output_always_ascii_lowercase() {
+        // Sweep the BMP up to Latin Extended + Greek and verify the invariant.
+        for code in 0u32..0x500 {
+            if let Some(c) = char::from_u32(code) {
+                if let Some(m) = canonicalize_char(c) {
+                    assert!(m.is_ascii_lowercase(), "{c:?} mapped to {m:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+use crate::extract_terms;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A term distribution `D_S`: the terms of a data source with their
+/// relative frequencies (Section III-B).
+///
+/// The distribution is stored as raw counts so distributions can be merged
+/// cheaply; probabilities are derived on demand.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_text::TermDistribution;
+///
+/// let d = TermDistribution::from_text("pay pal pay");
+/// assert_eq!(d.probability("pay"), 2.0 / 3.0);
+/// assert_eq!(d.probability("pal"), 1.0 / 3.0);
+/// assert_eq!(d.probability("bank"), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TermDistribution {
+    counts: BTreeMap<String, u32>,
+    total: u32,
+}
+
+impl TermDistribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a distribution from raw text using the paper's term
+    /// extraction rules.
+    pub fn from_text(text: &str) -> Self {
+        Self::from_terms(extract_terms(text))
+    }
+
+    /// Builds a distribution from several texts (e.g. the FreeURL parts of
+    /// a whole set of links).
+    pub fn from_texts<I, S>(texts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dist = Self::new();
+        for t in texts {
+            dist.add_text(t.as_ref());
+        }
+        dist
+    }
+
+    /// Builds a distribution from already-extracted terms.
+    pub fn from_terms<I, S>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut dist = Self::new();
+        for t in terms {
+            dist.add_term(t.into());
+        }
+        dist
+    }
+
+    /// Adds the terms of `text` to the distribution.
+    pub fn add_text(&mut self, text: &str) {
+        for t in extract_terms(text) {
+            self.add_term(t);
+        }
+    }
+
+    /// Adds one occurrence of an (already canonical) term.
+    pub fn add_term(&mut self, term: String) {
+        debug_assert!(
+            term.len() >= crate::MIN_TERM_LEN && term.chars().all(|c| c.is_ascii_lowercase()),
+            "term {term:?} is not canonical"
+        );
+        *self.counts.entry(term).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &TermDistribution) {
+        for (t, c) in &other.counts {
+            *self.counts.entry(t.clone()).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of *distinct* terms.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of term occurrences.
+    pub fn total_count(&self) -> u32 {
+        self.total
+    }
+
+    /// `true` when no terms were extracted. Empty distributions yield the
+    /// paper's "null features" (Section VII-B, IP-based URLs).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The probability `p_i` of a term (0.0 for absent terms).
+    pub fn probability(&self, term: &str) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        f64::from(self.counts.get(term).copied().unwrap_or(0)) / f64::from(self.total)
+    }
+
+    /// Raw occurrence count of a term.
+    pub fn count(&self, term: &str) -> u32 {
+        self.counts.get(term).copied().unwrap_or(0)
+    }
+
+    /// `true` when the term occurs at least once.
+    pub fn contains(&self, term: &str) -> bool {
+        self.counts.contains_key(term)
+    }
+
+    /// Iterates over `(term, probability)` pairs in lexicographic term
+    /// order (deterministic, so float accumulations are reproducible).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        let total = f64::from(self.total.max(1));
+        self.counts
+            .iter()
+            .map(move |(t, c)| (t.as_str(), f64::from(*c) / total))
+    }
+
+    /// Iterates over the distinct terms.
+    pub fn terms(&self) -> impl Iterator<Item = &str> + '_ {
+        self.counts.keys().map(String::as_str)
+    }
+
+    /// The squared Hellinger distance between two distributions
+    /// (paper Equation 1):
+    ///
+    /// `H²(P,Q) = ½ Σ_{x ∈ P∪Q} (√P(x) − √Q(x))²`
+    ///
+    /// Bounded in `[0, 1]`: `0` means identical distributions, `1` means
+    /// disjoint supports.
+    ///
+    /// Returns `None` when either distribution is empty — the paper treats
+    /// comparisons with empty sources as *null features* rather than
+    /// extreme distances.
+    pub fn hellinger_squared(&self, other: &TermDistribution) -> Option<f64> {
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        for (t, p) in self.iter() {
+            let q = other.probability(t);
+            let d = p.sqrt() - q.sqrt();
+            sum += d * d;
+        }
+        // Terms only in `other`: P(x) = 0 so the contribution is Q(x).
+        for (t, q) in other.iter() {
+            if !self.contains(t) {
+                sum += q;
+            }
+        }
+        Some((sum / 2.0).clamp(0.0, 1.0))
+    }
+
+    /// Jaccard distance between the *term sets* (ignoring frequencies):
+    /// `1 − |A∩B| / |A∪B|`, in `[0, 1]`.
+    ///
+    /// A naive alternative to [`hellinger_squared`] used by the design
+    /// ablations: it discards how often terms are used, which is exactly
+    /// the information the paper's consistency conjecture relies on.
+    /// Returns `None` when either distribution is empty, mirroring the
+    /// null-feature convention.
+    ///
+    /// [`hellinger_squared`]: TermDistribution::hellinger_squared
+    pub fn jaccard_distance(&self, other: &TermDistribution) -> Option<f64> {
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        let mut intersection = 0usize;
+        for t in self.terms() {
+            if other.contains(t) {
+                intersection += 1;
+            }
+        }
+        let union = self.distinct_len() + other.distinct_len() - intersection;
+        Some(1.0 - intersection as f64 / union as f64)
+    }
+
+    /// Sum of probability mass of terms that are substrings of `needle`
+    /// (used by the f3 features: how much of a source's mass "spells out"
+    /// the starting/landing mld).
+    pub fn substring_mass_of(&self, needle: &str) -> f64 {
+        self.iter()
+            .filter(|(t, _)| needle.contains(t))
+            .map(|(_, p)| p)
+            .sum()
+    }
+}
+
+impl FromIterator<String> for TermDistribution {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        Self::from_terms(iter)
+    }
+}
+
+impl Extend<String> for TermDistribution {
+    fn extend<I: IntoIterator<Item = String>>(&mut self, iter: I) {
+        for t in iter {
+            self.add_term(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(text: &str) -> TermDistribution {
+        TermDistribution::from_text(text)
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = dist("alpha beta beta gamma gamma gamma");
+        let sum: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(d.total_count(), 6);
+        assert_eq!(d.distinct_len(), 3);
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let a = dist("secure bank login bank");
+        let b = dist("bank secure bank login");
+        assert_eq!(a.hellinger_squared(&b), Some(0.0));
+    }
+
+    #[test]
+    fn disjoint_distributions_have_distance_one() {
+        let a = dist("alpha beta");
+        let b = dist("gamma delta");
+        let h = a.hellinger_squared(&b).unwrap();
+        assert!((h - 1.0).abs() < 1e-12, "h = {h}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = dist("one two three three");
+        let b = dist("two three four");
+        let ab = a.hellinger_squared(&b).unwrap();
+        let ba = b.hellinger_squared(&a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.0 && ab < 1.0);
+    }
+
+    #[test]
+    fn empty_distribution_yields_null_feature() {
+        let a = dist("alpha beta");
+        let empty = TermDistribution::new();
+        assert_eq!(a.hellinger_squared(&empty), None);
+        assert_eq!(empty.hellinger_squared(&a), None);
+        assert_eq!(empty.hellinger_squared(&empty), None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = dist("alpha beta");
+        let b = dist("beta gamma");
+        a.merge(&b);
+        assert_eq!(a.count("beta"), 2);
+        assert_eq!(a.total_count(), 4);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_symmetry() {
+        let a = dist("alpha beta gamma");
+        let b = dist("beta gamma delta");
+        let ab = a.jaccard_distance(&b).unwrap();
+        assert_eq!(ab, b.jaccard_distance(&a).unwrap());
+        assert!((ab - 0.5).abs() < 1e-12, "2 shared of 4 distinct: {ab}");
+        assert_eq!(a.jaccard_distance(&a), Some(0.0));
+        let c = dist("zeta");
+        assert_eq!(a.jaccard_distance(&c), Some(1.0));
+        assert_eq!(a.jaccard_distance(&TermDistribution::new()), None);
+    }
+
+    #[test]
+    fn jaccard_ignores_frequencies_hellinger_does_not() {
+        let balanced = dist("alpha beta");
+        let skewed = dist("alpha alpha alpha alpha alpha alpha alpha beta");
+        assert_eq!(balanced.jaccard_distance(&skewed), Some(0.0));
+        assert!(balanced.hellinger_squared(&skewed).unwrap() > 0.05);
+    }
+
+    #[test]
+    fn substring_mass() {
+        let d = dist("pay pal paypal bank");
+        // needle "paypal" contains "pay", "pal" and "paypal" but not "bank".
+        let mass = d.substring_mass_of("paypal");
+        assert!((mass - 0.75).abs() < 1e-12);
+        assert_eq!(d.substring_mass_of("zzz"), 0.0);
+    }
+
+    #[test]
+    fn from_texts_and_extend() {
+        let d = TermDistribution::from_texts(["alpha beta", "beta gamma"]);
+        assert_eq!(d.count("beta"), 2);
+        let mut d2 = TermDistribution::new();
+        d2.extend(vec!["alpha".to_string(), "alpha".to_string()]);
+        assert_eq!(d2.count("alpha"), 2);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let d: TermDistribution = vec!["foo".to_string(), "bar".to_string()]
+            .into_iter()
+            .collect();
+        assert_eq!(d.distinct_len(), 2);
+    }
+
+    #[test]
+    fn probability_of_absent_term_is_zero() {
+        let d = dist("alpha");
+        assert_eq!(d.probability("beta"), 0.0);
+        assert!(!d.contains("beta"));
+        assert!(d.contains("alpha"));
+    }
+}

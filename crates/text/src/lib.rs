@@ -1,0 +1,147 @@
+//! Term extraction and term-distribution machinery for the *Know Your
+//! Phish* reproduction.
+//!
+//! Section III-B of the paper defines terms over the alphabet
+//! `A = {a..z}`:
+//!
+//! 1. canonicalise letters — uppercase, accented and special characters are
+//!    mapped to a matching letter in `A` (e.g. `B`, `β`, `b̀`, `b̂` → `b`);
+//! 2. split the input whenever a character outside `A` is encountered;
+//! 3. discard substrings shorter than 3 characters.
+//!
+//! A *term distribution* is the set of extracted terms with their relative
+//! frequencies; distributions from different data sources of a webpage are
+//! compared with the (squared) Hellinger distance, which yields the paper's
+//! 66 term-usage-consistency features.
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_text::{extract_terms, TermDistribution};
+//!
+//! let terms = extract_terms("Café Zürich: sign-in 24/7!");
+//! assert_eq!(terms, ["cafe", "zurich", "sign"]);
+//!
+//! let a = TermDistribution::from_text("pay pal login");
+//! let b = TermDistribution::from_text("pay pal login");
+//! assert_eq!(a.hellinger_squared(&b), Some(0.0));
+//! ```
+
+mod canonical;
+mod distribution;
+pub mod tfidf;
+
+pub use canonical::canonicalize_char;
+pub use distribution::TermDistribution;
+
+/// Minimum length of a term (paper: "throw away any substring whose length
+/// is less than 3").
+pub const MIN_TERM_LEN: usize = 3;
+
+/// Extracts the terms of a string per Section III-B of the paper.
+///
+/// Characters are canonicalised to `[a-z]` (case folding plus accent
+/// stripping); any non-letter splits the string; substrings shorter than
+/// [`MIN_TERM_LEN`] are dropped. Duplicates are preserved in order of
+/// appearance so callers can build frequency distributions.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(kyp_text::extract_terms("secure-login2.example"),
+///            ["secure", "login", "example"]);
+/// ```
+pub fn extract_terms(input: &str) -> Vec<String> {
+    let mut terms = Vec::new();
+    let mut current = String::new();
+    for c in input.chars() {
+        match canonicalize_char(c) {
+            Some(letter) => current.push(letter),
+            None => {
+                if current.len() >= MIN_TERM_LEN {
+                    terms.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+            }
+        }
+    }
+    if current.len() >= MIN_TERM_LEN {
+        terms.push(current);
+    }
+    terms
+}
+
+/// Extracts the *distinct* terms of a string, preserving first-appearance
+/// order. Convenience for keyterm-set logic (Section V-A).
+pub fn extract_term_set(input: &str) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    extract_terms(input)
+        .into_iter()
+        .filter(|t| seen.insert(t.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_letters() {
+        assert_eq!(
+            extract_terms("www.amazon.co.uk/ap/signin?_encoding=UTF8"),
+            ["www", "amazon", "signin", "encoding", "utf"]
+        );
+    }
+
+    #[test]
+    fn drops_short_terms() {
+        assert_eq!(extract_terms("a ab abc abcd"), ["abc", "abcd"]);
+        assert!(extract_terms("x y z").is_empty());
+    }
+
+    #[test]
+    fn folds_case_and_accents() {
+        assert_eq!(extract_terms("CAFÉ müller"), ["cafe", "muller"]);
+        assert_eq!(extract_terms("España ação"), ["espana", "acao"]);
+    }
+
+    #[test]
+    fn digits_and_hyphens_split() {
+        // Paper limitation example: "dl4a" splits into "dl" and "a", both
+        // discarded as too short.
+        assert!(extract_terms("dl4a").is_empty());
+        assert_eq!(extract_terms("e-go s2mr"), Vec::<String>::new());
+        assert_eq!(extract_terms("theinstantexchange"), ["theinstantexchange"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(extract_terms("").is_empty());
+        assert!(extract_terms("123 456 !!").is_empty());
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        assert_eq!(extract_terms("pay pay pal"), ["pay", "pay", "pal"]);
+    }
+
+    #[test]
+    fn term_set_dedups_in_order() {
+        assert_eq!(
+            extract_term_set("pay pal pay login"),
+            ["pay", "pal", "login"]
+        );
+    }
+
+    #[test]
+    fn greek_beta_maps_to_b() {
+        // Paper example: { B, β, b̀, b̂ } → b.
+        assert_eq!(extract_terms("βeta"), ["beta"]);
+    }
+
+    #[test]
+    fn german_sharp_s() {
+        assert_eq!(extract_terms("straße"), ["strase"]);
+    }
+}

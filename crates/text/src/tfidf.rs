@@ -1,0 +1,148 @@
+//! TF-IDF weighting over a document corpus.
+//!
+//! The paper's own technique deliberately avoids TF-IDF (it is language-
+//! and corpus-dependent), but two consumers in this reproduction need it:
+//! the Cantina baseline (Zhang et al., WWW'07) selects a page's signature
+//! terms by TF-IDF, and the `kyp-search` substrate ranks documents with a
+//! TF-IDF cosine score.
+
+use crate::extract_terms;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Document-frequency statistics over a corpus, used to compute IDF.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_text::tfidf::Corpus;
+///
+/// let mut corpus = Corpus::new();
+/// corpus.add_document("the bank of america bank");
+/// corpus.add_document("the grocery store");
+/// let top = corpus.top_terms("bank of america online banking", 2);
+/// assert_eq!(top[0].0, "banking"); // only in this doc: highest idf
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    doc_freq: HashMap<String, u32>,
+    doc_count: u32,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one document's text to the corpus statistics.
+    pub fn add_document(&mut self, text: &str) {
+        let mut seen = std::collections::HashSet::new();
+        for term in extract_terms(text) {
+            if seen.insert(term.clone()) {
+                *self.doc_freq.entry(term).or_insert(0) += 1;
+            }
+        }
+        self.doc_count += 1;
+    }
+
+    /// Number of documents added.
+    pub fn doc_count(&self) -> u32 {
+        self.doc_count
+    }
+
+    /// Smoothed inverse document frequency of a term:
+    /// `ln((1 + N) / (1 + df)) + 1`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = f64::from(self.doc_freq.get(term).copied().unwrap_or(0));
+        let n = f64::from(self.doc_count);
+        ((1.0 + n) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// TF-IDF scores of a document's terms against this corpus.
+    pub fn tfidf(&self, text: &str) -> HashMap<String, f64> {
+        let terms = extract_terms(text);
+        let total = terms.len() as f64;
+        if total == 0.0 {
+            return HashMap::new();
+        }
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for t in terms {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        tf.into_iter()
+            .map(|(t, c)| {
+                let idf = self.idf(&t);
+                (t, c / total * idf)
+            })
+            .collect()
+    }
+
+    /// The `k` highest-TF-IDF terms of a document, best first; ties broken
+    /// alphabetically for determinism.
+    pub fn top_terms(&self, text: &str, k: usize) -> Vec<(String, f64)> {
+        let mut scored: Vec<(String, f64)> = self.tfidf(text).into_iter().collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let mut c = Corpus::new();
+        c.add_document("common rare");
+        c.add_document("common");
+        c.add_document("common");
+        assert!(c.idf("rare") > c.idf("common"));
+        assert!(c.idf("unseen") > c.idf("rare"));
+    }
+
+    #[test]
+    fn tfidf_empty_document() {
+        let mut c = Corpus::new();
+        c.add_document("something");
+        assert!(c.tfidf("").is_empty());
+        assert!(c.top_terms("12 34", 5).is_empty());
+    }
+
+    #[test]
+    fn top_terms_ranks_distinctive_terms_first() {
+        let mut c = Corpus::new();
+        for _ in 0..50 {
+            c.add_document("the and for with login page");
+        }
+        c.add_document("paypal account verification");
+        let top = c.top_terms("paypal login page paypal verification", 2);
+        assert_eq!(top[0].0, "paypal");
+        assert!(top.len() == 2);
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let mut c = Corpus::new();
+        c.add_document("term term term");
+        c.add_document("other");
+        // df(term) == 1, so idf(term) == idf of a once-seen term.
+        let mut c2 = Corpus::new();
+        c2.add_document("term");
+        c2.add_document("other");
+        assert!((c.idf("term") - c2.idf("term")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_terms_deterministic_on_ties() {
+        let c = Corpus::new();
+        let a = c.top_terms("zebra apple zebra apple", 2);
+        let b = c.top_terms("apple zebra apple zebra", 2);
+        assert_eq!(a, b);
+    }
+}

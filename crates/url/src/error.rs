@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Url::parse`](crate::Url::parse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseUrlError {
+    /// The input was empty or contained only a scheme.
+    MissingHost,
+    /// A domain label was empty (consecutive dots, leading/trailing dot).
+    EmptyLabel,
+    /// The host contained a character outside `[a-z0-9-]`.
+    InvalidHostChar(char),
+    /// The port after `:` was not a valid `u16`.
+    InvalidPort,
+    /// A label exceeded 63 characters or the host exceeded 253.
+    LabelTooLong,
+}
+
+impl fmt::Display for ParseUrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseUrlError::MissingHost => write!(f, "url has no host component"),
+            ParseUrlError::EmptyLabel => write!(f, "host contains an empty label"),
+            ParseUrlError::InvalidHostChar(c) => {
+                write!(f, "invalid character {c:?} in host")
+            }
+            ParseUrlError::InvalidPort => write!(f, "invalid port number"),
+            ParseUrlError::LabelTooLong => write!(f, "host label exceeds length limit"),
+        }
+    }
+}
+
+impl Error for ParseUrlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        for e in [
+            ParseUrlError::MissingHost,
+            ParseUrlError::EmptyLabel,
+            ParseUrlError::InvalidHostChar('!'),
+            ParseUrlError::InvalidPort,
+            ParseUrlError::LabelTooLong,
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ParseUrlError>();
+    }
+}

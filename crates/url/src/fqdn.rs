@@ -1,0 +1,205 @@
+use crate::psl;
+use crate::ParseUrlError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fully qualified domain name, split into labels with the public suffix
+/// boundary resolved against the embedded suffix rules.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_url::Fqdn;
+/// let fqdn: Fqdn = "www.amazon.co.uk".parse()?;
+/// assert_eq!(fqdn.mld(), Some("amazon"));
+/// assert_eq!(fqdn.rdn(), "amazon.co.uk");
+/// assert_eq!(fqdn.subdomains(), ["www"]);
+/// # Ok::<(), kyp_url::ParseUrlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fqdn {
+    labels: Vec<String>,
+    suffix_labels: usize,
+}
+
+impl Fqdn {
+    /// Parses a dotted host name (lowercasing it) and resolves the public
+    /// suffix boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty labels, invalid characters (anything
+    /// outside `[a-z0-9-]` after lowercasing) or over-long labels.
+    pub fn parse(host: &str) -> Result<Self, ParseUrlError> {
+        if host.is_empty() {
+            return Err(ParseUrlError::MissingHost);
+        }
+        if host.len() > 253 {
+            return Err(ParseUrlError::LabelTooLong);
+        }
+        let mut labels = Vec::new();
+        for raw in host.split('.') {
+            if raw.is_empty() {
+                return Err(ParseUrlError::EmptyLabel);
+            }
+            if raw.len() > 63 {
+                return Err(ParseUrlError::LabelTooLong);
+            }
+            let label = raw.to_ascii_lowercase();
+            if let Some(c) = label
+                .chars()
+                .find(|c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-' || *c == '_'))
+            {
+                return Err(ParseUrlError::InvalidHostChar(c));
+            }
+            labels.push(label);
+        }
+        let suffix_labels = psl::suffix_label_count(&labels);
+        Ok(Fqdn {
+            labels,
+            suffix_labels,
+        })
+    }
+
+    /// All labels in natural order, e.g. `["www", "amazon", "co", "uk"]`.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels ("count of level domains", paper URL feature #3).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Length of the dotted FQDN string.
+    pub fn len(&self) -> usize {
+        self.labels.iter().map(String::len).sum::<usize>() + self.labels.len().saturating_sub(1)
+    }
+
+    /// Returns `true` when there are no labels (cannot happen after `parse`).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The public suffix as a dotted string, e.g. `co.uk`.
+    pub fn public_suffix(&self) -> String {
+        self.labels[self.labels.len() - self.suffix_labels..].join(".")
+    }
+
+    /// The main level domain: the label right before the public suffix.
+    ///
+    /// `None` when the whole FQDN is itself a public suffix.
+    pub fn mld(&self) -> Option<&str> {
+        let n = self.labels.len();
+        if self.suffix_labels >= n {
+            None
+        } else {
+            Some(&self.labels[n - self.suffix_labels - 1])
+        }
+    }
+
+    /// The registered domain name: `mld.ps`, or the suffix itself when no
+    /// mld exists.
+    pub fn rdn(&self) -> String {
+        let n = self.labels.len();
+        let start = n.saturating_sub(self.suffix_labels + 1);
+        self.labels[start..].join(".")
+    }
+
+    /// Subdomain labels — everything the owner controls freely, i.e. all
+    /// labels before the RDN.
+    pub fn subdomains(&self) -> &[String] {
+        let n = self.labels.len();
+        let rdn_labels = (self.suffix_labels + 1).min(n);
+        &self.labels[..n - rdn_labels]
+    }
+}
+
+impl fmt::Display for Fqdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.labels.join("."))
+    }
+}
+
+impl std::str::FromStr for Fqdn {
+    type Err = ParseUrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Fqdn::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_decomposition() {
+        let f = Fqdn::parse("www.amazon.co.uk").unwrap();
+        assert_eq!(f.label_count(), 4);
+        assert_eq!(f.public_suffix(), "co.uk");
+        assert_eq!(f.mld(), Some("amazon"));
+        assert_eq!(f.rdn(), "amazon.co.uk");
+        assert_eq!(f.subdomains(), ["www"]);
+        assert_eq!(f.len(), "www.amazon.co.uk".len());
+    }
+
+    #[test]
+    fn no_subdomains() {
+        let f = Fqdn::parse("example.com").unwrap();
+        assert!(f.subdomains().is_empty());
+        assert_eq!(f.rdn(), "example.com");
+        assert_eq!(f.mld(), Some("example"));
+    }
+
+    #[test]
+    fn deep_subdomains() {
+        let f = Fqdn::parse("a.b.c.example.com").unwrap();
+        assert_eq!(f.subdomains(), ["a", "b", "c"]);
+        assert_eq!(f.rdn(), "example.com");
+    }
+
+    #[test]
+    fn bare_suffix_has_no_mld() {
+        let f = Fqdn::parse("com").unwrap();
+        assert_eq!(f.mld(), None);
+        assert_eq!(f.rdn(), "com");
+        assert!(f.subdomains().is_empty());
+    }
+
+    #[test]
+    fn lowercases() {
+        let f = Fqdn::parse("WWW.EXAMPLE.COM").unwrap();
+        assert_eq!(f.to_string(), "www.example.com");
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert_eq!(Fqdn::parse(""), Err(ParseUrlError::MissingHost));
+        assert_eq!(Fqdn::parse("a..b"), Err(ParseUrlError::EmptyLabel));
+        assert_eq!(Fqdn::parse(".com"), Err(ParseUrlError::EmptyLabel));
+        assert_eq!(Fqdn::parse("com."), Err(ParseUrlError::EmptyLabel));
+        assert!(matches!(
+            Fqdn::parse("exa mple.com"),
+            Err(ParseUrlError::InvalidHostChar(' '))
+        ));
+        let long = "a".repeat(64);
+        assert_eq!(
+            Fqdn::parse(&format!("{long}.com")),
+            Err(ParseUrlError::LabelTooLong)
+        );
+    }
+
+    #[test]
+    fn hyphenated_and_digit_labels() {
+        let f = Fqdn::parse("secure-login2.pay-pal.com").unwrap();
+        assert_eq!(f.mld(), Some("pay-pal"));
+        assert_eq!(f.subdomains(), ["secure-login2"]);
+    }
+
+    #[test]
+    fn display_fromstr_roundtrip() {
+        let f: Fqdn = "www.example.co.uk".parse().unwrap();
+        assert_eq!(f.to_string(), "www.example.co.uk");
+    }
+}

@@ -1,0 +1,477 @@
+//! URL decomposition for the *Know Your Phish* reproduction.
+//!
+//! The paper (Section II-B, Fig. 1) decomposes a URL as
+//!
+//! ```text
+//! protocol://[subdomains.]mld.ps[/path][?query]
+//!            \________FQDN________/
+//!             \______RDN_____/  (mld + public suffix)
+//! FreeURL = subdomains + path + query   (fully attacker-controlled)
+//! ```
+//!
+//! The *registered domain name* (RDN) is the only part of a URL a phisher
+//! cannot choose freely: it has to be registered with a registrar. The
+//! *main level domain* (mld) is the label immediately before the public
+//! suffix. Everything else — subdomains, path, query — is **FreeURL**.
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_url::Url;
+//!
+//! # fn main() -> Result<(), kyp_url::ParseUrlError> {
+//! let url = Url::parse("https://www.amazon.co.uk/ap/signin?_encoding=UTF8")?;
+//! assert!(url.is_https());
+//! assert_eq!(url.fqdn_str().as_deref(), Some("www.amazon.co.uk"));
+//! assert_eq!(url.rdn().as_deref(), Some("amazon.co.uk"));
+//! assert_eq!(url.mld(), Some("amazon"));
+//! assert_eq!(url.free_url().subdomains, "www");
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod fqdn;
+mod parse;
+pub mod psl;
+
+pub use error::ParseUrlError;
+pub use fqdn::Fqdn;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The protocol of a URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Plain-text HTTP.
+    Http,
+    /// TLS-protected HTTP.
+    Https,
+    /// Any other scheme (`ftp`, `data`, ...), stored lowercased.
+    Other(String),
+}
+
+impl Scheme {
+    /// Returns the scheme as the string that appeared before `://`.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+            Scheme::Other(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The host component of a URL: either a domain name or an IPv4 literal.
+///
+/// The paper notes (Section VII-B) that IP-based URLs have empty
+/// FQDN-derived term distributions, which makes them a (costly) evasion
+/// vector; we therefore model them explicitly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Host {
+    /// A fully qualified domain name.
+    Domain(Fqdn),
+    /// An IPv4 literal such as `192.0.2.7`.
+    Ipv4([u8; 4]),
+}
+
+impl Host {
+    /// Returns the FQDN if the host is a domain name.
+    pub fn fqdn(&self) -> Option<&Fqdn> {
+        match self {
+            Host::Domain(f) => Some(f),
+            Host::Ipv4(_) => None,
+        }
+    }
+
+    /// Returns `true` when the host is an IPv4 literal.
+    pub fn is_ip(&self) -> bool {
+        matches!(self, Host::Ipv4(_))
+    }
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Host::Domain(d) => write!(f, "{d}"),
+            Host::Ipv4([a, b, c, d]) => write!(f, "{a}.{b}.{c}.{d}"),
+        }
+    }
+}
+
+/// The parts of a URL the phisher controls without constraint
+/// (Section II-B: subdomains, path and query).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreeUrl {
+    /// Subdomain labels joined with `.` (empty when the FQDN equals the RDN).
+    pub subdomains: String,
+    /// The path with the leading `/` trimmed (may be empty).
+    pub path: String,
+    /// The query string without the leading `?` (may be empty).
+    pub query: String,
+}
+
+impl FreeUrl {
+    /// Concatenates the FreeURL parts into one string for lexical analysis.
+    ///
+    /// Parts are joined with `/` and `?` so that label boundaries survive;
+    /// the term extractor of `kyp-text` splits on any non-letter anyway.
+    pub fn joined(&self) -> String {
+        let mut out =
+            String::with_capacity(self.subdomains.len() + self.path.len() + self.query.len() + 2);
+        out.push_str(&self.subdomains);
+        if !self.path.is_empty() {
+            out.push('/');
+            out.push_str(&self.path);
+        }
+        if !self.query.is_empty() {
+            out.push('?');
+            out.push_str(&self.query);
+        }
+        out
+    }
+
+    /// Counts ASCII dots across all FreeURL parts (paper feature #2:
+    /// "count of dots in FreeURL", which spots domain-name-looking strings
+    /// smuggled into attacker-controlled URL parts).
+    pub fn dot_count(&self) -> usize {
+        self.subdomains.matches('.').count()
+            + self.path.matches('.').count()
+            + self.query.matches('.').count()
+    }
+}
+
+/// A parsed URL with the decomposition of the paper's Fig. 1.
+///
+/// See the [crate docs](crate) for the structure. `Url` is cheap to clone
+/// and carries the original string for length-based features.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    raw: String,
+    scheme: Scheme,
+    host: Host,
+    port: Option<u16>,
+    path: String,
+    query: Option<String>,
+    fragment: Option<String>,
+}
+
+impl Url {
+    /// Parses a URL string.
+    ///
+    /// The parser is deliberately lenient in the way a browser address bar
+    /// is: a missing scheme defaults to `http`, uppercase hosts are folded
+    /// to lowercase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUrlError`] when the input has no host, a label is
+    /// empty (`a..b`), or the host contains characters outside
+    /// `[a-z0-9-]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kyp_url::Url;
+    /// let url = Url::parse("https://example.com/a")?;
+    /// assert_eq!(url.mld(), Some("example"));
+    /// # Ok::<(), kyp_url::ParseUrlError>(())
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, ParseUrlError> {
+        parse::parse(input)
+    }
+
+    pub(crate) fn from_parts(parts: parse::UrlParts) -> Self {
+        Url {
+            raw: parts.raw,
+            scheme: parts.scheme,
+            host: parts.host,
+            port: parts.port,
+            path: parts.path,
+            query: parts.query,
+            fragment: parts.fragment,
+        }
+    }
+
+    /// The original string this URL was parsed from.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Total length of the URL string (paper URL feature #4).
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Returns `true` if the raw URL string is empty (never after `parse`).
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The URL scheme.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// `true` when the scheme is HTTPS (paper URL feature #1).
+    pub fn is_https(&self) -> bool {
+        self.scheme == Scheme::Https
+    }
+
+    /// The host component.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// The FQDN, unless the host is an IP literal.
+    pub fn fqdn(&self) -> Option<&Fqdn> {
+        self.host.fqdn()
+    }
+
+    /// The FQDN as a dotted string, e.g. `www.amazon.co.uk`.
+    pub fn fqdn_str(&self) -> Option<String> {
+        self.fqdn().map(|f| f.to_string())
+    }
+
+    /// The explicit port, if one was present.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// The path without its leading slash (empty string for `/` or none).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The query string without the leading `?`.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// The fragment without the leading `#`.
+    pub fn fragment(&self) -> Option<&str> {
+        self.fragment.as_deref()
+    }
+
+    /// The registered domain name (`mld.ps`), e.g. `amazon.co.uk`.
+    ///
+    /// `None` for IP-literal hosts.
+    pub fn rdn(&self) -> Option<String> {
+        self.fqdn().map(|f| f.rdn())
+    }
+
+    /// The main level domain — the label before the public suffix.
+    pub fn mld(&self) -> Option<&str> {
+        self.fqdn().and_then(|f| f.mld())
+    }
+
+    /// The public suffix, e.g. `co.uk`.
+    pub fn public_suffix(&self) -> Option<String> {
+        self.fqdn().map(|f| f.public_suffix())
+    }
+
+    /// Number of labels in the FQDN (paper URL feature #3,
+    /// "count of level domains"). Zero for IP hosts.
+    pub fn level_domain_count(&self) -> usize {
+        self.fqdn().map_or(0, |f| f.label_count())
+    }
+
+    /// Length of the FQDN string (paper URL feature #5). Zero for IP hosts.
+    pub fn fqdn_len(&self) -> usize {
+        self.fqdn().map_or(0, |f| f.len())
+    }
+
+    /// Length of the mld (paper URL feature #6). Zero for IP hosts.
+    pub fn mld_len(&self) -> usize {
+        self.mld().map_or(0, str::len)
+    }
+
+    /// The attacker-controlled parts: subdomains, path and query.
+    ///
+    /// For IP-literal hosts the subdomain part is empty.
+    pub fn free_url(&self) -> FreeUrl {
+        FreeUrl {
+            subdomains: self
+                .fqdn()
+                .map(|f| f.subdomains().join("."))
+                .unwrap_or_default(),
+            path: self.path.clone(),
+            query: self.query.clone().unwrap_or_default(),
+        }
+    }
+
+    /// `true` when both URLs share the same registered domain name.
+    ///
+    /// This is the internal/external link split of Section III-A: a URL is
+    /// *internal* to a page when its RDN is one of the RDNs the page owner
+    /// controls.
+    pub fn same_rdn(&self, other: &Url) -> bool {
+        match (self.rdn(), other.rdn()) {
+            (Some(a), Some(b)) => a == b,
+            // Two identical IP hosts count as the same origin.
+            (None, None) => self.host == other.host,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl std::str::FromStr for Url {
+    type Err = ParseUrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+impl AsRef<str> for Url {
+    fn as_ref(&self) -> &str {
+        &self.raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amazon_example_from_paper() {
+        let url = Url::parse("https://www.amazon.co.uk/ap/signin?_encoding=UTF8").unwrap();
+        assert_eq!(url.scheme(), &Scheme::Https);
+        assert_eq!(url.fqdn_str().as_deref(), Some("www.amazon.co.uk"));
+        assert_eq!(url.rdn().as_deref(), Some("amazon.co.uk"));
+        assert_eq!(url.mld(), Some("amazon"));
+        assert_eq!(url.public_suffix().as_deref(), Some("co.uk"));
+        let free = url.free_url();
+        assert_eq!(free.subdomains, "www");
+        assert_eq!(free.path, "ap/signin");
+        assert_eq!(free.query, "_encoding=UTF8");
+    }
+
+    #[test]
+    fn scheme_defaults_to_http() {
+        let url = Url::parse("example.com/x").unwrap();
+        assert_eq!(url.scheme(), &Scheme::Http);
+        assert!(!url.is_https());
+    }
+
+    #[test]
+    fn other_scheme_is_preserved() {
+        let url = Url::parse("ftp://files.example.com/pub").unwrap();
+        assert_eq!(url.scheme(), &Scheme::Other("ftp".into()));
+    }
+
+    #[test]
+    fn ip_host_has_no_fqdn() {
+        let url = Url::parse("http://192.168.0.1/login").unwrap();
+        assert!(url.host().is_ip());
+        assert_eq!(url.fqdn(), None);
+        assert_eq!(url.rdn(), None);
+        assert_eq!(url.mld(), None);
+        assert_eq!(url.level_domain_count(), 0);
+        assert_eq!(url.fqdn_len(), 0);
+        assert_eq!(url.free_url().subdomains, "");
+    }
+
+    #[test]
+    fn port_is_parsed_and_not_in_fqdn() {
+        let url = Url::parse("http://example.com:8080/a").unwrap();
+        assert_eq!(url.port(), Some(8080));
+        assert_eq!(url.fqdn_str().as_deref(), Some("example.com"));
+    }
+
+    #[test]
+    fn fragment_split_off() {
+        let url = Url::parse("http://example.com/a?b=c#frag").unwrap();
+        assert_eq!(url.fragment(), Some("frag"));
+        assert_eq!(url.query(), Some("b=c"));
+    }
+
+    #[test]
+    fn host_lowercased_path_case_preserved() {
+        let url = Url::parse("HTTP://WWW.Example.COM/Path").unwrap();
+        assert_eq!(url.fqdn_str().as_deref(), Some("www.example.com"));
+        assert_eq!(url.path(), "Path");
+    }
+
+    #[test]
+    fn free_url_dot_count() {
+        let url = Url::parse("http://a.b.example.com/p.q/r?x=1.2.3").unwrap();
+        // subdomains "a.b" has 1 dot, path "p.q/r" has 1, query "x=1.2.3" has 2.
+        assert_eq!(url.free_url().dot_count(), 4);
+    }
+
+    #[test]
+    fn free_url_joined() {
+        let url = Url::parse("http://login.pay.example.com/sign/in?user=x").unwrap();
+        assert_eq!(url.free_url().joined(), "login.pay/sign/in?user=x");
+    }
+
+    #[test]
+    fn same_rdn_across_subdomains() {
+        let a = Url::parse("http://login.example.com/").unwrap();
+        let b = Url::parse("https://cdn.example.com/x").unwrap();
+        let c = Url::parse("https://example.org/").unwrap();
+        assert!(a.same_rdn(&b));
+        assert!(!a.same_rdn(&c));
+    }
+
+    #[test]
+    fn same_rdn_ip_hosts() {
+        let a = Url::parse("http://10.0.0.1/x").unwrap();
+        let b = Url::parse("http://10.0.0.1/y").unwrap();
+        let c = Url::parse("http://10.0.0.2/y").unwrap();
+        assert!(a.same_rdn(&b));
+        assert!(!a.same_rdn(&c));
+    }
+
+    #[test]
+    fn errors_on_empty_and_garbage() {
+        assert!(Url::parse("").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("http://exa mple.com").is_err());
+        assert!(Url::parse("http://a..b.com").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_raw() {
+        let s = "https://www.amazon.co.uk/ap/signin?_encoding=UTF8";
+        let url = Url::parse(s).unwrap();
+        assert_eq!(url.to_string(), s);
+        assert_eq!(url.as_str(), s);
+        assert_eq!(url.len(), s.len());
+    }
+
+    #[test]
+    fn fromstr_works() {
+        let url: Url = "http://example.com".parse().unwrap();
+        assert_eq!(url.mld(), Some("example"));
+    }
+
+    #[test]
+    fn url_features_lengths() {
+        let url = Url::parse("https://secure.bank-login.example.net/a/b").unwrap();
+        assert_eq!(url.level_domain_count(), 4);
+        assert_eq!(url.fqdn_len(), "secure.bank-login.example.net".len());
+        assert_eq!(url.mld_len(), "example".len());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Url>();
+        assert_send_sync::<Fqdn>();
+    }
+}

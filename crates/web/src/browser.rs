@@ -1,0 +1,334 @@
+use crate::visit::VisitedPage;
+use crate::world::WebWorld;
+use kyp_html::Document;
+use kyp_url::{ParseUrlError, Url};
+use std::error::Error;
+use std::fmt;
+
+/// Maximum redirects the browser follows before giving up.
+const MAX_REDIRECTS: usize = 10;
+
+/// Error returned by [`Browser::visit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VisitError {
+    /// The starting URL (or a redirect target) did not parse.
+    BadUrl(ParseUrlError),
+    /// No resource is hosted at the URL.
+    NotFound(String),
+    /// The redirect chain exceeded the browser's limit.
+    TooManyRedirects,
+}
+
+impl fmt::Display for VisitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisitError::BadUrl(e) => write!(f, "invalid url: {e}"),
+            VisitError::NotFound(u) => write!(f, "no resource hosted at {u}"),
+            VisitError::TooManyRedirects => write!(f, "redirect chain too long"),
+        }
+    }
+}
+
+impl Error for VisitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VisitError::BadUrl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseUrlError> for VisitError {
+    fn from(e: ParseUrlError) -> Self {
+        VisitError::BadUrl(e)
+    }
+}
+
+/// A scripted browser over a [`WebWorld`] — the reproduction's analogue of
+/// the paper's monitored Selenium/Firefox scraper.
+///
+/// # Examples
+///
+/// See the [crate docs](crate).
+#[derive(Debug, Clone, Copy)]
+pub struct Browser<'w> {
+    world: &'w WebWorld,
+}
+
+impl<'w> Browser<'w> {
+    /// Creates a browser over a world.
+    pub fn new(world: &'w WebWorld) -> Self {
+        Browser { world }
+    }
+
+    /// Visits `starting_url`: follows redirects, loads the landing page,
+    /// and collects every Section II-C data source.
+    ///
+    /// # Errors
+    ///
+    /// - [`VisitError::BadUrl`] when a URL does not parse,
+    /// - [`VisitError::NotFound`] when nothing is hosted at the landing URL,
+    /// - [`VisitError::TooManyRedirects`] after 10 redirects.
+    pub fn visit(&self, starting_url: &str) -> Result<VisitedPage, VisitError> {
+        let start = Url::parse(starting_url)?;
+        let mut chain = vec![start.clone()];
+        let mut current = start.clone();
+        for _ in 0..=MAX_REDIRECTS {
+            if let Some(target) = self.world.lookup_redirect(&current) {
+                let next = resolve_href(&current, target)
+                    .ok_or(VisitError::NotFound(target.to_owned()))?;
+                chain.push(next.clone());
+                current = next;
+                continue;
+            }
+            let page = self
+                .world
+                .lookup_page(&current)
+                .ok_or_else(|| VisitError::NotFound(current.to_string()))?;
+
+            let doc = Document::parse(&page.html);
+            let landing = current.clone();
+            let logged_links = doc
+                .resource_links()
+                .iter()
+                .filter_map(|href| resolve_href(&landing, href))
+                .collect();
+            let href_links = doc
+                .href_links()
+                .iter()
+                .filter_map(|href| resolve_href(&landing, href))
+                .collect();
+            let screenshot_text = page
+                .rendered_text
+                .clone()
+                .unwrap_or_else(|| doc.text().to_owned());
+
+            return Ok(VisitedPage {
+                starting_url: start,
+                landing_url: landing,
+                redirection_chain: chain,
+                logged_links,
+                href_links,
+                text: doc.text().to_owned(),
+                title: doc.title().to_owned(),
+                copyright: doc.copyright().map(str::to_owned),
+                screenshot_text,
+                input_count: doc.input_count(),
+                image_count: doc.image_count(),
+                iframe_count: doc.iframe_count(),
+            });
+        }
+        Err(VisitError::TooManyRedirects)
+    }
+}
+
+/// Resolves an href/src attribute against a base URL, the way a browser
+/// would: absolute URLs parse as-is, protocol-relative URLs inherit the
+/// scheme, absolute paths keep the host, relative paths append to the
+/// base directory.
+pub fn resolve_href(base: &Url, href: &str) -> Option<Url> {
+    let href = href.trim();
+    if href.is_empty() || href.starts_with('#') {
+        return None;
+    }
+    if href.contains("://") {
+        return Url::parse(href).ok();
+    }
+    let host = match base.fqdn() {
+        Some(f) => f.to_string(),
+        None => base.host().to_string(),
+    };
+    let scheme = base.scheme().as_str();
+    if let Some(rest) = href.strip_prefix("//") {
+        return Url::parse(&format!("{scheme}://{rest}")).ok();
+    }
+    if let Some(path) = href.strip_prefix('/') {
+        return Url::parse(&format!("{scheme}://{host}/{path}")).ok();
+    }
+    // Relative path: resolve against the base's directory.
+    let base_path = base.path();
+    let dir = match base_path.rfind('/') {
+        Some(i) => &base_path[..=i],
+        None => "",
+    };
+    Url::parse(&format!("{scheme}://{host}/{dir}{href}")).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::Page;
+
+    fn world() -> WebWorld {
+        let mut w = WebWorld::new();
+        w.add_redirect("http://short.ly/x", "https://site.example.com/landing");
+        w.add_page(
+            "https://site.example.com/landing",
+            Page::new(
+                r#"<title>Site</title><body>
+                   <p>Hello world copyright 2015 Site Inc.</p>
+                   <a href="/about">About</a>
+                   <a href="https://other.net/x">Other</a>
+                   <a href="sub/page">Rel</a>
+                   <img src="//cdn.example.net/i.png">
+                   <script src="/app.js"></script>
+                   </body>"#,
+            ),
+        );
+        w
+    }
+
+    #[test]
+    fn follows_redirects_and_records_chain() {
+        let w = world();
+        let v = Browser::new(&w).visit("http://short.ly/x").unwrap();
+        assert_eq!(v.starting_url.as_str(), "http://short.ly/x");
+        assert_eq!(v.landing_url.as_str(), "https://site.example.com/landing");
+        assert_eq!(v.redirection_chain.len(), 2);
+        assert_eq!(v.title, "Site");
+        assert!(v.copyright.as_deref().unwrap().contains("Site Inc"));
+    }
+
+    #[test]
+    fn resolves_links_against_landing() {
+        let w = world();
+        let v = Browser::new(&w).visit("http://short.ly/x").unwrap();
+        let hrefs: Vec<&str> = v.href_links.iter().map(Url::as_str).collect();
+        assert_eq!(
+            hrefs,
+            [
+                "https://site.example.com/about",
+                "https://other.net/x",
+                "https://site.example.com/sub/page",
+            ]
+        );
+        let logged: Vec<&str> = v.logged_links.iter().map(Url::as_str).collect();
+        assert_eq!(
+            logged,
+            [
+                "https://cdn.example.net/i.png",
+                "https://site.example.com/app.js"
+            ]
+        );
+    }
+
+    #[test]
+    fn screenshot_defaults_to_body_text() {
+        let w = world();
+        let v = Browser::new(&w).visit("http://short.ly/x").unwrap();
+        assert_eq!(v.screenshot_text, v.text);
+    }
+
+    #[test]
+    fn explicit_rendered_text_wins() {
+        let mut w = WebWorld::new();
+        w.add_page(
+            "http://img.example.com/",
+            Page::with_rendered_text("<body><img src='/b.png'></body>", "Big Bank Login"),
+        );
+        let v = Browser::new(&w).visit("http://img.example.com/").unwrap();
+        assert_eq!(v.screenshot_text, "Big Bank Login");
+        assert_eq!(v.text, "");
+    }
+
+    #[test]
+    fn not_found() {
+        let w = world();
+        let err = Browser::new(&w)
+            .visit("http://missing.example.com/")
+            .unwrap_err();
+        assert!(matches!(err, VisitError::NotFound(_)));
+    }
+
+    #[test]
+    fn bad_url() {
+        let w = world();
+        let err = Browser::new(&w).visit("http://").unwrap_err();
+        assert!(matches!(err, VisitError::BadUrl(_)));
+    }
+
+    #[test]
+    fn redirect_loop_detected() {
+        let mut w = WebWorld::new();
+        w.add_redirect("http://a.com/", "http://b.com/");
+        w.add_redirect("http://b.com/", "http://a.com/");
+        let err = Browser::new(&w).visit("http://a.com/").unwrap_err();
+        assert_eq!(err, VisitError::TooManyRedirects);
+    }
+
+    #[test]
+    fn resolve_href_cases() {
+        let base = Url::parse("https://www.example.com/dir/page.html").unwrap();
+        assert_eq!(
+            resolve_href(&base, "other.html").unwrap().as_str(),
+            "https://www.example.com/dir/other.html"
+        );
+        assert_eq!(
+            resolve_href(&base, "/root.html").unwrap().as_str(),
+            "https://www.example.com/root.html"
+        );
+        assert_eq!(
+            resolve_href(&base, "//cdn.net/x").unwrap().as_str(),
+            "https://cdn.net/x"
+        );
+        assert_eq!(
+            resolve_href(&base, "http://abs.net/").unwrap().as_str(),
+            "http://abs.net/"
+        );
+        assert_eq!(resolve_href(&base, "#frag"), None);
+        assert_eq!(resolve_href(&base, ""), None);
+    }
+
+    #[test]
+    fn query_preserved_in_landing_url() {
+        let mut w = WebWorld::new();
+        w.add_page("http://site.example.com/login", Page::new("<body>x</body>"));
+        let v = Browser::new(&w)
+            .visit("http://site.example.com/login?session=abc&id=9")
+            .unwrap();
+        // Lookup ignores the query, but the landing URL keeps it — the
+        // FreeURL features must see what the victim's address bar shows.
+        assert_eq!(v.landing_url.query(), Some("session=abc&id=9"));
+        assert!(v.landing_url.free_url().joined().contains("session"));
+    }
+
+    #[test]
+    fn redirect_chain_records_every_hop_in_order() {
+        let mut w = WebWorld::new();
+        w.add_redirect("http://a.example.net/", "http://b.example.net/");
+        w.add_redirect("http://b.example.net/", "http://c.example.net/");
+        w.add_page("http://c.example.net/", Page::new("<body>end</body>"));
+        let v = Browser::new(&w).visit("http://a.example.net/").unwrap();
+        let hops: Vec<String> = v
+            .redirection_chain
+            .iter()
+            .filter_map(Url::fqdn_str)
+            .collect();
+        assert_eq!(hops, ["a.example.net", "b.example.net", "c.example.net"]);
+        assert_eq!(v.landing_url.as_str(), "http://c.example.net/");
+    }
+
+    #[test]
+    fn duplicate_resources_kept_as_logged() {
+        // Browsers request a resource once per reference; the logged-links
+        // list keeps the references (the paper's counts are per request).
+        let mut w = WebWorld::new();
+        w.add_page(
+            "http://dup.example.com/",
+            Page::new(r#"<body><img src="/a.png"><img src="/a.png"></body>"#),
+        );
+        let v = Browser::new(&w).visit("http://dup.example.com/").unwrap();
+        assert_eq!(v.logged_links.len(), 2);
+        assert_eq!(v.image_count, 2);
+    }
+
+    #[test]
+    fn resolve_href_ip_base() {
+        let base = Url::parse("http://10.0.0.1/a/b").unwrap();
+        assert_eq!(
+            resolve_href(&base, "/c").unwrap().as_str(),
+            "http://10.0.0.1/c"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! A simulated web and browser/scraper for the *Know Your Phish*
+//! reproduction.
+//!
+//! The paper's experimental setup scrapes live webpages with a monitored
+//! Firefox (Section VI-A), recording the data sources of Section II-C:
+//! starting URL, landing URL, redirection chain, logged links, HTML and a
+//! screenshot. Offline, we substitute a deterministic **simulated web**:
+//!
+//! - [`WebWorld`] hosts pages and redirects addressed by URL,
+//! - [`Browser`] "visits" a URL: follows redirects, parses the HTML,
+//!   resolves embedded resources (the *logged links*) and outgoing HREF
+//!   links, and captures the rendered text in lieu of a screenshot,
+//! - [`VisitedPage`] is the resulting data-source bundle — the *only*
+//!   interface the detection pipeline sees, exactly as in the paper,
+//! - [`ocr::simulate_ocr`] extracts noisy terms from the "screenshot",
+//! - [`DomainRanker`] substitutes the paper's local copy of the Alexa
+//!   top-1M ranking.
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_web::{Browser, Page, WebWorld};
+//!
+//! let mut world = WebWorld::new();
+//! world.add_page(
+//!     "https://example.com/",
+//!     Page::new("<title>Example</title><body><a href=\"/about\">About</a></body>"),
+//! );
+//! let browser = Browser::new(&world);
+//! let visit = browser.visit("https://example.com/")?;
+//! assert_eq!(visit.title, "Example");
+//! assert_eq!(visit.href_links.len(), 1);
+//! # Ok::<(), kyp_web::VisitError>(())
+//! ```
+
+mod browser;
+pub mod ocr;
+mod ranking;
+mod visit;
+mod world;
+
+pub use browser::{Browser, VisitError};
+pub use ranking::{DomainRanker, UNRANKED};
+pub use visit::VisitedPage;
+pub use world::{Page, WebWorld};

@@ -1,0 +1,111 @@
+//! A local domain-popularity ranking — the reproduction's substitute for
+//! the paper's "fixed, previously downloaded list of the Alexa top million
+//! domain names" (Section IV-B, URL feature #9).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Rank assigned to domains absent from the list (the paper's default
+/// value of 1,000,001).
+pub const UNRANKED: u32 = 1_000_001;
+
+/// A popularity ranking over registered domain names.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_web::{DomainRanker, UNRANKED};
+///
+/// let ranker = DomainRanker::from_ranked(["bigbank.com", "news.fr"]);
+/// assert_eq!(ranker.rank("bigbank.com"), 1);
+/// assert_eq!(ranker.rank("news.fr"), 2);
+/// assert_eq!(ranker.rank("evil-phish.tk"), UNRANKED);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DomainRanker {
+    ranks: HashMap<String, u32>,
+}
+
+impl DomainRanker {
+    /// Creates an empty ranking (every domain unranked).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a ranking from RDNs ordered most-popular-first; ranks start
+    /// at 1. Duplicate RDNs keep their first (best) rank.
+    pub fn from_ranked<I, S>(rdns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut ranks = HashMap::new();
+        for (i, rdn) in rdns.into_iter().enumerate() {
+            ranks.entry(rdn.into()).or_insert(i as u32 + 1);
+        }
+        DomainRanker { ranks }
+    }
+
+    /// Inserts or updates one domain's rank.
+    pub fn insert(&mut self, rdn: impl Into<String>, rank: u32) {
+        self.ranks.insert(rdn.into(), rank);
+    }
+
+    /// The rank of an RDN, or [`UNRANKED`] when absent.
+    pub fn rank(&self, rdn: &str) -> u32 {
+        self.ranks.get(rdn).copied().unwrap_or(UNRANKED)
+    }
+
+    /// `true` when the RDN appears in the list (the paper reports 43.5% of
+    /// its legitimate test URLs are in the Alexa top 1M).
+    pub fn contains(&self, rdn: &str) -> bool {
+        self.ranks.contains_key(rdn)
+    }
+
+    /// Number of ranked domains.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// `true` when no domain is ranked.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_in_order() {
+        let r = DomainRanker::from_ranked(["a.com", "b.com", "c.com"]);
+        assert_eq!(r.rank("a.com"), 1);
+        assert_eq!(r.rank("c.com"), 3);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn unranked_default() {
+        let r = DomainRanker::new();
+        assert_eq!(r.rank("whatever.net"), UNRANKED);
+        assert!(!r.contains("whatever.net"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn duplicates_keep_best_rank() {
+        let r = DomainRanker::from_ranked(["a.com", "a.com", "b.com"]);
+        assert_eq!(r.rank("a.com"), 1);
+        assert_eq!(r.rank("b.com"), 3);
+    }
+
+    #[test]
+    fn insert_overrides() {
+        let mut r = DomainRanker::new();
+        r.insert("x.com", 500);
+        assert_eq!(r.rank("x.com"), 500);
+        r.insert("x.com", 10);
+        assert_eq!(r.rank("x.com"), 10);
+    }
+}

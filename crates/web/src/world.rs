@@ -1,0 +1,184 @@
+use kyp_url::Url;
+use std::collections::HashMap;
+
+/// A page hosted in the simulated web.
+///
+/// `rendered_text` stands in for a screenshot: it is what optical
+/// character recognition would read off the loaded page. For ordinary
+/// pages it defaults to the HTML's visible text; image-based pages (a
+/// documented evasion technique, Section VII-C) can carry text that exists
+/// *only* in the rendering and not in the HTML.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// The HTML source served for this URL.
+    pub html: String,
+    /// Text visible on the rendered page (screenshot proxy). When `None`,
+    /// the browser derives it from the HTML body text.
+    pub rendered_text: Option<String>,
+}
+
+impl Page {
+    /// Creates a page whose rendering matches its HTML text.
+    pub fn new(html: impl Into<String>) -> Self {
+        Page {
+            html: html.into(),
+            rendered_text: None,
+        }
+    }
+
+    /// Creates a page with explicit rendered text (image-based pages).
+    pub fn with_rendered_text(html: impl Into<String>, rendered: impl Into<String>) -> Self {
+        Page {
+            html: html.into(),
+            rendered_text: Some(rendered.into()),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Entry {
+    Page(Page),
+    Redirect(String),
+}
+
+/// The simulated web: a set of URLs hosting pages or redirects.
+///
+/// Lookup ignores scheme and query so that `http://x/a`, `https://x/a`
+/// and `https://x/a?utm=1` address the same resource, like a typical web
+/// server would.
+#[derive(Debug, Clone, Default)]
+pub struct WebWorld {
+    entries: HashMap<String, Entry>,
+}
+
+impl WebWorld {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalised lookup key of a URL: `host/path`.
+    fn key_of(url: &Url) -> String {
+        let host = match url.fqdn() {
+            Some(f) => f.to_string(),
+            None => url.host().to_string(),
+        };
+        format!("{host}/{}", url.path())
+    }
+
+    /// Parses `url` and returns its key, or `None` for unparsable URLs.
+    fn key_str(url: &str) -> Option<String> {
+        Url::parse(url).ok().map(|u| Self::key_of(&u))
+    }
+
+    /// Hosts a page at `url`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `url` does not parse — world construction is
+    /// programmer-controlled, so a bad URL is a bug in the generator.
+    pub fn add_page(&mut self, url: &str, page: Page) {
+        let key = Self::key_str(url).unwrap_or_else(|| panic!("invalid url {url:?}"));
+        self.entries.insert(key, Entry::Page(page));
+    }
+
+    /// Hosts a redirect from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from` does not parse.
+    pub fn add_redirect(&mut self, from: &str, to: &str) {
+        let key = Self::key_str(from).unwrap_or_else(|| panic!("invalid url {from:?}"));
+        self.entries.insert(key, Entry::Redirect(to.to_owned()));
+    }
+
+    /// Resolves a URL to a page or redirect target.
+    pub(crate) fn lookup(&self, url: &Url) -> Option<&Entry> {
+        self.entries.get(&Self::key_of(url))
+    }
+
+    pub(crate) fn lookup_page(&self, url: &Url) -> Option<&Page> {
+        match self.lookup(url)? {
+            Entry::Page(p) => Some(p),
+            Entry::Redirect(_) => None,
+        }
+    }
+
+    pub(crate) fn lookup_redirect(&self, url: &Url) -> Option<&str> {
+        match self.lookup(url)? {
+            Entry::Page(_) => None,
+            Entry::Redirect(t) => Some(t.as_str()),
+        }
+    }
+
+    /// Number of hosted entries (pages + redirects).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is hosted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_ignores_scheme_and_query() {
+        let mut w = WebWorld::new();
+        w.add_page("http://example.com/a", Page::new("<body>x</body>"));
+        for probe in [
+            "https://example.com/a",
+            "http://example.com/a?q=1",
+            "example.com/a",
+        ] {
+            let url = Url::parse(probe).unwrap();
+            assert!(w.lookup_page(&url).is_some(), "probe {probe}");
+        }
+        let other = Url::parse("http://example.com/b").unwrap();
+        assert!(w.lookup_page(&other).is_none());
+    }
+
+    #[test]
+    fn redirect_entries() {
+        let mut w = WebWorld::new();
+        w.add_redirect("http://a.com/", "https://b.com/");
+        let url = Url::parse("http://a.com/").unwrap();
+        assert_eq!(w.lookup_redirect(&url), Some("https://b.com/"));
+        assert!(w.lookup_page(&url).is_none());
+    }
+
+    #[test]
+    fn ip_hosts_supported() {
+        let mut w = WebWorld::new();
+        w.add_page("http://10.1.2.3/login", Page::new("<body>login</body>"));
+        let url = Url::parse("http://10.1.2.3/login").unwrap();
+        assert!(w.lookup_page(&url).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid url")]
+    fn bad_url_panics() {
+        WebWorld::new().add_page("http://", Page::new(""));
+    }
+
+    #[test]
+    fn len_and_overwrite() {
+        let mut w = WebWorld::new();
+        assert!(w.is_empty());
+        w.add_page("http://x.com/", Page::new("a"));
+        w.add_page("https://x.com/", Page::new("b"));
+        assert_eq!(w.len(), 1, "same key overwrites");
+    }
+
+    #[test]
+    fn rendered_text_variants() {
+        let p = Page::new("<body>hi</body>");
+        assert_eq!(p.rendered_text, None);
+        let q = Page::with_rendered_text("<body><img src='x'></body>", "Bank login");
+        assert_eq!(q.rendered_text.as_deref(), Some("Bank login"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: generate a small synthetic web, train the phishing
+//! detector, and classify a phish and a legitimate page.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use knowyourphish::core::{DetectorConfig, FeatureExtractor, PhishDetector};
+use knowyourphish::datagen::{CampaignConfig, Corpus};
+use knowyourphish::ml::Dataset;
+use knowyourphish::web::Browser;
+
+fn main() {
+    // 1. Generate a deterministic corpus (a scaled-down Table V).
+    let corpus = Corpus::generate(&CampaignConfig::scaled(0.02));
+    println!(
+        "corpus: {} phish train, {} legit train, {} hosted entries",
+        corpus.phish_train.len(),
+        corpus.leg_train.len(),
+        corpus.world_len()
+    );
+
+    // 2. Scrape the training URLs and extract the 212 features.
+    let extractor = FeatureExtractor::new(corpus.ranker.clone());
+    let browser = Browser::new(&corpus.world);
+    let mut train = Dataset::new(knowyourphish::core::features::FEATURE_COUNT);
+    for url in &corpus.leg_train {
+        let visit = browser.visit(url).expect("legit page loads");
+        train.push_row(&extractor.extract(&visit), false);
+    }
+    for record in &corpus.phish_train {
+        let visit = browser.visit(&record.url).expect("phish page loads");
+        train.push_row(&extractor.extract(&visit), true);
+    }
+
+    // 3. Train the Gradient Boosting detector (threshold 0.7, as in the
+    //    paper).
+    let detector = PhishDetector::train(&train, &DetectorConfig::default());
+    println!(
+        "trained on {} pages ({} phish), {} trees",
+        train.len(),
+        train.positives(),
+        detector.model().n_trees()
+    );
+
+    // 4. Classify unseen pages.
+    let phish_url = &corpus.phish_test[0].url;
+    let phish_visit = browser.visit(phish_url).expect("phish loads");
+    let phish_score = detector.score(&extractor.extract(&phish_visit));
+    println!();
+    println!("phish   {phish_url}");
+    println!("        title {:?}", phish_visit.title);
+    println!(
+        "        confidence {phish_score:.3} -> {}",
+        if phish_score >= detector.threshold() {
+            "PHISH"
+        } else {
+            "legitimate"
+        }
+    );
+
+    let legit_url = &corpus.english_test()[1];
+    let legit_visit = browser.visit(legit_url).expect("legit loads");
+    let legit_score = detector.score(&extractor.extract(&legit_visit));
+    println!("legit   {legit_url}");
+    println!("        title {:?}", legit_visit.title);
+    println!(
+        "        confidence {legit_score:.3} -> {}",
+        if legit_score >= detector.threshold() {
+            "PHISH"
+        } else {
+            "legitimate"
+        }
+    );
+}

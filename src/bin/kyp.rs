@@ -1,0 +1,321 @@
+//! `kyp` — command-line workflow for the Know Your Phish reproduction.
+//!
+//! Operates on the paper's json interchange format: scraped pages are
+//! [`VisitedPage`] json (one per line in `.jsonl` files), the trained
+//! model is a self-contained json bundle.
+//!
+//! ```console
+//! $ kyp gen   --scale 0.02 --out data/           # synthesise + scrape a corpus
+//! $ kyp train --data data/ --out model.json      # train the detector
+//! $ kyp eval  --data data/ --model model.json    # Table VI-style metrics
+//! $ kyp scan  --model model.json --data data/ --page data/sample_phish.json
+//! ```
+
+use knowyourphish::core::{
+    DetectorConfig, FeatureExtractor, PhishDetector, Pipeline, PipelineVerdict, TargetIdentifier,
+};
+use knowyourphish::datagen::{CampaignConfig, Corpus};
+use knowyourphish::ml::{metrics, Dataset};
+use knowyourphish::search::SearchEngine;
+use knowyourphish::web::{Browser, DomainRanker, VisitedPage};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// The persisted model bundle: everything `scan`/`eval` need offline.
+#[derive(Serialize, Deserialize)]
+struct ModelBundle {
+    detector: PhishDetector,
+    ranker: DomainRanker,
+}
+
+/// One searchable page of the legitimate index (`index.jsonl`).
+#[derive(Serialize, Deserialize)]
+struct IndexEntry {
+    rdn: String,
+    mld: String,
+    text: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_opts(&args[1..]);
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&opts),
+        "train" => cmd_train(&opts),
+        "eval" => cmd_eval(&opts),
+        "scan" => cmd_scan(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("kyp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+kyp — Know Your Phish reproduction CLI
+
+USAGE:
+  kyp gen   --out <dir> [--scale <f>] [--seed <n>]   generate + scrape a corpus
+  kyp train --data <dir> --out <model.json>          train the detector
+  kyp eval  --data <dir> --model <model.json>        evaluate on the test sets
+  kyp scan  --model <model.json> --data <dir> --page <page.json>
+                                                     classify one scraped page";
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if let Some(value) = iter.next() {
+                opts.insert(key.to_owned(), value.clone());
+            }
+        }
+    }
+    opts
+}
+
+fn opt<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+/// `kyp gen`: synthesise a corpus and write the jsonl scrape bundles.
+fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = PathBuf::from(opt(opts, "out")?);
+    let scale: f64 = opts.get("scale").map_or(Ok(0.02), |s| {
+        s.parse().map_err(|_| "invalid --scale".to_owned())
+    })?;
+    let mut config = CampaignConfig::scaled(scale);
+    if let Some(seed) = opts.get("seed") {
+        config.seed = seed.parse().map_err(|_| "invalid --seed".to_owned())?;
+    }
+    fs::create_dir_all(&out).map_err(|e| format!("create {out:?}: {e}"))?;
+
+    eprintln!("generating corpus at scale {scale}...");
+    let corpus = Corpus::generate(&config);
+    let browser = Browser::new(&corpus.world);
+
+    let scrape_all = |urls: &[String], path: &Path| -> Result<usize, String> {
+        let mut file = fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+        let mut n = 0;
+        for url in urls {
+            if let Ok(visit) = browser.visit(url) {
+                let line = serde_json::to_string(&visit).map_err(|e| e.to_string())?;
+                writeln!(file, "{line}").map_err(|e| e.to_string())?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    };
+
+    let phish_train: Vec<String> = corpus.phish_train.iter().map(|r| r.url.clone()).collect();
+    let phish_test: Vec<String> = corpus.phish_test.iter().map(|r| r.url.clone()).collect();
+    for (name, urls) in [
+        ("phish_train", &phish_train),
+        ("phish_test", &phish_test),
+        ("leg_train", &corpus.leg_train),
+        ("leg_test", &corpus.english_test().to_vec()),
+    ] {
+        let n = scrape_all(urls, &out.join(format!("{name}.jsonl")))?;
+        eprintln!("  {name}.jsonl: {n} pages");
+    }
+
+    // The offline popularity ranking and the search-engine index.
+    let ranker_json = serde_json::to_string(&corpus.ranker).map_err(|e| e.to_string())?;
+    fs::write(out.join("ranker.json"), ranker_json).map_err(|e| e.to_string())?;
+
+    // Re-derive index entries from the legitimate sites the engine knows.
+    // (The campaign indexes each site's crawlable text; we persist what a
+    // crawler would store.)
+    let mut index_file = fs::File::create(out.join("index.jsonl")).map_err(|e| e.to_string())?;
+    for url in corpus.leg_train.iter().chain(corpus.english_test()) {
+        if let Ok(visit) = browser.visit(url) {
+            if let (Some(rdn), Some(mld)) = (visit.landing_url.rdn(), visit.landing_url.mld()) {
+                let entry = IndexEntry {
+                    rdn,
+                    mld: mld.to_owned(),
+                    text: format!("{} {}", visit.title, visit.text),
+                };
+                let line = serde_json::to_string(&entry).map_err(|e| e.to_string())?;
+                writeln!(index_file, "{line}").map_err(|e| e.to_string())?;
+            }
+        }
+    }
+
+    // One sample phish bundle for `kyp scan` demos.
+    if let Ok(visit) = browser.visit(&phish_test[0]) {
+        let json = serde_json::to_string_pretty(&visit).map_err(|e| e.to_string())?;
+        fs::write(out.join("sample_phish.json"), json).map_err(|e| e.to_string())?;
+    }
+    eprintln!("wrote corpus to {out:?}");
+    Ok(())
+}
+
+fn read_jsonl(path: &Path) -> Result<Vec<VisitedPage>, String> {
+    let file = fs::File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+    let mut pages = Vec::new();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let page: VisitedPage =
+            serde_json::from_str(&line).map_err(|e| format!("{path:?} line {}: {e}", i + 1))?;
+        pages.push(page);
+    }
+    Ok(pages)
+}
+
+fn load_ranker(dir: &Path) -> Result<DomainRanker, String> {
+    let json = fs::read_to_string(dir.join("ranker.json"))
+        .map_err(|e| format!("read ranker.json: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| e.to_string())
+}
+
+fn featurize(
+    extractor: &FeatureExtractor,
+    legit: &[VisitedPage],
+    phish: &[VisitedPage],
+) -> Dataset {
+    let mut data = Dataset::with_capacity(
+        knowyourphish::core::features::FEATURE_COUNT,
+        legit.len() + phish.len(),
+    );
+    for p in legit {
+        data.push_row(&extractor.extract(p), false);
+    }
+    for p in phish {
+        data.push_row(&extractor.extract(p), true);
+    }
+    data
+}
+
+/// `kyp train`: fit the detector from the jsonl bundles.
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data_dir = PathBuf::from(opt(opts, "data")?);
+    let out = PathBuf::from(opt(opts, "out")?);
+
+    let ranker = load_ranker(&data_dir)?;
+    let extractor = FeatureExtractor::new(ranker.clone());
+    let legit = read_jsonl(&data_dir.join("leg_train.jsonl"))?;
+    let phish = read_jsonl(&data_dir.join("phish_train.jsonl"))?;
+    eprintln!(
+        "training on {} legitimate + {} phish pages...",
+        legit.len(),
+        phish.len()
+    );
+
+    let train = featurize(&extractor, &legit, &phish);
+    let detector = PhishDetector::train(&train, &DetectorConfig::default());
+    let bundle = ModelBundle { detector, ranker };
+    let json = serde_json::to_string(&bundle).map_err(|e| e.to_string())?;
+    fs::write(&out, json).map_err(|e| format!("write {out:?}: {e}"))?;
+    eprintln!("model written to {out:?}");
+    Ok(())
+}
+
+fn load_model(opts: &HashMap<String, String>) -> Result<ModelBundle, String> {
+    let path = PathBuf::from(opt(opts, "model")?);
+    let json = fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| e.to_string())
+}
+
+/// `kyp eval`: Table VI-style metrics on the held-out test bundles.
+fn cmd_eval(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data_dir = PathBuf::from(opt(opts, "data")?);
+    let bundle = load_model(opts)?;
+    let extractor = FeatureExtractor::new(bundle.ranker.clone());
+
+    let legit = read_jsonl(&data_dir.join("leg_test.jsonl"))?;
+    let phish = read_jsonl(&data_dir.join("phish_test.jsonl"))?;
+    let test = featurize(&extractor, &legit, &phish);
+    let scores = bundle.detector.score_dataset(&test);
+
+    let conf =
+        metrics::Confusion::at_threshold(&scores, test.labels(), bundle.detector.threshold());
+    println!(
+        "test set: {} legitimate + {} phish",
+        legit.len(),
+        phish.len()
+    );
+    println!("precision {:.3}", conf.precision());
+    println!("recall    {:.3}", conf.recall());
+    println!("f1-score  {:.3}", conf.f1());
+    println!("fp rate   {:.4}", conf.fpr());
+    println!("auc       {:.4}", metrics::auc(&scores, test.labels()));
+    Ok(())
+}
+
+fn load_engine(dir: &Path) -> Result<SearchEngine, String> {
+    let path = dir.join("index.jsonl");
+    let file = fs::File::open(&path).map_err(|e| format!("open {path:?}: {e}"))?;
+    let mut engine = SearchEngine::new();
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry: IndexEntry = serde_json::from_str(&line).map_err(|e| e.to_string())?;
+        engine.index_page(&entry.rdn, &entry.mld, &entry.text);
+    }
+    Ok(engine)
+}
+
+/// `kyp scan`: classify a single scraped page and identify its target.
+fn cmd_scan(opts: &HashMap<String, String>) -> Result<(), String> {
+    let bundle = load_model(opts)?;
+    let data_dir = PathBuf::from(opt(opts, "data")?);
+    let page_path = PathBuf::from(opt(opts, "page")?);
+    let json = fs::read_to_string(&page_path).map_err(|e| format!("read {page_path:?}: {e}"))?;
+    let page: VisitedPage = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+
+    let engine = load_engine(&data_dir)?;
+    let extractor = FeatureExtractor::new(bundle.ranker.clone());
+    let identifier = TargetIdentifier::new(Arc::new(engine));
+    let pipeline = Pipeline::new(extractor, bundle.detector, identifier);
+
+    println!("page  : {}", page.landing_url);
+    println!("title : {:?}", page.title);
+    match pipeline.classify(&page) {
+        PipelineVerdict::Legitimate { score } => {
+            println!("verdict: legitimate (confidence {score:.3})")
+        }
+        PipelineVerdict::ConfirmedLegitimate { score, step } => println!(
+            "verdict: legitimate — flagged ({score:.3}) but confirmed at identification step {step}"
+        ),
+        PipelineVerdict::Phish { score, candidates } => {
+            println!("verdict: PHISH (confidence {score:.3})");
+            for (i, c) in candidates.iter().enumerate() {
+                println!(
+                    "  target #{} : {} ({}) — {} appearances",
+                    i + 1,
+                    c.mld,
+                    c.rdn,
+                    c.appearances
+                );
+            }
+        }
+        PipelineVerdict::Suspicious { score } => {
+            println!("verdict: suspicious (confidence {score:.3}), no target identified")
+        }
+    }
+    Ok(())
+}

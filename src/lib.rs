@@ -1,0 +1,33 @@
+//! Umbrella crate for the *Know Your Phish* (ICDCS 2016) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single package:
+//!
+//! ```
+//! use knowyourphish::url::Url;
+//! let u = Url::parse("https://www.amazon.co.uk/ap/signin")?;
+//! assert_eq!(u.mld(), Some("amazon"));
+//! # Ok::<(), knowyourphish::url::ParseUrlError>(())
+//! ```
+//!
+//! See the individual crates for details:
+//! - [`url`]: URL decomposition (FQDN / RDN / mld / FreeURL)
+//! - [`text`]: term extraction, term distributions, Hellinger distance
+//! - [`html`]: HTML tokenizer and data-source extraction
+//! - [`web`]: simulated web, browser/scraper, OCR, domain ranking
+//! - [`search`]: search-engine substrate used by target identification
+//! - [`datagen`]: synthetic multilingual legitimate/phishing datasets
+//! - [`ml`]: gradient boosting, metrics, cross-validation
+//! - [`core`]: the paper's contribution — 212 features, detector, target
+//!   identification, combined pipeline
+//! - [`baselines`]: comparison systems for Table X
+
+pub use kyp_baselines as baselines;
+pub use kyp_core as core;
+pub use kyp_datagen as datagen;
+pub use kyp_html as html;
+pub use kyp_ml as ml;
+pub use kyp_search as search;
+pub use kyp_text as text;
+pub use kyp_url as url;
+pub use kyp_web as web;

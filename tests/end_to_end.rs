@@ -1,0 +1,170 @@
+//! End-to-end integration tests spanning every crate: corpus generation →
+//! scraping → feature extraction → training → detection → target
+//! identification → combined pipeline.
+
+use knowyourphish::core::{
+    DetectorConfig, FeatureExtractor, PhishDetector, Pipeline, PipelineVerdict, TargetIdentifier,
+    TargetVerdict,
+};
+use knowyourphish::datagen::{CampaignConfig, Corpus};
+use knowyourphish::ml::{metrics, Dataset};
+use knowyourphish::web::Browser;
+use std::sync::Arc;
+
+fn small_corpus() -> Corpus {
+    Corpus::generate(&CampaignConfig {
+        seed: 31,
+        phish_train: 80,
+        phish_test: 80,
+        phish_brand: 40,
+        leg_train: 300,
+        english_test: 300,
+        other_language_test: 60,
+    })
+}
+
+fn featurize(corpus: &Corpus, extractor: &FeatureExtractor) -> (Dataset, Dataset) {
+    let browser = Browser::new(&corpus.world);
+    let mut train = Dataset::new(knowyourphish::core::features::FEATURE_COUNT);
+    for url in &corpus.leg_train {
+        train.push_row(&extractor.extract(&browser.visit(url).unwrap()), false);
+    }
+    for r in &corpus.phish_train {
+        train.push_row(&extractor.extract(&browser.visit(&r.url).unwrap()), true);
+    }
+    let mut test = Dataset::new(knowyourphish::core::features::FEATURE_COUNT);
+    for url in corpus.english_test() {
+        test.push_row(&extractor.extract(&browser.visit(url).unwrap()), false);
+    }
+    for r in &corpus.phish_test {
+        test.push_row(&extractor.extract(&browser.visit(&r.url).unwrap()), true);
+    }
+    (train, test)
+}
+
+#[test]
+fn detector_reaches_paper_grade_auc() {
+    let corpus = small_corpus();
+    let extractor = FeatureExtractor::new(corpus.ranker.clone());
+    let (train, test) = featurize(&corpus, &extractor);
+
+    let detector = PhishDetector::train(&train, &DetectorConfig::default());
+    let scores = detector.score_dataset(&test);
+    let auc = metrics::auc(&scores, test.labels());
+    assert!(auc > 0.96, "AUC {auc}");
+
+    let conf = metrics::Confusion::at_threshold(&scores, test.labels(), 0.7);
+    assert!(conf.recall() > 0.85, "recall {}", conf.recall());
+    assert!(conf.fpr() < 0.05, "fpr {}", conf.fpr());
+}
+
+#[test]
+fn target_identifier_finds_most_targets() {
+    let corpus = small_corpus();
+    let identifier = TargetIdentifier::new(Arc::new(corpus.engine.clone()));
+    let browser = Browser::new(&corpus.world);
+
+    let mut correct_top3 = 0usize;
+    let mut with_target = 0usize;
+    for record in &corpus.phish_brand {
+        let Some(target) = &record.target else {
+            continue;
+        };
+        with_target += 1;
+        let visit = browser.visit(&record.url).unwrap();
+        if identifier.identify(&visit).has_target_in_top(target, 3) {
+            correct_top3 += 1;
+        }
+    }
+    assert!(with_target >= 30);
+    let rate = correct_top3 as f64 / with_target as f64;
+    assert!(
+        rate > 0.75,
+        "top-3 rate {rate} ({correct_top3}/{with_target})"
+    );
+}
+
+#[test]
+fn legitimate_sites_confirmed_by_search() {
+    let corpus = small_corpus();
+    let identifier = TargetIdentifier::new(Arc::new(corpus.engine.clone()));
+    let browser = Browser::new(&corpus.world);
+
+    let mut legit = 0usize;
+    let mut checked = 0usize;
+    for url in corpus.english_test().iter().take(60) {
+        let visit = browser.visit(url).unwrap();
+        checked += 1;
+        if matches!(
+            identifier.identify(&visit),
+            TargetVerdict::Legitimate { .. }
+        ) {
+            legit += 1;
+        }
+    }
+    assert!(
+        legit * 2 > checked,
+        "only {legit}/{checked} legitimate pages confirmed"
+    );
+}
+
+#[test]
+fn pipeline_classifies_and_names_targets() {
+    let corpus = small_corpus();
+    let extractor = FeatureExtractor::new(corpus.ranker.clone());
+    let (train, _) = featurize(&corpus, &extractor);
+    let detector = PhishDetector::train(&train, &DetectorConfig::default());
+    let identifier = TargetIdentifier::new(Arc::new(corpus.engine.clone()));
+    let pipeline = Pipeline::new(extractor, detector, identifier);
+
+    let browser = Browser::new(&corpus.world);
+    let mut phish_alarms = 0usize;
+    for r in corpus.phish_test.iter().take(40) {
+        let verdict = pipeline.classify(&browser.visit(&r.url).unwrap());
+        if verdict.is_alarming() {
+            phish_alarms += 1;
+        }
+    }
+    assert!(phish_alarms >= 32, "only {phish_alarms}/40 phish alarming");
+
+    let mut legit_alarms = 0usize;
+    for url in corpus.english_test().iter().take(60) {
+        let verdict = pipeline.classify(&browser.visit(url).unwrap());
+        if let PipelineVerdict::Phish { .. } | PipelineVerdict::Suspicious { .. } = verdict {
+            legit_alarms += 1;
+        }
+    }
+    assert!(legit_alarms <= 4, "{legit_alarms}/60 legit pages alarmed");
+}
+
+#[test]
+fn feature_subsets_rank_as_in_table_vii() {
+    use knowyourphish::core::FeatureSet;
+    use knowyourphish::ml::{GbmParams, GradientBoosting};
+
+    let corpus = small_corpus();
+    let extractor = FeatureExtractor::new(corpus.ranker.clone());
+    let (train, test) = featurize(&corpus, &extractor);
+
+    let auc_of = |set: FeatureSet| {
+        let cols = set.columns();
+        let tr = train.select_features(&cols);
+        let te = test.select_features(&cols);
+        let model = GradientBoosting::fit(
+            &tr,
+            &GbmParams {
+                n_trees: 60,
+                ..Default::default()
+            },
+        );
+        metrics::auc(&model.predict_dataset(&te), te.labels())
+    };
+
+    let f1 = auc_of(FeatureSet::F1);
+    let f3 = auc_of(FeatureSet::F3);
+    let fall = auc_of(FeatureSet::All);
+    // The paper's ordering: the full set dominates, f3 alone is weakest.
+    assert!(fall >= f1 - 0.01, "fall {fall} vs f1 {f1}");
+    assert!(f1 > f3, "f1 {f1} vs f3 {f3}");
+    assert!(fall > 0.97, "fall AUC {fall}");
+}

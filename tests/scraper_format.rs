@@ -1,0 +1,62 @@
+//! The paper's scraper "saves the data in json format" (Section VI-A);
+//! these tests pin the interchange format of the scraped bundle so
+//! offline analysis pipelines can rely on it.
+
+use knowyourphish::datagen::{CampaignConfig, Corpus};
+use knowyourphish::web::{Browser, VisitedPage};
+
+#[test]
+fn visited_page_json_roundtrip_over_corpus() {
+    let corpus = Corpus::generate(&CampaignConfig::tiny());
+    let browser = Browser::new(&corpus.world);
+    for record in corpus.phish_test.iter().take(10) {
+        let visit = browser.visit(&record.url).unwrap();
+        let json = serde_json::to_string(&visit).unwrap();
+        let back: VisitedPage = serde_json::from_str(&json).unwrap();
+        assert_eq!(visit, back);
+    }
+    for url in corpus.english_test().iter().take(10) {
+        let visit = browser.visit(url).unwrap();
+        let json = serde_json::to_string_pretty(&visit).unwrap();
+        let back: VisitedPage = serde_json::from_str(&json).unwrap();
+        assert_eq!(visit, back);
+    }
+}
+
+#[test]
+fn json_has_stable_field_names() {
+    let corpus = Corpus::generate(&CampaignConfig::tiny());
+    let browser = Browser::new(&corpus.world);
+    let visit = browser.visit(&corpus.phish_test[0].url).unwrap();
+    let value: serde_json::Value = serde_json::to_value(&visit).unwrap();
+    for field in [
+        "starting_url",
+        "landing_url",
+        "redirection_chain",
+        "logged_links",
+        "href_links",
+        "text",
+        "title",
+        "copyright",
+        "screenshot_text",
+        "input_count",
+        "image_count",
+        "iframe_count",
+    ] {
+        assert!(value.get(field).is_some(), "missing field {field}");
+    }
+}
+
+#[test]
+fn features_are_deterministic_across_serde() {
+    use knowyourphish::core::FeatureExtractor;
+    let corpus = Corpus::generate(&CampaignConfig::tiny());
+    let browser = Browser::new(&corpus.world);
+    let extractor = FeatureExtractor::new(corpus.ranker.clone());
+    let visit = browser.visit(&corpus.phish_test[1].url).unwrap();
+    let direct = extractor.extract(&visit);
+    let reloaded: VisitedPage =
+        serde_json::from_str(&serde_json::to_string(&visit).unwrap()).unwrap();
+    let via_json = extractor.extract(&reloaded);
+    assert_eq!(direct, via_json);
+}

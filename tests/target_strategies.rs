@@ -1,0 +1,134 @@
+//! Target identification across phishing hosting strategies: whatever
+//! obfuscation the phisher picks, the five-step process should name the
+//! brand for kits that carry brand hints.
+
+use knowyourphish::core::{TargetIdentifier, TargetVerdict};
+use knowyourphish::datagen::{
+    BrandCorpus, EvasionProfile, HostingStrategy, Language, PhishGenerator, SiteGenerator,
+};
+use knowyourphish::search::SearchEngine;
+use knowyourphish::web::{Browser, WebWorld};
+use std::sync::Arc;
+
+fn setup() -> (WebWorld, Arc<SearchEngine>, BrandCorpus) {
+    let brands = BrandCorpus::standard();
+    let mut world = WebWorld::new();
+    let mut engine = SearchEngine::new();
+    let mut site_gen = SiteGenerator::new(5);
+    for brand in brands.brands() {
+        let info = site_gen.brand_site(&mut world, brand, Language::English);
+        engine.index_page(&info.rdn, &info.mld, &info.index_text);
+    }
+    (world, Arc::new(engine), brands)
+}
+
+#[test]
+fn every_hosting_strategy_is_attributable() {
+    let (mut world, engine, brands) = setup();
+    let mut generator = PhishGenerator::new(77);
+    let mut sites = Vec::new();
+    for (i, strategy) in HostingStrategy::ALL.into_iter().enumerate() {
+        for j in 0..8 {
+            let brand = brands.cyclic(i * 17 + j);
+            let site = generator.phish_site(
+                &mut world,
+                brand,
+                Language::English,
+                Some(strategy),
+                EvasionProfile::default(),
+            );
+            sites.push((strategy, brand.name.clone(), site.start_url));
+        }
+    }
+
+    let identifier = TargetIdentifier::new(engine);
+    let browser = Browser::new(&world);
+    let mut per_strategy: std::collections::HashMap<String, (usize, usize)> =
+        std::collections::HashMap::new();
+    for (strategy, target, url) in &sites {
+        let visit = browser.visit(url).unwrap();
+        let verdict = identifier.identify(&visit);
+        let entry = per_strategy
+            .entry(format!("{strategy:?}"))
+            .or_insert((0, 0));
+        entry.1 += 1;
+        if verdict.has_target_in_top(target, 3) {
+            entry.0 += 1;
+        }
+    }
+    for (strategy, (hit, total)) in &per_strategy {
+        assert!(
+            hit * 2 > *total,
+            "{strategy}: only {hit}/{total} kits attributed"
+        );
+    }
+    // Overall rate must be high.
+    let (hits, totals): (usize, usize) = per_strategy
+        .values()
+        .fold((0, 0), |(h, t), (a, b)| (h + a, t + b));
+    assert!(hits as f64 / totals as f64 > 0.8, "overall {hits}/{totals}");
+}
+
+#[test]
+fn phish_never_confirmed_legitimate_by_mistake() {
+    let (mut world, engine, brands) = setup();
+    let mut generator = PhishGenerator::new(123);
+    let mut urls = Vec::new();
+    for i in 0..30 {
+        let site = generator.phish_site(
+            &mut world,
+            brands.cyclic(i),
+            Language::English,
+            None,
+            EvasionProfile::default(),
+        );
+        urls.push(site.start_url);
+    }
+    let identifier = TargetIdentifier::new(engine);
+    let browser = Browser::new(&world);
+    let mut confirmed_legit = 0;
+    for url in &urls {
+        let visit = browser.visit(url).unwrap();
+        if matches!(
+            identifier.identify(&visit),
+            TargetVerdict::Legitimate { .. }
+        ) {
+            confirmed_legit += 1;
+        }
+    }
+    assert!(
+        confirmed_legit <= 1,
+        "{confirmed_legit}/30 phish wrongly cleared"
+    );
+}
+
+#[test]
+fn brand_sites_in_every_language_confirmed() {
+    let (mut world, _engine, brands) = setup();
+    // Rebuild the engine including localized brand pages.
+    let mut engine = SearchEngine::new();
+    let mut site_gen = SiteGenerator::new(5);
+    let mut urls = Vec::new();
+    for (i, lang) in Language::ALL.into_iter().enumerate() {
+        let brand = brands.cyclic(i * 7);
+        let info = site_gen.brand_site(&mut world, brand, lang);
+        engine.index_page(&info.rdn, &info.mld, &info.index_text);
+        urls.push((lang, info.start_url));
+    }
+    let identifier = TargetIdentifier::new(Arc::new(engine));
+    let browser = Browser::new(&world);
+    let mut confirmed = 0;
+    for (_, url) in &urls {
+        let visit = browser.visit(url).unwrap();
+        if matches!(
+            identifier.identify(&visit),
+            TargetVerdict::Legitimate { .. }
+        ) {
+            confirmed += 1;
+        }
+    }
+    assert!(
+        confirmed >= 5,
+        "only {confirmed}/6 localized brand sites confirmed"
+    );
+}
