@@ -201,6 +201,23 @@ impl FeatureExtractor {
         self.extract_with_sources(page, &sources)
     }
 
+    /// Extracts a complete, finite feature vector from a *partially*
+    /// captured page (graceful degradation).
+    ///
+    /// Sources the scraper could not capture intact contribute their
+    /// neutral (null-feature) values instead of half-delivered data: see
+    /// [`DataSources::from_partial`]. The result always has
+    /// [`FeatureExtractor::feature_count`] entries and every entry is
+    /// finite, whatever the availability mask says.
+    pub fn extract_degraded(
+        &self,
+        page: &VisitedPage,
+        availability: &kyp_web::SourceAvailability,
+    ) -> Vec<f64> {
+        let sources = DataSources::from_partial(page, availability);
+        self.extract_with_sources(page, &sources)
+    }
+
     /// Extracts features reusing already-computed term distributions
     /// (the keyterm extractor needs the same [`DataSources`]).
     pub fn extract_with_sources(&self, page: &VisitedPage, sources: &DataSources) -> Vec<f64> {

@@ -46,6 +46,6 @@ mod target;
 
 pub use detector::{DetectorConfig, PhishDetector};
 pub use features::{ConsistencyMetric, ExtractorConfig, FeatureExtractor, FeatureSet};
-pub use pipeline::{Pipeline, PipelineVerdict};
+pub use pipeline::{BatchRun, ClassifiedPage, Pipeline, PipelineVerdict, ScrapeReport};
 pub use sources::DataSources;
 pub use target::{TargetCandidate, TargetIdentifier, TargetIdentifierConfig, TargetVerdict};

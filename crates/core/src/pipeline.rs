@@ -8,7 +8,8 @@
 use crate::{
     DataSources, FeatureExtractor, PhishDetector, TargetCandidate, TargetIdentifier, TargetVerdict,
 };
-use kyp_web::VisitedPage;
+use kyp_web::{FailureCause, ResilientBrowser, SourceAvailability, VisitedPage, World};
+use serde::{Deserialize, Serialize};
 
 /// Outcome of the full pipeline for one page.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,7 +96,22 @@ impl Pipeline {
 
     /// Classifies a page with the two-stage process.
     pub fn classify(&self, page: &VisitedPage) -> PipelineVerdict {
-        let sources = DataSources::from_page(page);
+        self.classify_degraded(page, &SourceAvailability::FULL)
+    }
+
+    /// Classifies a partially captured page.
+    ///
+    /// Sources the scraper could not deliver intact are replaced by their
+    /// neutral values (see [`DataSources::from_partial`]), so the verdict
+    /// is always produced from a complete, finite feature vector. With a
+    /// [`SourceAvailability::FULL`] mask this is exactly
+    /// [`Pipeline::classify`].
+    pub fn classify_degraded(
+        &self,
+        page: &VisitedPage,
+        availability: &SourceAvailability,
+    ) -> PipelineVerdict {
+        let sources = DataSources::from_partial(page, availability);
         let features = self.extractor.extract_with_sources(page, &sources);
         let score = self.detector.score(&features);
         if score < self.detector.threshold() {
@@ -107,6 +123,154 @@ impl Pipeline {
             }
             TargetVerdict::Phish { candidates } => PipelineVerdict::Phish { score, candidates },
             TargetVerdict::Unknown => PipelineVerdict::Suspicious { score },
+        }
+    }
+
+    /// Scrapes and classifies a batch of URLs, degrading gracefully.
+    ///
+    /// Every URL is attempted through the resilient scraper; pages that
+    /// arrive — even partially — are classified (degraded pages via
+    /// [`Pipeline::classify_degraded`]), and pages that cannot be fetched
+    /// at all are tallied by failure cause in the returned
+    /// [`ScrapeReport`]. The batch never panics on scrape failures, and
+    /// with a fault-free world it classifies every URL.
+    ///
+    /// All timing is virtual (the scraper's [`kyp_web::VirtualClock`]), so
+    /// two runs over the same world, plan and URLs produce bit-identical
+    /// reports.
+    pub fn classify_all<W: World>(
+        &self,
+        scraper: &mut ResilientBrowser<'_, W>,
+        urls: &[String],
+    ) -> BatchRun {
+        let retries_before = scraper.total_retries();
+        let trips_before = scraper.breaker().trips();
+        let clock_before = scraper.clock().now_ms();
+
+        let mut report = ScrapeReport::default();
+        let mut classified = Vec::new();
+        for url in urls {
+            report.requested += 1;
+            match scraper.scrape(url) {
+                Ok(scraped) => {
+                    report.completed += 1;
+                    let degraded = scraped.availability.is_degraded();
+                    if degraded {
+                        report.degraded += 1;
+                    }
+                    let verdict = self.classify_degraded(&scraped.visit, &scraped.availability);
+                    classified.push(ClassifiedPage {
+                        url: url.clone(),
+                        verdict,
+                        degraded,
+                    });
+                }
+                Err(failure) => {
+                    report.failed += 1;
+                    report.count_cause(failure.cause);
+                }
+            }
+        }
+        report.retries = scraper.total_retries() - retries_before;
+        report.breaker_trips = scraper.breaker().trips() - trips_before;
+        report.virtual_elapsed_ms = scraper.clock().now_ms() - clock_before;
+        BatchRun { classified, report }
+    }
+}
+
+/// One successfully classified page of a [`Pipeline::classify_all`] batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedPage {
+    /// The URL the scrape started from.
+    pub url: String,
+    /// The pipeline's verdict.
+    pub verdict: PipelineVerdict,
+    /// Whether the page was only partially captured.
+    pub degraded: bool,
+}
+
+/// Everything a [`Pipeline::classify_all`] batch produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRun {
+    /// Verdicts for every page that could be fetched, in input order.
+    pub classified: Vec<ClassifiedPage>,
+    /// Aggregate counts over the whole batch.
+    pub report: ScrapeReport,
+}
+
+/// Aggregate accounting of one scraping batch.
+///
+/// All fields are plain counts over virtual time, so a report is
+/// bit-reproducible: two batches over the same world, fault plan and URL
+/// list serialize identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrapeReport {
+    /// URLs the batch attempted.
+    pub requested: u64,
+    /// URLs that yielded a page (including degraded ones).
+    pub completed: u64,
+    /// Completed pages that were only partially captured.
+    pub degraded: u64,
+    /// URLs that yielded no page at all.
+    pub failed: u64,
+    /// Retry attempts beyond each URL's first fetch.
+    pub retries: u64,
+    /// Times a per-host circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Failures still transient after every allowed attempt.
+    pub failed_transient: u64,
+    /// Failures where every attempt timed out.
+    pub failed_timeout: u64,
+    /// Failures abandoned because the per-visit deadline budget ran out.
+    pub failed_deadline: u64,
+    /// Fetches refused because the host's circuit was open.
+    pub failed_circuit_open: u64,
+    /// URLs whose page does not exist.
+    pub failed_not_found: u64,
+    /// URLs that could not be parsed.
+    pub failed_bad_url: u64,
+    /// Redirect chains longer than the browser's limit.
+    pub failed_too_many_redirects: u64,
+    /// Virtual milliseconds the batch consumed.
+    pub virtual_elapsed_ms: u64,
+}
+
+impl ScrapeReport {
+    /// Sum of the per-cause failure counts; always equals `failed`.
+    pub fn failures_total(&self) -> u64 {
+        self.failed_transient
+            + self.failed_timeout
+            + self.failed_deadline
+            + self.failed_circuit_open
+            + self.failed_not_found
+            + self.failed_bad_url
+            + self.failed_too_many_redirects
+    }
+
+    /// Fraction of requested URLs that yielded a page (1.0 for an empty
+    /// batch).
+    pub fn completion_rate(&self) -> f64 {
+        if self.requested == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.requested as f64
+        }
+    }
+
+    /// Adds one failure of `cause` to the matching per-cause counter.
+    ///
+    /// Callers driving a scraper directly (rather than through
+    /// [`Pipeline::classify_all`]) use this to keep
+    /// [`ScrapeReport::failures_total`] consistent with `failed`.
+    pub fn count_cause(&mut self, cause: FailureCause) {
+        match cause {
+            FailureCause::Transient => self.failed_transient += 1,
+            FailureCause::Timeout => self.failed_timeout += 1,
+            FailureCause::DeadlineExceeded => self.failed_deadline += 1,
+            FailureCause::CircuitOpen => self.failed_circuit_open += 1,
+            FailureCause::NotFound => self.failed_not_found += 1,
+            FailureCause::BadUrl => self.failed_bad_url += 1,
+            FailureCause::TooManyRedirects => self.failed_too_many_redirects += 1,
         }
     }
 }
@@ -190,5 +354,115 @@ mod tests {
         assert_eq!(p.detector().threshold(), 0.7);
         let _ = p.extractor();
         let _ = p.identifier();
+    }
+
+    #[test]
+    fn classify_matches_degraded_with_full_mask() {
+        let p = pipeline();
+        for page in [phish(), legit()] {
+            assert_eq!(
+                p.classify(&page),
+                p.classify_degraded(&page, &SourceAvailability::FULL)
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_classification_still_yields_a_verdict() {
+        let p = pipeline();
+        let mask = SourceAvailability {
+            html: false,
+            links: false,
+            screenshot: false,
+        };
+        // No panic, and a well-formed verdict either way.
+        let _ = p.classify_degraded(&phish(), &mask);
+        let _ = p.classify_degraded(&legit(), &mask);
+    }
+
+    fn tiny_world() -> kyp_web::WebWorld {
+        use kyp_web::Page;
+        let mut world = kyp_web::WebWorld::new();
+        world.add_page(
+            "http://a.example.com/",
+            Page::new("<title>A</title><body>plain page one</body>"),
+        );
+        world.add_page(
+            "http://b.example.com/",
+            Page::new("<title>B</title><body>plain page two</body>"),
+        );
+        world
+    }
+
+    #[test]
+    fn classify_all_clean_world_classifies_everything() {
+        let p = pipeline();
+        let world = tiny_world();
+        let mut scraper = ResilientBrowser::new(&world);
+        let urls: Vec<String> = vec![
+            "http://a.example.com/".into(),
+            "http://b.example.com/".into(),
+            "http://missing.example.com/".into(),
+            "not a url".into(),
+        ];
+        let run = p.classify_all(&mut scraper, &urls);
+        assert_eq!(run.report.requested, 4);
+        assert_eq!(run.report.completed, 2);
+        assert_eq!(run.report.failed, 2);
+        assert_eq!(run.report.failed_not_found, 1);
+        assert_eq!(run.report.failed_bad_url, 1);
+        assert_eq!(run.report.failures_total(), run.report.failed);
+        assert_eq!(run.classified.len(), 2);
+        assert!(run.classified.iter().all(|c| !c.degraded));
+        assert_eq!(run.classified[0].url, "http://a.example.com/");
+        assert!(run.report.virtual_elapsed_ms > 0, "virtual time must pass");
+    }
+
+    #[test]
+    fn classify_all_reports_are_bit_identical_across_runs() {
+        let p = pipeline();
+        let world = tiny_world();
+        let urls: Vec<String> = vec![
+            "http://a.example.com/".into(),
+            "http://missing.example.com/".into(),
+            "http://b.example.com/".into(),
+        ];
+        let plan = kyp_web::FaultPlan::new(7, 0.4);
+        let run = |w: &kyp_web::WebWorld| {
+            let flaky = kyp_web::FlakyWorld::new(w, plan.clone());
+            let mut scraper = ResilientBrowser::new(&flaky);
+            p.classify_all(&mut scraper, &urls)
+        };
+        let (one, two) = (run(&world), run(&world));
+        assert_eq!(one.report, two.report);
+        assert_eq!(one.classified, two.classified);
+        let a = serde_json::to_string(&one.report).unwrap();
+        let b = serde_json::to_string(&two.report).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scrape_report_roundtrips_through_json() {
+        let report = ScrapeReport {
+            requested: 10,
+            completed: 7,
+            degraded: 2,
+            failed: 3,
+            retries: 5,
+            breaker_trips: 1,
+            failed_transient: 1,
+            failed_timeout: 1,
+            failed_deadline: 0,
+            failed_circuit_open: 0,
+            failed_not_found: 1,
+            failed_bad_url: 0,
+            failed_too_many_redirects: 0,
+            virtual_elapsed_ms: 1234,
+        };
+        assert_eq!(report.failures_total(), report.failed);
+        assert!((report.completion_rate() - 0.7).abs() < 1e-12);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ScrapeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 }

@@ -1,6 +1,6 @@
 use kyp_text::TermDistribution;
 use kyp_url::Url;
-use kyp_web::VisitedPage;
+use kyp_web::{SourceAvailability, VisitedPage};
 
 /// The term distributions of the paper's Table I, computed once per page
 /// and shared by the f2/f3 features and the keyterm extractor.
@@ -69,6 +69,36 @@ impl DataSources {
             extlog: free(&extlog_urls),
             extlink: free(&extlink_urls),
         }
+    }
+
+    /// Computes distributions from a *partially* captured page.
+    ///
+    /// Sources the scraper could not capture intact are replaced by empty
+    /// distributions — the same neutral value a genuinely empty source
+    /// produces — rather than trusting half-delivered data:
+    ///
+    /// - when `links` is unavailable (truncated HTML may have cut
+    ///   references off the end of the document), every link-derived
+    ///   distribution is emptied;
+    /// - URL-derived and text-derived distributions always remain: the
+    ///   URLs are known before any content arrives, and partial text is
+    ///   still honest evidence (a prefix of the real page).
+    ///
+    /// Consistency features over empty distributions collapse to their
+    /// null value, so degraded pages still yield complete, finite feature
+    /// vectors (see `FeatureExtractor::extract_degraded`).
+    pub fn from_partial(page: &VisitedPage, availability: &SourceAvailability) -> Self {
+        let mut sources = Self::from_page(page);
+        if !availability.links {
+            let empty = TermDistribution::default;
+            sources.intlog = empty();
+            sources.intlink = empty();
+            sources.intrdn = empty();
+            sources.extrdn = empty();
+            sources.extlog = empty();
+            sources.extlink = empty();
+        }
+        sources
     }
 
     /// The 12 distributions used by the f2 consistency features, in the
@@ -159,6 +189,32 @@ mod tests {
         // External logged FreeURL: "logo.png" → "logo" + "png".
         assert!(s.extlog.contains("logo"));
         assert!(s.intlog.contains("css"));
+    }
+
+    #[test]
+    fn partial_sources_blank_link_distributions() {
+        let p = page();
+        let degraded = SourceAvailability {
+            html: false,
+            links: false,
+            screenshot: true,
+        };
+        let s = DataSources::from_partial(&p, &degraded);
+        for d in [
+            &s.intlog, &s.intlink, &s.intrdn, &s.extrdn, &s.extlog, &s.extlink,
+        ] {
+            assert!(d.is_empty(), "link-derived distributions must be neutral");
+        }
+        // URL- and text-derived distributions survive.
+        assert!(s.start.contains("paypal"));
+        assert!(s.text.contains("paypal"));
+
+        // A full mask reproduces from_page exactly.
+        let full = DataSources::from_partial(&p, &SourceAvailability::FULL);
+        assert_eq!(
+            format!("{full:?}"),
+            format!("{:?}", DataSources::from_page(&p))
+        );
     }
 
     #[test]

@@ -459,7 +459,7 @@ impl PhishGenerator {
             if !evasion.no_brand_hint && self.rng.gen_bool(0.4) {
                 page = page.link(&format!("https://{target_host}/help"), "help");
             }
-        } else if self.rng.gen_bool(0.3) {
+        } else if !evasion.no_brand_hint && self.rng.gen_bool(0.3) {
             page = page.iframe(&format!("https://{target_host}/frame"));
         }
 
@@ -716,7 +716,15 @@ mod tests {
         let brand = corpus.cyclic(7);
         assert!(!visit.text.to_lowercase().contains(&brand.name));
         assert!(!visit.title.to_lowercase().contains(&brand.name));
-        assert!(visit.href_links.is_empty());
+        // A hintless kit may keep generic navigation, but nothing on the
+        // page — anchors or loaded resources — may reference the target.
+        for link in visit.href_links.iter().chain(&visit.logged_links) {
+            let s = link.as_str().to_lowercase();
+            assert!(
+                !s.contains(&brand.name) && !s.contains(&brand.domain),
+                "hintless kit leaks target through link {s}"
+            );
+        }
     }
 
     #[test]

@@ -417,7 +417,7 @@ impl SiteGenerator {
     fn shortener_entry(&mut self, world: &mut WebWorld, landing: &str) -> String {
         let shortener = *SHORTENER_RDNS.choose(&mut self.rng).expect("shorteners");
         let code: String = (0..6)
-            .map(|_| (b'a' + self.rng.gen_range(0..26)) as char)
+            .map(|_| (b'a' + self.rng.gen_range(0u8..26)) as char)
             .collect();
         let from = format!("http://{shortener}/{code}");
         world.add_redirect(&from, landing);

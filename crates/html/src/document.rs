@@ -222,6 +222,25 @@ mod tests {
     }
 
     #[test]
+    fn truncated_documents_keep_everything_received() {
+        // A fetch cut off mid-transfer still yields every data source that
+        // arrived before the cut — and never panics, whatever the cut.
+        for cut in (0..PAGE.len()).filter(|&c| PAGE.is_char_boundary(c)) {
+            let doc = Document::parse(&PAGE[..cut]);
+            assert!(doc.href_links().iter().all(|h| !h.is_empty()));
+        }
+        // Cut right after the first two anchors: both survive.
+        let upto = PAGE.find("top</a>").unwrap();
+        let doc = Document::parse(&PAGE[..upto]);
+        assert_eq!(doc.title(), "Example Bank — Sign in");
+        assert_eq!(
+            doc.href_links(),
+            ["/accounts", "https://partner.example.org/offers"]
+        );
+        assert!(doc.text().contains("Welcome to Example Bank"));
+    }
+
+    #[test]
     fn extracts_href_links_skipping_fragments() {
         let doc = Document::parse(PAGE);
         assert_eq!(

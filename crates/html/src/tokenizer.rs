@@ -108,16 +108,15 @@ impl<'a> Tokenizer<'a> {
                 return Some(Token::Text("<".to_owned()));
             }
         }
-        let tag_end = match rest.find('>') {
-            Some(idx) => idx,
-            None => {
-                // Unterminated tag: treat the rest as text.
-                self.pos = self.input.len();
-                return Some(Token::Text(rest.to_owned()));
-            }
+        // An unterminated tag at end of input is the signature of a
+        // truncated fetch: salvage the partial tag (name plus any complete
+        // attributes) instead of leaking raw markup into the text stream.
+        let (tag_end, terminated) = match rest.find('>') {
+            Some(idx) => (idx, true),
+            None => (rest.len(), false),
         };
         let inner = &rest[name_start..tag_end];
-        self.pos += tag_end + 1;
+        self.pos += tag_end + usize::from(terminated);
 
         let mut chars = inner.char_indices();
         let name_end = chars
@@ -324,9 +323,65 @@ mod tests {
     }
 
     #[test]
-    fn unterminated_tag_is_text() {
+    fn unterminated_tag_is_salvaged() {
         let toks = tokens("before <a href=");
-        assert!(toks.len() >= 2);
+        assert_eq!(toks[0], Token::Text("before ".into()));
+        assert!(
+            matches!(&toks[1], Token::StartTag { name, .. } if name == "a"),
+            "partial tag should become a start tag, got {:?}",
+            toks[1]
+        );
+    }
+
+    #[test]
+    fn truncated_tag_keeps_complete_attributes() {
+        // Cut off mid-attribute-list: the completed href survives.
+        let toks = tokens(r#"<a href="https://x.com/a" cla"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "a");
+                assert_eq!(
+                    attrs[0],
+                    ("href".to_string(), "https://x.com/a".to_string())
+                );
+            }
+            t => panic!("unexpected token {t:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_attribute_value_is_salvaged() {
+        // Cut off inside a quoted value: what arrived is kept.
+        let toks = tokens(r#"<img src="https://cdn.example.net/lo"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "img");
+                assert_eq!(attrs[0].1, "https://cdn.example.net/lo");
+            }
+            t => panic!("unexpected token {t:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_tokenizes_without_panic() {
+        let html = r#"<!DOCTYPE html><title>T</title><body><p>a &amp; b</p>
+            <a href="https://x.com/a?q=1">link</a><script>var x = '<q>';</script>
+            <img src="/i.png"><!-- note --><iframe src="//f.net/x"></iframe>日本語</body>"#;
+        for cut in 0..=html.len() {
+            if !html.is_char_boundary(cut) {
+                continue;
+            }
+            let toks: Vec<Token> = Tokenizer::new(&html[..cut]).collect();
+            // No panic, and no token leaks raw '<tag' markup as text.
+            for t in &toks {
+                if let Token::Text(s) = t {
+                    assert!(
+                        !s.trim_start().starts_with("<a ") && !s.contains("<img"),
+                        "markup leaked into text at cut {cut}: {s:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
-use crate::visit::VisitedPage;
-use crate::world::WebWorld;
+use crate::visit::{SourceAvailability, VisitedPage};
+use crate::world::{Fetch, WebWorld, World};
 use kyp_html::Document;
 use kyp_url::{ParseUrlError, Url};
 use std::error::Error;
@@ -18,6 +18,22 @@ pub enum VisitError {
     NotFound(String),
     /// The redirect chain exceeded the browser's limit.
     TooManyRedirects,
+    /// A fetch failed transiently (reset connection, flaky DNS, 5xx);
+    /// retrying may succeed.
+    Transient(String),
+    /// A fetch hit its timeout without an answer; retrying may succeed.
+    Timeout(String),
+    /// The landing page's HTML stream was cut off mid-transfer. The
+    /// lenient path ([`Browser::try_visit`]) accepts such pages as
+    /// degraded; the strict [`Browser::visit`] reports this error.
+    Truncated(String),
+}
+
+impl VisitError {
+    /// `true` for failures worth retrying (transient by nature).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, VisitError::Transient(_) | VisitError::Timeout(_))
+    }
 }
 
 impl fmt::Display for VisitError {
@@ -26,6 +42,9 @@ impl fmt::Display for VisitError {
             VisitError::BadUrl(e) => write!(f, "invalid url: {e}"),
             VisitError::NotFound(u) => write!(f, "no resource hosted at {u}"),
             VisitError::TooManyRedirects => write!(f, "redirect chain too long"),
+            VisitError::Transient(u) => write!(f, "transient fetch failure at {u}"),
+            VisitError::Timeout(u) => write!(f, "fetch timed out at {u}"),
+            VisitError::Truncated(u) => write!(f, "html stream truncated at {u}"),
         }
     }
 }
@@ -45,48 +64,121 @@ impl From<ParseUrlError> for VisitError {
     }
 }
 
-/// A scripted browser over a [`WebWorld`] — the reproduction's analogue of
+/// A successful (possibly degraded) lenient visit: the collected data
+/// sources, what was captured intact, and the virtual time spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisitOutcome {
+    /// The collected data-source bundle.
+    pub visit: VisitedPage,
+    /// Which sources were captured intact.
+    pub availability: SourceAvailability,
+    /// Total fetch cost on the virtual clock, in milliseconds.
+    pub cost_ms: u64,
+}
+
+/// A failed visit together with the virtual time it burned — retry logic
+/// must charge failed attempts against the deadline budget too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisitFailure {
+    /// What went wrong.
+    pub error: VisitError,
+    /// Virtual milliseconds spent before failing.
+    pub cost_ms: u64,
+}
+
+/// A scripted browser over a [`World`] — the reproduction's analogue of
 /// the paper's monitored Selenium/Firefox scraper.
+///
+/// Generic over the world implementation: [`WebWorld`] (the default) is
+/// perfectly reliable, [`FlakyWorld`](crate::FlakyWorld) injects faults.
 ///
 /// # Examples
 ///
 /// See the [crate docs](crate).
-#[derive(Debug, Clone, Copy)]
-pub struct Browser<'w> {
-    world: &'w WebWorld,
+#[derive(Debug)]
+pub struct Browser<'w, W: World = WebWorld> {
+    world: &'w W,
 }
 
-impl<'w> Browser<'w> {
+// Manual impls: `#[derive]` would needlessly require `W: Clone`.
+impl<W: World> Clone for Browser<'_, W> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<W: World> Copy for Browser<'_, W> {}
+
+impl<'w, W: World> Browser<'w, W> {
     /// Creates a browser over a world.
-    pub fn new(world: &'w WebWorld) -> Self {
+    pub fn new(world: &'w W) -> Self {
         Browser { world }
     }
 
     /// Visits `starting_url`: follows redirects, loads the landing page,
     /// and collects every Section II-C data source.
     ///
+    /// This is the *strict* entry point: any delivery defect is an error.
+    /// Use [`Browser::try_visit`] to accept degraded pages.
+    ///
     /// # Errors
     ///
     /// - [`VisitError::BadUrl`] when a URL does not parse,
     /// - [`VisitError::NotFound`] when nothing is hosted at the landing URL,
-    /// - [`VisitError::TooManyRedirects`] after 10 redirects.
+    /// - [`VisitError::TooManyRedirects`] after 10 redirects,
+    /// - [`VisitError::Transient`] / [`VisitError::Timeout`] when a fetch
+    ///   fails (only on fault-injecting worlds),
+    /// - [`VisitError::Truncated`] when the landing HTML was cut off.
     pub fn visit(&self, starting_url: &str) -> Result<VisitedPage, VisitError> {
-        let start = Url::parse(starting_url)?;
+        let outcome = self.try_visit(starting_url).map_err(|f| f.error)?;
+        if !outcome.availability.html {
+            return Err(VisitError::Truncated(outcome.visit.landing_url.to_string()));
+        }
+        Ok(outcome.visit)
+    }
+
+    /// Lenient visit: accepts partially delivered pages, reporting what
+    /// was captured via [`SourceAvailability`].
+    ///
+    /// A truncated HTML stream yields a degraded [`VisitOutcome`] (parsed
+    /// from the partial document, `html`/`links` flags cleared) instead of
+    /// an error; a missing screenshot clears the `screenshot` flag and
+    /// leaves `screenshot_text` empty. Hard failures — unreachable or
+    /// unparsable URLs, failed fetches — are still errors, with the
+    /// virtual time spent attached.
+    ///
+    /// # Errors
+    ///
+    /// See [`Browser::visit`]; `Truncated` is never returned here.
+    pub fn try_visit(&self, starting_url: &str) -> Result<VisitOutcome, VisitFailure> {
+        let mut cost_ms = 0u64;
+        let fail = |error, cost_ms| Err(VisitFailure { error, cost_ms });
+        let start = match Url::parse(starting_url) {
+            Ok(u) => u,
+            Err(e) => return fail(VisitError::BadUrl(e), 0),
+        };
         let mut chain = vec![start.clone()];
         let mut current = start.clone();
         for _ in 0..=MAX_REDIRECTS {
-            if let Some(target) = self.world.lookup_redirect(&current) {
-                let next = resolve_href(&current, target)
-                    .ok_or(VisitError::NotFound(target.to_owned()))?;
-                chain.push(next.clone());
-                current = next;
-                continue;
-            }
-            let page = self
-                .world
-                .lookup_page(&current)
-                .ok_or_else(|| VisitError::NotFound(current.to_string()))?;
+            let result = self.world.fetch(&current);
+            cost_ms += result.cost_ms;
+            let fetched = match result.outcome {
+                Fetch::Redirect(target) => {
+                    let Some(next) = resolve_href(&current, &target) else {
+                        return fail(VisitError::NotFound(target), cost_ms);
+                    };
+                    chain.push(next.clone());
+                    current = next;
+                    continue;
+                }
+                Fetch::NotFound => return fail(VisitError::NotFound(current.to_string()), cost_ms),
+                Fetch::Transient => {
+                    return fail(VisitError::Transient(current.to_string()), cost_ms)
+                }
+                Fetch::TimedOut => return fail(VisitError::Timeout(current.to_string()), cost_ms),
+                Fetch::Page(fetched) => fetched,
+            };
 
+            let page = &fetched.page;
             let doc = Document::parse(&page.html);
             let landing = current.clone();
             let logged_links = doc
@@ -99,12 +191,15 @@ impl<'w> Browser<'w> {
                 .iter()
                 .filter_map(|href| resolve_href(&landing, href))
                 .collect();
-            let screenshot_text = page
-                .rendered_text
-                .clone()
-                .unwrap_or_else(|| doc.text().to_owned());
+            let screenshot_text = if fetched.screenshot_missing {
+                String::new()
+            } else {
+                page.rendered_text
+                    .clone()
+                    .unwrap_or_else(|| doc.text().to_owned())
+            };
 
-            return Ok(VisitedPage {
+            let visit = VisitedPage {
                 starting_url: start,
                 landing_url: landing,
                 redirection_chain: chain,
@@ -117,9 +212,18 @@ impl<'w> Browser<'w> {
                 input_count: doc.input_count(),
                 image_count: doc.image_count(),
                 iframe_count: doc.iframe_count(),
+            };
+            return Ok(VisitOutcome {
+                visit,
+                availability: SourceAvailability {
+                    html: !fetched.truncated,
+                    links: !fetched.truncated,
+                    screenshot: !fetched.screenshot_missing,
+                },
+                cost_ms,
             });
         }
-        Err(VisitError::TooManyRedirects)
+        fail(VisitError::TooManyRedirects, cost_ms)
     }
 }
 
@@ -321,6 +425,34 @@ mod tests {
         let v = Browser::new(&w).visit("http://dup.example.com/").unwrap();
         assert_eq!(v.logged_links.len(), 2);
         assert_eq!(v.image_count, 2);
+    }
+
+    #[test]
+    fn redirect_target_query_preserved_in_chain() {
+        // Regression: a redirect target carrying a query string must keep
+        // it through resolve_href and into the recorded chain — tracking
+        // tokens in intermediate hops feed the FreeURL distributions.
+        let mut w = WebWorld::new();
+        w.add_redirect(
+            "http://go.example.com/r",
+            "http://land.example.com/next?sid=42&cmd=login",
+        );
+        w.add_redirect("http://rel.example.com/r", "/local?tok=abc");
+        w.add_page("http://land.example.com/next", Page::new("<body>a</body>"));
+        w.add_page("http://rel.example.com/local", Page::new("<body>b</body>"));
+
+        let v = Browser::new(&w).visit("http://go.example.com/r").unwrap();
+        assert_eq!(v.redirection_chain.len(), 2);
+        assert_eq!(v.redirection_chain[1].query(), Some("sid=42&cmd=login"));
+        assert_eq!(v.landing_url.query(), Some("sid=42&cmd=login"));
+
+        // Relative redirect targets keep their query too.
+        let v = Browser::new(&w).visit("http://rel.example.com/r").unwrap();
+        assert_eq!(v.redirection_chain[1].query(), Some("tok=abc"));
+        assert_eq!(
+            v.landing_url.as_str(),
+            "http://rel.example.com/local?tok=abc"
+        );
     }
 
     #[test]

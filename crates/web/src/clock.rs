@@ -1,0 +1,64 @@
+//! A virtual clock for deterministic time handling.
+//!
+//! The resilient scraper never sleeps or reads wall-clock time: backoff
+//! delays, fetch latencies and timeouts all advance a [`VirtualClock`],
+//! a plain millisecond counter. Two runs with the same seed therefore
+//! observe *identical* timestamps, which makes retry/deadline behaviour —
+//! and every scrape report built on top of it — bit-reproducible.
+
+use std::cell::Cell;
+
+/// Deterministic millisecond clock, advanced explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_web::VirtualClock;
+/// let clock = VirtualClock::new();
+/// assert_eq!(clock.now_ms(), 0);
+/// clock.advance(250);
+/// assert_eq!(clock.now_ms(), 250);
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ms: Cell<u64>,
+}
+
+impl VirtualClock {
+    /// A clock starting at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.get()
+    }
+
+    /// Moves time forward by `ms` milliseconds (saturating).
+    pub fn advance(&self, ms: u64) {
+        self.now_ms.set(self.now_ms.get().saturating_add(ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.now_ms(), 12);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let c = VirtualClock::new();
+        c.advance(u64::MAX - 1);
+        c.advance(100);
+        assert_eq!(c.now_ms(), u64::MAX);
+    }
+}

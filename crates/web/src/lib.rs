@@ -16,6 +16,26 @@
 //! - [`DomainRanker`] substitutes the paper's local copy of the Alexa
 //!   top-1M ranking.
 //!
+//! # Fault model and resilience
+//!
+//! Live scraping fails constantly: connections reset, servers stall, HTML
+//! arrives cut off, redirect hops die, renderers miss screenshots. The
+//! crate models all of it deterministically:
+//!
+//! - [`FlakyWorld`] wraps a [`WebWorld`] behind the same [`World`] trait
+//!   and injects a seeded [`FaultPlan`] of those failures — every fault
+//!   decision is a hash of `(seed, url, attempt)`, never a wall clock;
+//! - [`ResilientBrowser`] retries with a [`RetryPolicy`] (bounded
+//!   attempts, capped exponential backoff with deterministic jitter, a
+//!   per-visit deadline budget) and fails fast on hosts whose
+//!   [`CircuitBreaker`] circuit is open;
+//! - all waiting happens on a [`VirtualClock`] — runs never sleep and are
+//!   bit-reproducible for a given seed;
+//! - partially delivered pages surface as successes with
+//!   [`SourceAvailability`] flags cleared, so the pipeline can extract
+//!   features from what *did* arrive (graceful degradation) instead of
+//!   dropping the page.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,12 +54,21 @@
 //! ```
 
 mod browser;
+mod clock;
+mod fault;
 pub mod ocr;
 mod ranking;
+mod scraper;
 mod visit;
 mod world;
 
-pub use browser::{Browser, VisitError};
+pub use browser::{Browser, VisitError, VisitFailure, VisitOutcome};
+pub use clock::VirtualClock;
+pub use fault::{FaultKind, FaultPlan, FlakyWorld};
 pub use ranking::{DomainRanker, UNRANKED};
-pub use visit::VisitedPage;
-pub use world::{Page, WebWorld};
+pub use scraper::{
+    BreakerState, CircuitBreaker, FailureCause, ResilientBrowser, RetryPolicy, ScrapeFailure,
+    ScrapedPage,
+};
+pub use visit::{SourceAvailability, VisitedPage};
+pub use world::{Fetch, FetchResult, FetchedPage, Page, WebWorld, World};

@@ -1,6 +1,44 @@
 use kyp_url::Url;
 use serde::{Deserialize, Serialize};
 
+/// Which of a visit's data sources were actually captured intact.
+///
+/// A fault-free visit captures everything ([`SourceAvailability::FULL`]).
+/// Degraded visits — truncated HTML streams, failed screenshot capture —
+/// clear the corresponding flags so downstream feature extraction can
+/// substitute neutral values instead of trusting half-delivered data (see
+/// `DataSources::from_partial` in `kyp-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceAvailability {
+    /// The full HTML document arrived (false when the stream was cut off).
+    pub html: bool,
+    /// The logged/HREF link lists are complete (false when truncation may
+    /// have cut references off the end of the document).
+    pub links: bool,
+    /// A screenshot (rendered text) was captured.
+    pub screenshot: bool,
+}
+
+impl SourceAvailability {
+    /// Every source captured intact.
+    pub const FULL: SourceAvailability = SourceAvailability {
+        html: true,
+        links: true,
+        screenshot: true,
+    };
+
+    /// `true` when any source is missing or incomplete.
+    pub fn is_degraded(&self) -> bool {
+        *self != Self::FULL
+    }
+}
+
+impl Default for SourceAvailability {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
 /// The complete data-source bundle a browser collects while loading a
 /// webpage — Section II-C of the paper, and the *only* input of the
 /// feature extractor and target identifier.

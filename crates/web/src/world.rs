@@ -1,6 +1,81 @@
 use kyp_url::Url;
 use std::collections::HashMap;
 
+/// Virtual milliseconds a healthy fetch costs on [`WebWorld`].
+pub(crate) const NOMINAL_FETCH_MS: u64 = 40;
+
+/// A served page plus any delivery defects observed while loading it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchedPage {
+    /// The page content as received (possibly cut off or corrupted).
+    pub page: Page,
+    /// The HTML stream ended before the server finished sending.
+    pub truncated: bool,
+    /// The renderer failed to capture a screenshot of the page.
+    pub screenshot_missing: bool,
+}
+
+impl FetchedPage {
+    /// A defect-free fetch of `page`.
+    pub fn clean(page: Page) -> Self {
+        FetchedPage {
+            page,
+            truncated: false,
+            screenshot_missing: false,
+        }
+    }
+}
+
+/// Outcome of fetching a single URL, as a network stack would report it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fetch {
+    /// A page was served.
+    Page(FetchedPage),
+    /// An HTTP redirect to the given (possibly relative) target.
+    Redirect(String),
+    /// Nothing is hosted at the URL.
+    NotFound,
+    /// The connection failed mid-flight (reset, DNS hiccup, 5xx).
+    Transient,
+    /// The server accepted the connection but never answered.
+    TimedOut,
+}
+
+/// One fetch outcome with its cost on the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchResult {
+    /// What came back.
+    pub outcome: Fetch,
+    /// Virtual milliseconds the fetch took (timeouts cost the most).
+    pub cost_ms: u64,
+}
+
+/// Anything a [`Browser`](crate::Browser) can fetch URLs from.
+///
+/// [`WebWorld`] is the reliable implementation; fault-injecting wrappers
+/// like [`FlakyWorld`](crate::FlakyWorld) implement the same trait, so the
+/// whole visit machinery runs unchanged over an unreliable web.
+pub trait World {
+    /// Fetches one URL. Implementations must be deterministic given their
+    /// construction-time seed and the sequence of calls — no wall clock,
+    /// no global RNG.
+    fn fetch(&self, url: &Url) -> FetchResult;
+}
+
+impl World for WebWorld {
+    fn fetch(&self, url: &Url) -> FetchResult {
+        let outcome = match self.lookup(url) {
+            Some(Entry::Page(p)) => Fetch::Page(FetchedPage::clean(p.clone())),
+            Some(Entry::Redirect(t)) => Fetch::Redirect(t.clone()),
+            None => Fetch::NotFound,
+        };
+        FetchResult {
+            outcome,
+            cost_ms: NOMINAL_FETCH_MS,
+        }
+    }
+}
+
 /// A page hosted in the simulated web.
 ///
 /// `rendered_text` stands in for a screenshot: it is what optical
@@ -58,7 +133,7 @@ impl WebWorld {
     }
 
     /// Normalised lookup key of a URL: `host/path`.
-    fn key_of(url: &Url) -> String {
+    pub(crate) fn key_of(url: &Url) -> String {
         let host = match url.fqdn() {
             Some(f) => f.to_string(),
             None => url.host().to_string(),
@@ -97,20 +172,6 @@ impl WebWorld {
         self.entries.get(&Self::key_of(url))
     }
 
-    pub(crate) fn lookup_page(&self, url: &Url) -> Option<&Page> {
-        match self.lookup(url)? {
-            Entry::Page(p) => Some(p),
-            Entry::Redirect(_) => None,
-        }
-    }
-
-    pub(crate) fn lookup_redirect(&self, url: &Url) -> Option<&str> {
-        match self.lookup(url)? {
-            Entry::Page(_) => None,
-            Entry::Redirect(t) => Some(t.as_str()),
-        }
-    }
-
     /// Number of hosted entries (pages + redirects).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -126,6 +187,10 @@ impl WebWorld {
 mod tests {
     use super::*;
 
+    fn fetch_outcome(w: &WebWorld, url: &str) -> Fetch {
+        w.fetch(&Url::parse(url).unwrap()).outcome
+    }
+
     #[test]
     fn lookup_ignores_scheme_and_query() {
         let mut w = WebWorld::new();
@@ -135,28 +200,44 @@ mod tests {
             "http://example.com/a?q=1",
             "example.com/a",
         ] {
-            let url = Url::parse(probe).unwrap();
-            assert!(w.lookup_page(&url).is_some(), "probe {probe}");
+            assert!(
+                matches!(fetch_outcome(&w, probe), Fetch::Page(_)),
+                "probe {probe}"
+            );
         }
-        let other = Url::parse("http://example.com/b").unwrap();
-        assert!(w.lookup_page(&other).is_none());
+        assert_eq!(fetch_outcome(&w, "http://example.com/b"), Fetch::NotFound);
     }
 
     #[test]
     fn redirect_entries() {
         let mut w = WebWorld::new();
         w.add_redirect("http://a.com/", "https://b.com/");
-        let url = Url::parse("http://a.com/").unwrap();
-        assert_eq!(w.lookup_redirect(&url), Some("https://b.com/"));
-        assert!(w.lookup_page(&url).is_none());
+        assert_eq!(
+            fetch_outcome(&w, "http://a.com/"),
+            Fetch::Redirect("https://b.com/".into())
+        );
     }
 
     #[test]
     fn ip_hosts_supported() {
         let mut w = WebWorld::new();
         w.add_page("http://10.1.2.3/login", Page::new("<body>login</body>"));
-        let url = Url::parse("http://10.1.2.3/login").unwrap();
-        assert!(w.lookup_page(&url).is_some());
+        assert!(matches!(
+            fetch_outcome(&w, "http://10.1.2.3/login"),
+            Fetch::Page(_)
+        ));
+    }
+
+    #[test]
+    fn fetches_are_clean_and_cost_nominal_latency() {
+        let mut w = WebWorld::new();
+        w.add_page("http://example.com/", Page::new("<body>x</body>"));
+        let r = w.fetch(&Url::parse("http://example.com/").unwrap());
+        assert_eq!(r.cost_ms, NOMINAL_FETCH_MS);
+        match r.outcome {
+            Fetch::Page(fp) => assert!(!fp.truncated && !fp.screenshot_missing),
+            o => panic!("unexpected outcome {o:?}"),
+        }
     }
 
     #[test]

@@ -12,12 +12,15 @@
 //! ```
 
 use knowyourphish::core::{
-    DetectorConfig, FeatureExtractor, PhishDetector, Pipeline, PipelineVerdict, TargetIdentifier,
+    DetectorConfig, FeatureExtractor, PhishDetector, Pipeline, PipelineVerdict, ScrapeReport,
+    TargetIdentifier,
 };
 use knowyourphish::datagen::{CampaignConfig, Corpus};
 use knowyourphish::ml::{metrics, Dataset};
 use knowyourphish::search::SearchEngine;
-use knowyourphish::web::{Browser, DomainRanker, VisitedPage};
+use knowyourphish::web::{
+    Browser, DomainRanker, FaultPlan, FlakyWorld, ResilientBrowser, VisitedPage, World,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs;
@@ -73,6 +76,7 @@ kyp — Know Your Phish reproduction CLI
 
 USAGE:
   kyp gen   --out <dir> [--scale <f>] [--seed <n>]   generate + scrape a corpus
+            [--fault-rate <f>] [--fault-seed <n>]    ...through an unreliable web
   kyp train --data <dir> --out <model.json>          train the detector
   kyp eval  --data <dir> --model <model.json>        evaluate on the test sets
   kyp scan  --model <model.json> --data <dir> --page <page.json>
@@ -97,6 +101,45 @@ fn opt<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Stri
         .ok_or_else(|| format!("missing required option --{key}"))
 }
 
+/// Scrapes the named URL bundles through a resilient scraper, writing one
+/// `VisitedPage` json line per captured page, and accounts every attempt
+/// in the returned [`ScrapeReport`].
+fn scrape_bundles<W: World>(
+    scraper: &mut ResilientBrowser<'_, W>,
+    bundles: &[(&str, &[String])],
+    out: &Path,
+) -> Result<ScrapeReport, String> {
+    let mut report = ScrapeReport::default();
+    for (name, urls) in bundles {
+        let path = out.join(format!("{name}.jsonl"));
+        let mut file = fs::File::create(&path).map_err(|e| format!("create {path:?}: {e}"))?;
+        let mut n = 0;
+        for url in *urls {
+            report.requested += 1;
+            match scraper.scrape(url) {
+                Ok(scraped) => {
+                    report.completed += 1;
+                    if scraped.availability.is_degraded() {
+                        report.degraded += 1;
+                    }
+                    let line = serde_json::to_string(&scraped.visit).map_err(|e| e.to_string())?;
+                    writeln!(file, "{line}").map_err(|e| e.to_string())?;
+                    n += 1;
+                }
+                Err(failure) => {
+                    report.failed += 1;
+                    report.count_cause(failure.cause);
+                }
+            }
+        }
+        eprintln!("  {name}.jsonl: {n} pages");
+    }
+    report.retries = scraper.total_retries();
+    report.breaker_trips = scraper.breaker().trips();
+    report.virtual_elapsed_ms = scraper.clock().now_ms();
+    Ok(report)
+}
+
 /// `kyp gen`: synthesise a corpus and write the jsonl scrape bundles.
 fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
     let out = PathBuf::from(opt(opts, "out")?);
@@ -107,35 +150,51 @@ fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(seed) = opts.get("seed") {
         config.seed = seed.parse().map_err(|_| "invalid --seed".to_owned())?;
     }
+    let fault_rate: f64 = opts.get("fault-rate").map_or(Ok(0.0), |s| {
+        s.parse().map_err(|_| "invalid --fault-rate".to_owned())
+    })?;
+    let fault_seed: u64 = opts.get("fault-seed").map_or(Ok(config.seed), |s| {
+        s.parse().map_err(|_| "invalid --fault-seed".to_owned())
+    })?;
     fs::create_dir_all(&out).map_err(|e| format!("create {out:?}: {e}"))?;
 
     eprintln!("generating corpus at scale {scale}...");
     let corpus = Corpus::generate(&config);
     let browser = Browser::new(&corpus.world);
 
-    let scrape_all = |urls: &[String], path: &Path| -> Result<usize, String> {
-        let mut file = fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
-        let mut n = 0;
-        for url in urls {
-            if let Ok(visit) = browser.visit(url) {
-                let line = serde_json::to_string(&visit).map_err(|e| e.to_string())?;
-                writeln!(file, "{line}").map_err(|e| e.to_string())?;
-                n += 1;
-            }
-        }
-        Ok(n)
-    };
-
     let phish_train: Vec<String> = corpus.phish_train.iter().map(|r| r.url.clone()).collect();
     let phish_test: Vec<String> = corpus.phish_test.iter().map(|r| r.url.clone()).collect();
-    for (name, urls) in [
+    let leg_test = corpus.english_test().to_vec();
+    let bundles: [(&str, &[String]); 4] = [
         ("phish_train", &phish_train),
         ("phish_test", &phish_test),
         ("leg_train", &corpus.leg_train),
-        ("leg_test", &corpus.english_test().to_vec()),
-    ] {
-        let n = scrape_all(urls, &out.join(format!("{name}.jsonl")))?;
-        eprintln!("  {name}.jsonl: {n} pages");
+        ("leg_test", &leg_test),
+    ];
+    let report = if fault_rate > 0.0 {
+        eprintln!("scraping through a faulty web (rate {fault_rate}, seed {fault_seed})...");
+        let flaky = FlakyWorld::new(&corpus.world, FaultPlan::new(fault_seed, fault_rate));
+        let mut scraper = ResilientBrowser::new(&flaky);
+        scrape_bundles(&mut scraper, &bundles, &out)?
+    } else {
+        let mut scraper = ResilientBrowser::new(&corpus.world);
+        scrape_bundles(&mut scraper, &bundles, &out)?
+    };
+    eprintln!(
+        "scrape report: {}/{} pages captured ({} degraded), {} retries, {} breaker trips",
+        report.completed, report.requested, report.degraded, report.retries, report.breaker_trips
+    );
+    if report.failed > 0 {
+        eprintln!(
+            "  failures: {} transient, {} timeout, {} deadline, {} circuit-open, {} not-found, {} bad-url, {} redirect-loop",
+            report.failed_transient,
+            report.failed_timeout,
+            report.failed_deadline,
+            report.failed_circuit_open,
+            report.failed_not_found,
+            report.failed_bad_url,
+            report.failed_too_many_redirects
+        );
     }
 
     // The offline popularity ranking and the search-engine index.

@@ -1,0 +1,176 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/API surface the workspace benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], `criterion_group!`,
+//! `criterion_main!` and [`black_box`] — with a simple
+//! mean-over-N-iterations timer instead of criterion's statistics.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How batched setup output is grouped; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+/// Runs and times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    mean_ns: f64,
+}
+
+const WARMUP_ITERS: u32 = 10;
+const MEASURE_ITERS: u32 = 100;
+
+impl Bencher {
+    /// Times `routine`, discarding its output via [`black_box`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / f64::from(MEASURE_ITERS);
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut total_ns = 0u128;
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.mean_ns = total_ns as f64 / f64::from(MEASURE_ITERS);
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints the mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        f(&mut bencher);
+        let ns = bencher.mean_ns;
+        if ns >= 1_000_000.0 {
+            println!("{name:<28} {:>10.3} ms/iter", ns / 1_000_000.0);
+        } else if ns >= 1_000.0 {
+            println!("{name:<28} {:>10.3} µs/iter", ns / 1_000.0);
+        } else {
+            println!("{name:<28} {ns:>10.1} ns/iter");
+        }
+        self
+    }
+
+    /// Opens a named benchmark group; benches run under `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group of benchmarks, as in criterion.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count; accepted and ignored by the stand-in.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0u32;
+        Criterion::default().bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls >= WARMUP_ITERS + MEASURE_ITERS);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut next = 0u32;
+        let mut seen = Vec::new();
+        Criterion::default().bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| seen.push(v),
+                BatchSize::SmallInput,
+            )
+        });
+        // Every invocation saw a distinct setup value.
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len());
+    }
+}

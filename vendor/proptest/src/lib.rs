@@ -1,0 +1,163 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//! the [`proptest!`] macro, string-pattern strategies, numeric ranges,
+//! tuples, [`collection::vec`], [`strategy::Just`], `prop_oneof!`,
+//! `any::<T>()` and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case panics immediately with the values
+//!   that were generated (printed by the panic message where the test
+//!   asserts them).
+//! - **Deterministic.** Seeds derive from the test-function name, so runs
+//!   are reproducible without a `proptest-regressions` file (regression
+//!   files are ignored).
+//! - `prop_assert!`/`prop_assert_eq!` are plain `assert!`/`assert_eq!`.
+
+pub mod collection;
+pub mod pattern;
+pub mod rng;
+pub mod strategy;
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Leaner than upstream's 256: these tests run in CI on every push.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests; see the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(binding in strategy, ...) { body }`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::rng::hash_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::rng::TestRng::for_case(seed, case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn compound() -> impl Strategy<Value = String> {
+        (
+            prop_oneof![Just("http"), Just("https")],
+            collection::vec("[a-z]{1,5}", 1..4),
+        )
+            .prop_map(|(scheme, labels)| format!("{scheme}://{}.com", labels.join(".")))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(v in collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn mapped_compound(url in compound()) {
+            prop_assert!(url.starts_with("http"));
+            prop_assert!(url.ends_with(".com"));
+        }
+
+        #[test]
+        fn bools_vary(bits in collection::vec(any::<bool>(), 64)) {
+            // With 64 draws, both values should appear.
+            prop_assert!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::rng::{hash_name, TestRng};
+        use crate::strategy::Strategy;
+        let mut a = TestRng::for_case(hash_name("x"), 3);
+        let mut b = TestRng::for_case(hash_name("x"), 3);
+        assert_eq!("[a-z]{8}".generate(&mut a), "[a-z]{8}".generate(&mut b));
+    }
+}

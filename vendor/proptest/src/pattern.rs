@@ -1,0 +1,211 @@
+//! A regex-subset string generator.
+//!
+//! Supports exactly the constructs proptest string strategies use in this
+//! workspace: literal characters, `.` (any printable char), character
+//! classes `[a-z0-9_-]` (ranges + singletons, no negation), and the
+//! quantifiers `{n}`, `{m,n}`, `*`, `+`, `?` applied to the preceding
+//! atom. Anything else is treated as a literal character.
+
+use crate::rng::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable character (mostly ASCII, some multibyte).
+    Any,
+    /// A literal character.
+    Literal(char),
+    /// A character class: closed ranges over `char`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A parsed pattern: a sequence of quantified atoms.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+/// Characters `.` draws from: printable ASCII plus a few multibyte
+/// characters so parser robustness tests see non-ASCII input.
+const ANY_EXTRA: &[char] = &['ß', 'é', 'ñ', 'Ü', '漢', '字', '🦀', '☃', '—', 'م', 'и'];
+
+impl Pattern {
+    /// Parses `pattern`; unsupported syntax degrades to literals.
+    pub fn parse(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces: Vec<Piece> = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    i += 1; // ']'
+                    Atom::Class(ranges)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                        if let Some(close) = close {
+                            let body: String = chars[i + 1..close].iter().collect();
+                            i = close + 1;
+                            let parts: Vec<&str> = body.splitn(2, ',').collect();
+                            let lo: u32 = parts[0].trim().parse().unwrap_or(0);
+                            let hi: u32 = if parts.len() == 2 {
+                                parts[1].trim().parse().unwrap_or(lo)
+                            } else {
+                                lo
+                            };
+                            (lo, hi.max(lo))
+                        } else {
+                            (1, 1)
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Pattern { pieces }
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+            for _ in 0..n {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => {
+            // 1-in-16 draws picks a multibyte character.
+            if rng.below(16) == 0 {
+                ANY_EXTRA[rng.below(ANY_EXTRA.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' ')
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in ranges {
+                let span = u64::from(hi as u32 - lo as u32) + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            ' '
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        Pattern::parse(pattern).generate(&mut TestRng::for_case(seed, 0))
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for seed in 0..200 {
+            let s = gen("[a-z]{1,8}", seed);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn sequence_of_atoms() {
+        for seed in 0..200 {
+            let s = gen("[a-z][a-z0-9-]{0,10}[a-z0-9]", seed);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(!s.ends_with('-'), "{s:?}");
+            assert!(s.chars().count() >= 2);
+        }
+    }
+
+    #[test]
+    fn dot_any_with_bounds() {
+        for seed in 0..100 {
+            let s = gen(".{0,120}", seed);
+            assert!(s.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_specials() {
+        for seed in 0..200 {
+            let s = gen("[a-z0-9/._-]{0,30}", seed);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "/._-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        assert_eq!(gen("x{4}", 1), "xxxx");
+        assert_eq!(gen("abc", 9), "abc");
+    }
+}

@@ -1,0 +1,576 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors a small value-tree serialization framework under the
+//! `serde` name. [`Serialize`] renders a type into a JSON [`Value`];
+//! [`Deserialize`] rebuilds the type from one. The companion
+//! `serde_derive` proc macro generates both impls for structs and enums
+//! (externally tagged, like real serde), and the vendored `serde_json`
+//! handles text encoding.
+//!
+//! Only what this workspace uses is implemented; there is no
+//! `Serializer`/`Deserializer` abstraction, no borrowed deserialization
+//! and no `#[serde(...)]` attribute support.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number: integers are kept exact, floats are IEEE 754 doubles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (lossy only beyond 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The number as a `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(_) => None,
+            Number::Float(v) => {
+                if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 {
+                    Some(v as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The number as an `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 {
+                    Some(v as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// An ordered JSON object; insertion order is preserved.
+pub type Object = Vec<(String, Value)>;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Object),
+}
+
+/// A static `null`, for lending out references to missing members.
+pub static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `u64`, if integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&Object> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error carrying `msg`.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up `key` in an object body, lending `null` when absent so that
+/// `Option` fields tolerate missing members (derive-macro support).
+pub fn obj_get<'a>(fields: &'a Object, key: &str) -> &'a Value {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL_VALUE)
+}
+
+/// Renders a value tree from `self`.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a value tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `value` has the wrong shape.
+    fn from_json_value(value: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!("expected {expected}, got {got:?}")))
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().map_or_else(|| type_err("bool", value), Ok)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64().ok_or_else(|| {
+                    Error::custom(format!("expected unsigned integer, got {value:?}"))
+                })?;
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Number(n) => n.as_i64(),
+                    _ => None,
+                };
+                let n = n.ok_or_else(|| {
+                    Error::custom(format!("expected signed integer, got {value:?}"))
+                })?;
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() {
+                    Value::Number(Number::Float(v))
+                } else {
+                    // Like serde_json: non-finite floats become null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => type_err("number", value),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .map_or_else(|| type_err("string", value), Ok)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        items.iter().map(T::from_json_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_json_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::custom(format!("expected {N} elements, got {}", v.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                let mut it = items.iter();
+                let out = ($({
+                    let slot: $name = Deserialize::from_json_value(
+                        it.next().ok_or_else(|| Error::custom("tuple too short"))?,
+                    )?;
+                    slot
+                },)+);
+                if it.next().is_some() {
+                    return Err(Error::custom("tuple too long"));
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+/// Map keys: JSON object members are always strings.
+pub trait MapKey: Sized {
+    /// Renders the key as an object-member name.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a member name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the name does not parse.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Sort members so output is deterministic despite hash order.
+        let mut fields: Object = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_json_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize, S: std::hash::BuildHasher + Default>
+    Deserialize for HashMap<K, V, S>
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_json_value(&7u32.to_json_value()), Ok(7));
+        assert_eq!(i64::from_json_value(&(-3i64).to_json_value()), Ok(-3));
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()), Ok(1.5));
+        assert_eq!(bool::from_json_value(&true.to_json_value()), Ok(true));
+        assert_eq!(
+            String::from_json_value(&"hi".to_string().to_json_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_null_mapping() {
+        let none: Option<String> = None;
+        assert_eq!(none.to_json_value(), Value::Null);
+        assert_eq!(Option::<String>::from_json_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn arrays_and_maps() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_json_value(&v.to_json_value()), Ok(v));
+        let arr = [9u8, 8, 7, 6];
+        assert_eq!(<[u8; 4]>::from_json_value(&arr.to_json_value()), Ok(arr));
+        let mut m = HashMap::new();
+        m.insert(5u64, 0.25f64);
+        let back: HashMap<u64, f64> = HashMap::from_json_value(&m.to_json_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(u32::from_json_value(&Value::String("x".into())).is_err());
+        assert!(bool::from_json_value(&Value::Null).is_err());
+        assert!(<[u8; 4]>::from_json_value(&vec![1u8].to_json_value()).is_err());
+    }
+}

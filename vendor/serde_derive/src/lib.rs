@@ -1,0 +1,412 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! structs with named fields, unit structs, and enums whose variants are
+//! unit, tuple or struct-like — the shapes this workspace uses. The JSON
+//! mapping matches real serde's externally-tagged default:
+//!
+//! - struct        → `{"field": ...}`
+//! - unit variant  → `"Variant"`
+//! - tuple variant → `{"Variant": value}` (1 field) or `{"Variant": [..]}`
+//! - struct variant→ `{"Variant": {"field": ...}}`
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; the macro
+//! panics on shapes it cannot handle so failures are loud at compile time.
+//!
+//! Implementation note: with `syn`/`quote` unavailable offline, the input
+//! is walked as raw `proc_macro` token trees and the generated impl is
+//! assembled as a string, then re-parsed. Field *types* never need to be
+//! parsed: the generated code names only field identifiers and lets type
+//! inference pick the right `Serialize`/`Deserialize` impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a `struct` or `enum` item looks like after token-walking.
+enum Shape {
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `struct Name { a: T, b: U }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// True for `#` introducing an (outer) attribute.
+fn is_pound(tt: &TokenTree) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == '#')
+}
+
+/// Skips attributes (`#[...]`) starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_pound(&tokens[i]) {
+        i += 1; // '#'
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if i < tokens.len()
+                    && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the named fields of a brace group: `a: T, pub b: U, ...`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field {name}, got {other}"),
+        }
+        // Skip the type: consume until a top-level ',' outside angle brackets.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated entries of a paren group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut saw_trailing_comma = false;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        saw_trailing_comma = false;
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let k = VariantKind::Tuple(count_tuple_fields(g));
+                    i += 1;
+                    k
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let k = VariantKind::Struct(parse_named_fields(g));
+                    i += 1;
+                    k
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        // Skip discriminant (`= expr`) if present, then the separating comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1; // ','
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (type {name})");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde_derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives `serde::Serialize` (value-tree flavour, see crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_json_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> ::serde::Value {{\n\
+                     let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(fields)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_json_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour, see crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_json_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                   ::serde::Value::Null => Ok({name}),\n\
+                   other => Err(::serde::Error::custom(format!(\"expected null for unit struct {name}, got {{other:?}}\"))),\n\
+                 }}\n\
+               }}\n\
+             }}"
+        ),
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value(::serde::obj_get(fields, \"{f}\")).map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_json_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     let fields = value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for struct {name}\"))?;\n\
+                     Ok({name} {{\n{inits}}})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Also accept the tagged-null form {"Variant": null}.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let _ = inner; Ok({name}::{vn}) }},\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_json_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_json_value(&items[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let items = inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                               if items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                               Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(::serde::obj_get(body, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let body = inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                               Ok({name}::{vn} {{ {} }})\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_json_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     match value {{\n\
+                       ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Object(members) if members.len() == 1 => {{\n\
+                         let (tag, inner) = &members[0];\n\
+                         match tag.as_str() {{\n\
+                           {tagged_arms}\
+                           other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                         }}\n\
+                       }},\n\
+                       other => Err(::serde::Error::custom(format!(\"expected enum {name}, got {{other:?}}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
