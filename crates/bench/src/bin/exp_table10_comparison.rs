@@ -73,7 +73,7 @@ fn main() {
     EvalRow::compute("Ours (English)", &s, &l, 0.7).print();
     let (s, l) = eval_ours(&test_all_lang);
     EvalRow::compute("Ours (several)", &s, &l, 0.7).print();
-    let (s, l) = cv::cross_validate(&train, 5, args.seed, |tr, te| {
+    let (s, l) = cv::cross_validate_par(&train, 5, args.seed, |tr, te| {
         GradientBoosting::fit(tr, &GbmParams::default()).predict_dataset(te)
     });
     EvalRow::compute("Ours (CV)", &s, &l, 0.7).print();

@@ -52,7 +52,7 @@ fn main() {
             let (scores, labels) = match scenario {
                 "Cross-validation" => {
                     let sub = train.select_features(&cols);
-                    cv::cross_validate(&sub, 5, args.seed, |tr, te| {
+                    cv::cross_validate_par(&sub, 5, args.seed, |tr, te| {
                         let model = GradientBoosting::fit(tr, &GbmParams::default());
                         model.predict_dataset(te)
                     })

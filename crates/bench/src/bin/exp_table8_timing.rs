@@ -1,19 +1,28 @@
-//! Regenerates **Table VIII** (processing time per pipeline stage).
+//! Regenerates **Table VIII** (processing time per pipeline stage) and
+//! benchmarks multi-threaded batch scoring.
 //!
 //! Measures, per page: webpage scraping (the simulated browser visit),
 //! loading data (json round-trip of the scraped bundle, as the paper's
 //! scraper stores json files), feature extraction, and classification.
 //! Reports median / average / standard deviation in milliseconds.
 //!
+//! Then sweeps `--threads` (default `1,2,4`) over the batch-scoring path
+//! — parallel feature extraction + Gradient Boosting scoring on the
+//! `kyp-exec` pool — and over detector training, verifying the scores and
+//! the fitted model are bit-identical at every thread count, and writes
+//! the machine-readable summary to `BENCH_pipeline.json` at the repo
+//! root.
+//!
 //! Absolute numbers will beat the paper's Python prototype by orders of
 //! magnitude (Rust, simulated network); the expected *shape* holds:
 //! scraping ≫ feature extraction ≫ loading ≈ classification.
 //!
-//! Run: `cargo run --release -p kyp-bench --bin exp_table8_timing -- --scale 0.02`
+//! Run: `cargo run --release -p kyp-bench --bin exp_table8_timing -- --scale 0.02 --threads 1,2,4`
 
-use kyp_bench::{harness, EvalArgs, ExperimentEnv};
+use kyp_bench::{harness, report, EvalArgs, ExperimentEnv};
 use kyp_core::{DataSources, DetectorConfig, PhishDetector};
 use kyp_web::{Browser, VisitedPage};
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
@@ -34,6 +43,7 @@ fn main() {
     let mut t_load = Vec::with_capacity(sample.len());
     let mut t_features = Vec::with_capacity(sample.len());
     let mut t_classify = Vec::with_capacity(sample.len());
+    let mut visits = Vec::with_capacity(sample.len());
 
     for url in &sample {
         let t0 = Instant::now();
@@ -56,6 +66,7 @@ fn main() {
         let t3 = Instant::now();
         let _ = detector.is_phish(&features);
         t_classify.push(ms(t3));
+        visits.push(visit);
     }
 
     println!(
@@ -77,7 +88,109 @@ fn main() {
         .map(|((a, b), c)| a + b + c)
         .collect();
     print_row("Total (no scraping)", &total);
+
+    // --- Batch-scoring thread sweep -------------------------------------
+    let sweep = if args.threads.is_empty() {
+        vec![1, 2, 4]
+    } else {
+        args.threads.clone()
+    };
+
+    println!();
+    println!(
+        "Batch scoring sweep ({} pages, best of {REPS} reps per point)",
+        visits.len()
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "Threads", "Score ms", "Pages/sec", "Speedup", "Train ms", "Identical"
+    );
+
+    let mut baseline_wall: Option<f64> = None;
+    let mut baseline_scores: Option<Vec<u64>> = None;
+    let mut baseline_model: Option<String> = None;
+    let mut entries = Vec::new();
+    let mut all_identical = true;
+
+    for &threads in &sweep {
+        kyp_exec::set_threads(threads);
+
+        let mut wall = f64::INFINITY;
+        let mut scores: Vec<f64> = Vec::new();
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let rows = env.extractor.extract_batch(&visits);
+            let run: Vec<f64> = kyp_exec::pool().par_map(&rows, |f| detector.score(f));
+            let elapsed = t0.elapsed().as_secs_f64();
+            if elapsed < wall {
+                wall = elapsed;
+            }
+            scores = run;
+        }
+
+        let t_train = Instant::now();
+        let trained = PhishDetector::train(&train, &DetectorConfig::default());
+        let train_wall_ms = t_train.elapsed().as_secs_f64() * 1e3;
+        let model_json = serde_json::to_string(&trained).expect("serialize model");
+
+        let bits: Vec<u64> = scores.iter().map(|s| s.to_bits()).collect();
+        let identical = match (&baseline_scores, &baseline_model) {
+            (None, None) => {
+                baseline_scores = Some(bits);
+                baseline_model = Some(model_json);
+                true
+            }
+            (Some(base_bits), Some(base_model)) => *base_bits == bits && *base_model == model_json,
+            _ => unreachable!("baselines are set together"),
+        };
+        all_identical &= identical;
+
+        let speedup = match baseline_wall {
+            None => {
+                baseline_wall = Some(wall);
+                1.0
+            }
+            Some(base) => base / wall,
+        };
+
+        println!(
+            "{threads:>8} {:>12.2} {:>12.0} {:>12.2} {:>14.1} {:>10}",
+            wall * 1e3,
+            visits.len() as f64 / wall,
+            speedup,
+            train_wall_ms,
+            identical
+        );
+        let mut entry = report::timing_entry(threads, visits.len(), wall, speedup);
+        report::push_field(&mut entry, "train_wall_ms", report::float(train_wall_ms));
+        report::push_field(&mut entry, "outputs_identical", report::boolean(identical));
+        entries.push(entry);
+    }
+    kyp_exec::set_threads(0); // back to auto-detection
+
+    assert!(
+        all_identical,
+        "batch scoring must be bit-identical at every thread count"
+    );
+
+    let section = report::object([
+        ("scale", report::float(args.scale)),
+        ("seed", report::uint(args.seed)),
+        ("pages", report::uint(visits.len() as u64)),
+        (
+            "available_parallelism",
+            report::uint(std::thread::available_parallelism().map_or(1, |p| p.get() as u64)),
+        ),
+        ("sweep", serde_json::Value::Array(entries)),
+    ]);
+    let path = Path::new(report::BENCH_REPORT_PATH);
+    report::write_bench_section(path, "table8_timing", section).expect("write bench report");
+    println!();
+    println!("Sweep written to {}", path.display());
 }
+
+/// Timing repetitions per sweep point (wall time takes the minimum).
+const REPS: usize = 3;
 
 fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3

@@ -12,16 +12,24 @@ pub struct EvalArgs {
     pub scale: f64,
     /// Corpus seed.
     pub seed: u64,
+    /// Thread counts from `--threads` (e.g. `--threads 4` or a sweep
+    /// `--threads 1,2,4`). Empty when the flag was not given.
+    pub threads: Vec<usize>,
 }
 
 impl EvalArgs {
-    /// Parses `--scale <f>` and `--seed <n>` from `std::env::args`.
+    /// Parses `--scale <f>`, `--seed <n>` and `--threads <n[,n...]>` from
+    /// `std::env::args`.
     ///
-    /// Unknown arguments are ignored so binaries can add their own.
+    /// A single-valued `--threads` immediately becomes the process-wide
+    /// [`kyp_exec`] thread count; a comma list is left for the binary to
+    /// sweep over. Unknown arguments are ignored so binaries can add
+    /// their own.
     pub fn parse() -> Self {
         let mut args = EvalArgs {
             scale: 0.05,
             seed: 2015,
+            threads: Vec::new(),
         };
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
@@ -36,8 +44,20 @@ impl EvalArgs {
                         args.seed = v;
                     }
                 }
+                "--threads" => {
+                    if let Some(list) = iter.next() {
+                        args.threads = list
+                            .split(',')
+                            .filter_map(|v| v.trim().parse().ok())
+                            .filter(|&v| v >= 1)
+                            .collect();
+                    }
+                }
                 _ => {}
             }
+        }
+        if args.threads.len() == 1 {
+            kyp_exec::set_threads(args.threads[0]);
         }
         args
     }
@@ -91,24 +111,35 @@ pub fn scrape_visits(corpus: &Corpus, urls: &[String]) -> Vec<VisitedPage> {
 
 /// Scrapes URL lists into a labeled feature dataset
 /// (`true` = phishing).
+///
+/// Visits run serially (the simulated browser is sequential state);
+/// feature extraction fans out over the default [`kyp_exec`] pool. Row
+/// order — legitimate pages then phishing, failures skipped — and every
+/// feature value match the serial path bit for bit.
 pub fn scrape_dataset(
     corpus: &Corpus,
     extractor: &FeatureExtractor,
     legitimate: &[String],
     phishing: &[String],
 ) -> Dataset {
-    let mut data = Dataset::with_capacity(
-        kyp_core::features::FEATURE_COUNT,
-        legitimate.len() + phishing.len(),
-    );
     let browser = Browser::new(&corpus.world);
+    let mut visits = Vec::with_capacity(legitimate.len() + phishing.len());
+    let mut labels = Vec::with_capacity(legitimate.len() + phishing.len());
     for (urls, label) in [(legitimate, false), (phishing, true)] {
         for url in urls {
             match browser.visit(url) {
-                Ok(v) => data.push_row(&extractor.extract(&v), label),
+                Ok(v) => {
+                    visits.push(v);
+                    labels.push(label);
+                }
                 Err(e) => eprintln!("[scrape] skipping {url}: {e}"),
             }
         }
+    }
+    let rows = extractor.extract_batch(&visits);
+    let mut data = Dataset::with_capacity(extractor.feature_count(), rows.len());
+    for (features, label) in rows.iter().zip(labels) {
+        data.push_row(features, label);
     }
     data
 }

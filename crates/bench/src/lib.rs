@@ -9,7 +9,9 @@
 
 pub mod harness;
 pub mod plot;
+pub mod report;
 pub mod table;
 
 pub use harness::{scrape_dataset, scrape_visits, EvalArgs, ExperimentEnv};
+pub use report::{timing_entry, write_bench_section, BENCH_REPORT_PATH};
 pub use table::{fmt_f, print_curve, EvalRow};

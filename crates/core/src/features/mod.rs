@@ -201,6 +201,15 @@ impl FeatureExtractor {
         self.extract_with_sources(page, &sources)
     }
 
+    /// Extracts feature vectors for a batch of pages, fanning the per-page
+    /// work out over the default [`kyp_exec`] pool.
+    ///
+    /// Returns one vector per page in input order; element `i` is exactly
+    /// `extract(&pages[i])` whatever the thread count.
+    pub fn extract_batch(&self, pages: &[VisitedPage]) -> Vec<Vec<f64>> {
+        kyp_exec::pool().par_map(pages, |page| self.extract(page))
+    }
+
     /// Extracts a complete, finite feature vector from a *partially*
     /// captured page (graceful degradation).
     ///
@@ -424,6 +433,25 @@ mod tests {
             for (i, v) in ex.extract(&page).iter().enumerate() {
                 assert!(v.is_finite(), "feature {i} is {v}");
             }
+        }
+    }
+
+    #[test]
+    fn extract_batch_matches_pointwise_in_order() {
+        let ex = FeatureExtractor::default();
+        let pages: Vec<_> = (0..12)
+            .flat_map(|i| {
+                let mut p = phish();
+                p.input_count = i;
+                let mut l = legit();
+                l.image_count = i;
+                [p, l]
+            })
+            .collect();
+        let batch = ex.extract_batch(&pages);
+        assert_eq!(batch.len(), pages.len());
+        for (page, features) in pages.iter().zip(&batch) {
+            assert_eq!(features, &ex.extract(page));
         }
     }
 }

@@ -138,6 +138,15 @@ impl Pipeline {
     /// All timing is virtual (the scraper's [`kyp_web::VirtualClock`]), so
     /// two runs over the same world, plan and URLs produce bit-identical
     /// reports.
+    ///
+    /// Scraping stays serial — the virtual clock, retry backoff and
+    /// per-host circuit breakers are shared sequential state, and the
+    /// determinism contract depends on their exact fetch order — but
+    /// feature extraction and the two-stage verdict for every captured
+    /// page fan out over the default [`kyp_exec`] pool. Verdicts come back
+    /// in scrape-completion (= input) order and each page's verdict is a
+    /// pure function of its captured bytes, so the [`BatchRun`] is
+    /// bit-identical to the serial path at any thread count.
     pub fn classify_all<W: World>(
         &self,
         scraper: &mut ResilientBrowser<'_, W>,
@@ -148,22 +157,16 @@ impl Pipeline {
         let clock_before = scraper.clock().now_ms();
 
         let mut report = ScrapeReport::default();
-        let mut classified = Vec::new();
+        let mut scraped_pages = Vec::new();
         for url in urls {
             report.requested += 1;
             match scraper.scrape(url) {
                 Ok(scraped) => {
                     report.completed += 1;
-                    let degraded = scraped.availability.is_degraded();
-                    if degraded {
+                    if scraped.availability.is_degraded() {
                         report.degraded += 1;
                     }
-                    let verdict = self.classify_degraded(&scraped.visit, &scraped.availability);
-                    classified.push(ClassifiedPage {
-                        url: url.clone(),
-                        verdict,
-                        degraded,
-                    });
+                    scraped_pages.push((url, scraped));
                 }
                 Err(failure) => {
                     report.failed += 1;
@@ -174,6 +177,13 @@ impl Pipeline {
         report.retries = scraper.total_retries() - retries_before;
         report.breaker_trips = scraper.breaker().trips() - trips_before;
         report.virtual_elapsed_ms = scraper.clock().now_ms() - clock_before;
+
+        let classified =
+            kyp_exec::pool().par_map(&scraped_pages, |(url, scraped)| ClassifiedPage {
+                url: (*url).clone(),
+                verdict: self.classify_degraded(&scraped.visit, &scraped.availability),
+                degraded: scraped.availability.is_degraded(),
+            });
         BatchRun { classified, report }
     }
 }

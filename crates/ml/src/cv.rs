@@ -86,6 +86,44 @@ where
     (all_scores, all_labels)
 }
 
+/// Runs k-fold cross-validation with the folds fitted concurrently on the
+/// default [`kyp_exec`] pool.
+///
+/// `fit_predict` must be a pure function of its `(train, test)` datasets
+/// (it runs once per fold, possibly on different threads). The pooled
+/// `(scores, labels)` come back in fold order — exactly the output of
+/// [`cross_validate`] with the same closure, at any thread count.
+pub fn cross_validate_par<F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    fit_predict: F,
+) -> (Vec<f64>, Vec<bool>)
+where
+    F: Fn(&Dataset, &Dataset) -> Vec<f64> + Sync,
+{
+    let folds = stratified_folds(data.labels(), k, seed);
+    let splits = fold_splits(&folds, k);
+    let per_fold: Vec<(Vec<f64>, Vec<bool>)> = kyp_exec::pool().par_map(&splits, |split| {
+        let train = data.select_rows(&split.train);
+        let test = data.select_rows(&split.test);
+        let scores = fit_predict(&train, &test);
+        assert_eq!(
+            scores.len(),
+            test.len(),
+            "fit_predict must score every test row"
+        );
+        (scores, test.labels().to_vec())
+    });
+    let mut all_scores = Vec::with_capacity(data.len());
+    let mut all_labels = Vec::with_capacity(data.len());
+    for (scores, labels) in per_fold {
+        all_scores.extend(scores);
+        all_labels.extend(labels);
+    }
+    (all_scores, all_labels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +187,23 @@ mod tests {
     #[should_panic(expected = "at least 2 folds")]
     fn k_one_panics() {
         stratified_folds(&[true, false], 1, 0);
+    }
+
+    /// Concurrent folds must pool scores and labels exactly as the serial
+    /// loop does.
+    #[test]
+    fn cross_validate_par_matches_serial() {
+        let mut d = Dataset::new(2);
+        for i in 0..120 {
+            d.push_row(&[i as f64, (i % 7) as f64], i % 3 == 0);
+        }
+        let fit = |_train: &Dataset, test: &Dataset| -> Vec<f64> {
+            (0..test.len()).map(|i| test.row(i)[0] * 0.5).collect()
+        };
+        let serial = cross_validate(&d, 4, 9, fit);
+        let parallel = cross_validate_par(&d, 4, 9, fit);
+        assert_eq!(serial.0, parallel.0);
+        assert_eq!(serial.1, parallel.1);
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! loss (the booster uses the logistic loss).
 
 use crate::Dataset;
+use kyp_exec::Pool;
 use serde::{Deserialize, Serialize};
 
 /// Maximum number of histogram bins per feature.
 pub(crate) const MAX_BINS: usize = 64;
+
+/// Below this `rows × columns` volume a node's split search stays serial:
+/// spawning scoped workers costs more than scanning the histograms.
+const PAR_SPLIT_MIN_CELLS: usize = 1 << 15;
 
 /// Parameters controlling a single tree fit.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -93,11 +98,22 @@ impl RegressionTree {
             ..TreeParams::default()
         };
         let mut rows: Vec<u32> = (0..data.len() as u32).collect();
-        Self::fit_with_grad(&binned, &grads, &hess, &mut rows, &params, None)
+        Self::fit_with_grad(
+            &binned,
+            &grads,
+            &hess,
+            &mut rows,
+            &params,
+            None,
+            &kyp_exec::pool(),
+        )
     }
 
     /// Fits a tree to gradients/hessians over the given row set.
-    /// `columns` optionally restricts the features considered.
+    /// `columns` optionally restricts the features considered; `pool`
+    /// parallelises the per-feature histogram scan on large nodes (the
+    /// chosen split is bit-identical at any thread count).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn fit_with_grad(
         binned: &BinnedMatrix,
         grads: &[f64],
@@ -105,6 +121,7 @@ impl RegressionTree {
         rows: &mut [u32],
         params: &TreeParams,
         columns: Option<&[usize]>,
+        pool: &Pool,
     ) -> Self {
         let mut tree = RegressionTree { nodes: Vec::new() };
         let all_columns: Vec<usize>;
@@ -115,7 +132,7 @@ impl RegressionTree {
                 &all_columns
             }
         };
-        tree.build(binned, grads, hess, rows, params, cols, 0);
+        tree.build(binned, grads, hess, rows, params, cols, 0, pool);
         tree
     }
 
@@ -130,6 +147,7 @@ impl RegressionTree {
         params: &TreeParams,
         cols: &[usize],
         depth: usize,
+        pool: &Pool,
     ) -> usize {
         let (g_total, h_total) = rows.iter().fold((0.0, 0.0), |(g, h), &r| {
             (g + grads[r as usize], h + hess[r as usize])
@@ -141,33 +159,34 @@ impl RegressionTree {
         }
 
         let parent_score = g_total * g_total / (h_total + params.lambda);
-        let mut best: Option<(usize, usize, f64)> = None; // (feature, bin, gain)
 
-        let mut hist_g = [0.0f64; MAX_BINS];
-        let mut hist_h = [0.0f64; MAX_BINS];
-        let mut hist_n = [0u32; MAX_BINS];
-
-        for &f in cols {
+        // Per-column histogram scan, returning the column's best
+        // `(bin, gain)` candidate. Each column accumulates over `rows` in
+        // the same order whatever thread runs it, so candidates — and the
+        // reduction below — are bit-identical at any thread count.
+        let row_view: &[u32] = rows;
+        let scan_col = |f: usize| -> Option<(usize, usize, f64)> {
             let n_bins = binned.thresholds[f].len() + 1;
             if n_bins < 2 {
-                continue;
+                return None;
             }
-            hist_g[..n_bins].fill(0.0);
-            hist_h[..n_bins].fill(0.0);
-            hist_n[..n_bins].fill(0);
-            for &r in rows.iter() {
+            let mut hist_g = [0.0f64; MAX_BINS];
+            let mut hist_h = [0.0f64; MAX_BINS];
+            let mut hist_n = [0u32; MAX_BINS];
+            for &r in row_view {
                 let b = binned.bin(r as usize, f) as usize;
                 hist_g[b] += grads[r as usize];
                 hist_h[b] += hess[r as usize];
                 hist_n[b] += 1;
             }
             let (mut gl, mut hl, mut nl) = (0.0, 0.0, 0u32);
-            // A split at bin b sends bins 0..=b left.
+            let mut best: Option<(usize, f64)> = None; // (bin, gain)
+                                                       // A split at bin b sends bins 0..=b left.
             for b in 0..n_bins - 1 {
                 gl += hist_g[b];
                 hl += hist_h[b];
                 nl += hist_n[b];
-                let nr = rows.len() as u32 - nl;
+                let nr = row_view.len() as u32 - nl;
                 if (nl as usize) < params.min_samples_leaf
                     || (nr as usize) < params.min_samples_leaf
                 {
@@ -179,9 +198,26 @@ impl RegressionTree {
                 }
                 let gain =
                     gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score;
-                if gain > best.map_or(1e-12, |(_, _, g)| g) {
-                    best = Some((f, b, gain));
+                if gain > best.map_or(1e-12, |(_, g)| g) {
+                    best = Some((b, gain));
                 }
+            }
+            best.map(|(b, g)| (f, b, g))
+        };
+
+        let candidates: Vec<Option<(usize, usize, f64)>> =
+            if pool.threads() > 1 && rows.len().saturating_mul(cols.len()) >= PAR_SPLIT_MIN_CELLS {
+                pool.par_map(cols, |&f| scan_col(f))
+            } else {
+                cols.iter().map(|&f| scan_col(f)).collect()
+            };
+
+        // Reduce in column order with the same strict-`>` rule the serial
+        // scan used, so exact gain ties resolve to the earliest column.
+        let mut best: Option<(usize, usize, f64)> = None; // (feature, bin, gain)
+        for cand in candidates.into_iter().flatten() {
+            if cand.2 > best.map_or(1e-12, |(_, _, g)| g) {
+                best = Some(cand);
             }
         }
 
@@ -202,8 +238,26 @@ impl RegressionTree {
             gain,
         });
         let (left_rows, right_rows) = rows.split_at_mut(mid);
-        let left = self.build(binned, grads, hess, left_rows, params, cols, depth + 1);
-        let right = self.build(binned, grads, hess, right_rows, params, cols, depth + 1);
+        let left = self.build(
+            binned,
+            grads,
+            hess,
+            left_rows,
+            params,
+            cols,
+            depth + 1,
+            pool,
+        );
+        let right = self.build(
+            binned,
+            grads,
+            hess,
+            right_rows,
+            params,
+            cols,
+            depth + 1,
+            pool,
+        );
         if let Node::Split {
             left: l, right: r, ..
         } = &mut self.nodes[node_idx]
@@ -240,6 +294,67 @@ impl RegressionTree {
                 }
             }
         }
+    }
+
+    /// Adds `scale ×` this tree's prediction for every row of `binned` to
+    /// `out`, traversing bin indices instead of re-comparing raw values.
+    ///
+    /// Exactly equivalent to `out[i] += scale * predict(data.row(i))` for
+    /// the dataset `binned` was built from: each split's threshold is a
+    /// value copied verbatim out of `binned.thresholds`, so resolving it
+    /// back to its bin index `b` gives `bin(row, f) <= b  ⟺
+    /// row[f] <= threshold`. Avoids the per-row `partition_point`
+    /// re-binning the boosting loop otherwise pays every round, and fans
+    /// the traversal out over `pool`.
+    pub(crate) fn add_predictions_binned(
+        &self,
+        binned: &BinnedMatrix,
+        scale: f64,
+        out: &mut [f64],
+        pool: &Pool,
+    ) {
+        debug_assert_eq!(out.len(), binned.n_rows());
+        let split_bins: Vec<u8> = self
+            .nodes
+            .iter()
+            .map(|node| match node {
+                Node::Leaf { .. } => 0,
+                Node::Split {
+                    feature, threshold, ..
+                } => {
+                    let th = &binned.thresholds[*feature];
+                    let b = th.partition_point(|t| *t < *threshold);
+                    debug_assert!(b < th.len() && th[b] == *threshold);
+                    b as u8
+                }
+            })
+            .collect();
+        pool.par_chunks_mut(out, |offset, chunk| {
+            for (k, r) in chunk.iter_mut().enumerate() {
+                let row = offset + k;
+                let mut idx = 0;
+                loop {
+                    match &self.nodes[idx] {
+                        Node::Leaf { value } => {
+                            *r += scale * value;
+                            break;
+                        }
+                        Node::Split {
+                            feature,
+                            left,
+                            right,
+                            ..
+                        } => {
+                            idx = if binned.bin(row, *feature) <= split_bins[idx] {
+                                *left
+                            } else {
+                                *right
+                            };
+                        }
+                    }
+                }
+            }
+        });
     }
 
     /// Number of nodes in the tree.
@@ -336,6 +451,11 @@ impl BinnedMatrix {
     pub fn bin(&self, row: usize, feature: usize) -> u8 {
         self.bins[row * self.n_features + feature]
     }
+
+    /// Number of binned rows.
+    pub fn n_rows(&self) -> usize {
+        self.bins.len().checked_div(self.n_features).unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -428,6 +548,90 @@ mod tests {
     fn empty_dataset_panics() {
         let d = Dataset::new(1);
         let _ = RegressionTree::fit(&d, &[], 2);
+    }
+
+    /// The boosting loop's binned raw-score update must be a drop-in for
+    /// re-traversing raw feature vectors: same tree, same data, same
+    /// bits.
+    #[test]
+    fn binned_prediction_matches_raw_traversal() {
+        let mut d = Dataset::new(3);
+        let mut t = Vec::new();
+        for i in 0..500 {
+            let x = (i % 97) as f64 * 0.31;
+            let y = ((i * 7) % 13) as f64 - 6.0;
+            d.push_row(&[x, y, x * y], false);
+            t.push(if x + y > 10.0 { 1.5 } else { -0.5 });
+        }
+        let binned = BinnedMatrix::build(&d);
+        let tree = RegressionTree::fit(&d, &t, 4);
+        for pool in [Pool::new(1), Pool::new(4)] {
+            let mut accumulated = vec![0.25; d.len()];
+            tree.add_predictions_binned(&binned, 0.1, &mut accumulated, &pool);
+            for (i, acc) in accumulated.iter().enumerate() {
+                let want = 0.25 + 0.1 * tree.predict(d.row(i));
+                assert_eq!(
+                    acc.to_bits(),
+                    want.to_bits(),
+                    "row {i} diverges ({} threads)",
+                    pool.threads()
+                );
+            }
+        }
+    }
+
+    /// The parallel per-column split search must choose the same tree as
+    /// the serial scan, bit for bit.
+    #[test]
+    fn parallel_split_search_builds_identical_tree() {
+        // 6000 × 8 = 48k cells: above PAR_SPLIT_MIN_CELLS, so the root
+        // node takes the parallel scan path on multi-thread pools.
+        let mut d = Dataset::new(8);
+        let mut t = Vec::new();
+        for i in 0..6000 {
+            let row: Vec<f64> = (0..8).map(|f| ((i * (f + 3)) % 101) as f64).collect();
+            t.push(row[2] - row[5] * 0.5);
+            d.push_row(&row, false);
+        }
+        let binned = BinnedMatrix::build(&d);
+        let grads: Vec<f64> = t.iter().map(|v| -v).collect();
+        let hess = vec![1.0; t.len()];
+        let params = TreeParams {
+            max_depth: 5,
+            ..TreeParams::default()
+        };
+        let fit = |threads: usize| {
+            let mut rows: Vec<u32> = (0..d.len() as u32).collect();
+            RegressionTree::fit_with_grad(
+                &binned,
+                &grads,
+                &hess,
+                &mut rows,
+                &params,
+                None,
+                &Pool::new(threads),
+            )
+        };
+        let serial = fit(1);
+        for threads in [2, 8] {
+            let par = fit(threads);
+            assert_eq!(serial.node_count(), par.node_count());
+            for i in 0..d.len() {
+                assert_eq!(
+                    serial.predict(d.row(i)).to_bits(),
+                    par.predict(d.row(i)).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn n_rows_reported() {
+        let mut d = Dataset::new(2);
+        d.push_row(&[1.0, 2.0], true);
+        d.push_row(&[3.0, 4.0], false);
+        let binned = BinnedMatrix::build(&d);
+        assert_eq!(binned.n_rows(), 2);
     }
 
     #[test]

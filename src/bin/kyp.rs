@@ -51,6 +51,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let opts = parse_opts(&args[1..]);
+    if let Some(threads) = opts.get("threads") {
+        match threads.parse::<usize>() {
+            Ok(n) if n >= 1 => knowyourphish::exec::set_threads(n),
+            _ => {
+                eprintln!("kyp: invalid --threads {threads:?} (want a positive integer)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let result = match command.as_str() {
         "gen" => cmd_gen(&opts),
         "train" => cmd_train(&opts),
@@ -80,7 +89,11 @@ USAGE:
   kyp train --data <dir> --out <model.json>          train the detector
   kyp eval  --data <dir> --model <model.json>        evaluate on the test sets
   kyp scan  --model <model.json> --data <dir> --page <page.json>
-                                                     classify one scraped page";
+                                                     classify one scraped page
+
+Every command accepts --threads <n> to size the parallel execution pool
+(default: KYP_THREADS or the machine's available parallelism). Results
+are bit-identical at any thread count.";
 
 fn parse_opts(args: &[String]) -> HashMap<String, String> {
     let mut opts = HashMap::new();
@@ -258,11 +271,11 @@ fn featurize(
         knowyourphish::core::features::FEATURE_COUNT,
         legit.len() + phish.len(),
     );
-    for p in legit {
-        data.push_row(&extractor.extract(p), false);
+    for row in extractor.extract_batch(legit) {
+        data.push_row(&row, false);
     }
-    for p in phish {
-        data.push_row(&extractor.extract(p), true);
+    for row in extractor.extract_batch(phish) {
+        data.push_row(&row, true);
     }
     data
 }

@@ -14,6 +14,7 @@
 //! - [`url`]: URL decomposition (FQDN / RDN / mld / FreeURL)
 //! - [`text`]: term extraction, term distributions, Hellinger distance
 //! - [`html`]: HTML tokenizer and data-source extraction
+//! - [`exec`]: deterministic parallel execution (scoped thread pool)
 //! - [`web`]: simulated web, browser/scraper, OCR, domain ranking
 //! - [`search`]: search-engine substrate used by target identification
 //! - [`datagen`]: synthetic multilingual legitimate/phishing datasets
@@ -25,6 +26,7 @@
 pub use kyp_baselines as baselines;
 pub use kyp_core as core;
 pub use kyp_datagen as datagen;
+pub use kyp_exec as exec;
 pub use kyp_html as html;
 pub use kyp_ml as ml;
 pub use kyp_search as search;
