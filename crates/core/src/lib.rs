@@ -41,11 +41,13 @@ mod detector;
 pub mod features;
 pub mod keyterms;
 mod pipeline;
+mod snapshot;
 mod sources;
 mod target;
 
 pub use detector::{DetectorConfig, PhishDetector};
 pub use features::{ConsistencyMetric, ExtractorConfig, FeatureExtractor, FeatureSet};
 pub use pipeline::{BatchRun, ClassifiedPage, Pipeline, PipelineVerdict, ScrapeReport};
+pub use snapshot::{ModelSnapshot, SnapshotError, MODEL_SNAPSHOT_VERSION};
 pub use sources::DataSources;
 pub use target::{TargetCandidate, TargetIdentifier, TargetIdentifierConfig, TargetVerdict};

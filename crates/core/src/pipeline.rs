@@ -8,7 +8,9 @@
 use crate::{
     DataSources, FeatureExtractor, PhishDetector, TargetCandidate, TargetIdentifier, TargetVerdict,
 };
-use kyp_web::{FailureCause, ResilientBrowser, SourceAvailability, VisitedPage, World};
+use kyp_web::{
+    FailureCause, ResilientBrowser, ScrapedPage, SourceAvailability, VisitedPage, World,
+};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of the full pipeline for one page.
@@ -166,7 +168,7 @@ impl Pipeline {
                     if scraped.availability.is_degraded() {
                         report.degraded += 1;
                     }
-                    scraped_pages.push((url, scraped));
+                    scraped_pages.push((url.clone(), scraped));
                 }
                 Err(failure) => {
                     report.failed += 1;
@@ -178,13 +180,25 @@ impl Pipeline {
         report.breaker_trips = scraper.breaker().trips() - trips_before;
         report.virtual_elapsed_ms = scraper.clock().now_ms() - clock_before;
 
-        let classified =
-            kyp_exec::pool().par_map(&scraped_pages, |(url, scraped)| ClassifiedPage {
-                url: (*url).clone(),
-                verdict: self.classify_degraded(&scraped.visit, &scraped.availability),
-                degraded: scraped.availability.is_degraded(),
-            });
+        let classified = self.classify_scraped(&scraped_pages);
         BatchRun { classified, report }
+    }
+
+    /// Classifies a batch of already-scraped pages in parallel.
+    ///
+    /// This is the pure classification core of [`Pipeline::classify_all`]
+    /// — degraded-aware feature extraction plus the two-stage verdict —
+    /// fanned out over the default [`kyp_exec`] pool, shared verbatim by
+    /// the batch path and the online scoring service (`kyp-serve`).
+    /// Verdicts come back in input order and each page's verdict is a pure
+    /// function of its captured bytes, so the result is bit-identical to a
+    /// serial loop at any thread count.
+    pub fn classify_scraped(&self, pages: &[(String, ScrapedPage)]) -> Vec<ClassifiedPage> {
+        kyp_exec::pool().par_map(pages, |(url, scraped)| ClassifiedPage {
+            url: url.clone(),
+            verdict: self.classify_degraded(&scraped.visit, &scraped.availability),
+            degraded: scraped.availability.is_degraded(),
+        })
     }
 }
 

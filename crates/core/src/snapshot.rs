@@ -1,0 +1,256 @@
+//! The persisted model artifact shared by every entry point.
+//!
+//! Training (`kyp train`), evaluation (`kyp eval`), single-page scanning
+//! (`kyp scan`) and the online scoring service (`kyp serve`) all exchange
+//! the same self-contained json bundle: the trained detector plus the
+//! domain ranking it was fitted against. [`ModelSnapshot`] is that bundle,
+//! stamped with an explicit format version so a service never silently
+//! loads a model written by an incompatible build.
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_core::{DetectorConfig, ModelSnapshot, PhishDetector};
+//! use kyp_ml::Dataset;
+//! use kyp_web::DomainRanker;
+//!
+//! let mut train = Dataset::new(2);
+//! for i in 0..200 {
+//!     let v = f64::from(i % 2);
+//!     train.push_row(&[v, 1.0 - v], v > 0.5);
+//! }
+//! let detector = PhishDetector::train(&train, &DetectorConfig::default());
+//! let snapshot = ModelSnapshot::new(detector, DomainRanker::default());
+//!
+//! let json = snapshot.to_json().unwrap();
+//! let back = ModelSnapshot::from_json(&json).unwrap();
+//! assert_eq!(back.format_version, kyp_core::MODEL_SNAPSHOT_VERSION);
+//! ```
+
+use crate::PhishDetector;
+use kyp_web::DomainRanker;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// The snapshot format this build writes and accepts.
+///
+/// Bump on any change to the serialized shape of [`ModelSnapshot`] (or of
+/// the detector/ranker inside it) that older readers would misinterpret.
+pub const MODEL_SNAPSHOT_VERSION: u32 = 1;
+
+/// A versioned, self-contained trained-model bundle: everything `eval`,
+/// `scan` and `serve` need to score pages offline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Format version stamp; see [`MODEL_SNAPSHOT_VERSION`].
+    pub format_version: u32,
+    /// The trained detection classifier.
+    pub detector: PhishDetector,
+    /// The domain-popularity ranking the features were computed against.
+    pub ranker: DomainRanker,
+}
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The content is not a parseable snapshot.
+    Malformed(String),
+    /// The content carries no `format_version` stamp — most likely a
+    /// bundle written before snapshots were versioned.
+    MissingVersion,
+    /// The content was written by an incompatible format version.
+    VersionMismatch {
+        /// The version found in the file.
+        found: u64,
+        /// The version this build supports.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Malformed(e) => write!(f, "malformed model snapshot: {e}"),
+            SnapshotError::MissingVersion => write!(
+                f,
+                "model snapshot has no format_version field \
+                 (pre-versioned bundle? re-run `kyp train` to regenerate it)"
+            ),
+            SnapshotError::VersionMismatch { found, expected } => write!(
+                f,
+                "model snapshot format version {found} is not supported \
+                 (this build reads version {expected}; re-run `kyp train` \
+                 with a matching build)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl ModelSnapshot {
+    /// Bundles a trained detector and its ranking at the current format
+    /// version.
+    pub fn new(detector: PhishDetector, ranker: DomainRanker) -> Self {
+        ModelSnapshot {
+            format_version: MODEL_SNAPSHOT_VERSION,
+            detector,
+            ranker,
+        }
+    }
+
+    /// Serializes the snapshot to its json interchange form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Malformed`] when serialization fails
+    /// (practically unreachable for a well-formed snapshot).
+    pub fn to_json(&self) -> Result<String, SnapshotError> {
+        serde_json::to_string(self).map_err(|e| SnapshotError::Malformed(e.to_string()))
+    }
+
+    /// Parses a snapshot, verifying the format version *before* touching
+    /// the payload.
+    ///
+    /// # Errors
+    ///
+    /// - [`SnapshotError::Malformed`] when the text is not a json object
+    ///   or the payload does not deserialize;
+    /// - [`SnapshotError::MissingVersion`] when there is no
+    ///   `format_version` stamp;
+    /// - [`SnapshotError::VersionMismatch`] when the stamp differs from
+    ///   [`MODEL_SNAPSHOT_VERSION`].
+    pub fn from_json(json: &str) -> Result<Self, SnapshotError> {
+        let value: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        let Some(version) = value.get("format_version") else {
+            return Err(SnapshotError::MissingVersion);
+        };
+        let Some(found) = version.as_u64() else {
+            return Err(SnapshotError::Malformed(format!(
+                "format_version is not an integer: {version:?}"
+            )));
+        };
+        if found != u64::from(MODEL_SNAPSHOT_VERSION) {
+            return Err(SnapshotError::VersionMismatch {
+                found,
+                expected: MODEL_SNAPSHOT_VERSION,
+            });
+        }
+        serde_json::from_value(value).map_err(|e| SnapshotError::Malformed(e.to_string()))
+    }
+
+    /// Writes the snapshot to `path` as json.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures and every [`Self::from_json`]
+    /// error.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetectorConfig;
+    use kyp_ml::Dataset;
+
+    fn snapshot() -> ModelSnapshot {
+        let mut train = Dataset::new(2);
+        for i in 0..120 {
+            let v = f64::from(i % 2);
+            train.push_row(&[v, 1.0 - v], v > 0.5);
+        }
+        let detector = PhishDetector::train(&train, &DetectorConfig::default());
+        ModelSnapshot::new(detector, DomainRanker::from_ranked(["example.com"]))
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let snap = snapshot();
+        let json = snap.to_json().unwrap();
+        let back = ModelSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.format_version, MODEL_SNAPSHOT_VERSION);
+        for row in [[1.0, 0.0], [0.0, 1.0], [0.3, 0.7]] {
+            assert_eq!(
+                snap.detector.score(&row).to_bits(),
+                back.detector.score(&row).to_bits(),
+                "scores must be bit-identical after a round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_version_is_an_explicit_error() {
+        // A pre-versioned bundle: detector + ranker, no stamp.
+        let err = ModelSnapshot::from_json(r#"{"detector": {}, "ranker": {}}"#).unwrap_err();
+        assert!(matches!(err, SnapshotError::MissingVersion), "{err}");
+        assert!(err.to_string().contains("format_version"));
+    }
+
+    #[test]
+    fn version_mismatch_is_an_explicit_error() {
+        let snap = snapshot();
+        let json =
+            snap.to_json()
+                .unwrap()
+                .replacen("\"format_version\":1", "\"format_version\":999", 1);
+        match ModelSnapshot::from_json(&json) {
+            Err(SnapshotError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, MODEL_SNAPSHOT_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        assert!(matches!(
+            ModelSnapshot::from_json("{not json"),
+            Err(SnapshotError::Malformed(_))
+        ));
+        assert!(matches!(
+            ModelSnapshot::from_json(r#"{"format_version": "one"}"#),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("kyp_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let snap = snapshot();
+        snap.save(&path).unwrap();
+        let back = ModelSnapshot::load(&path).unwrap();
+        assert_eq!(
+            snap.detector.score(&[1.0, 0.0]).to_bits(),
+            back.detector.score(&[1.0, 0.0]).to_bits()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,264 @@
+//! The verdict cache: an LRU map with per-entry TTL on the service's
+//! virtual clock.
+//!
+//! Keys are canonical landing URLs, so two request URLs redirecting to the
+//! same page share one entry. Every structural event — hit, miss,
+//! insertion, LRU eviction, TTL expiry — is counted, and because recency
+//! and expiry are tracked purely in virtual time the cache behaves
+//! identically on every run of the same trace.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Sizing and freshness policy of a [`VerdictCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum live entries; the least recently used entry is evicted to
+    /// admit a new key once full. Clamped to at least 1.
+    pub capacity: usize,
+    /// Virtual milliseconds an entry stays fresh after insertion; stale
+    /// entries count as misses and are dropped on access.
+    pub ttl_ms: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 4096,
+            ttl_ms: 300_000,
+        }
+    }
+}
+
+/// Structural event counts of one cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Lookups served from a fresh entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent or stale).
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Fresh entries dropped to make room (LRU policy).
+    pub evictions: u64,
+    /// Stale entries dropped on access (TTL policy).
+    pub expirations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry<V> {
+    value: V,
+    /// First virtual instant at which the entry is stale.
+    expires_at_ms: u64,
+    /// Recency stamp; the key of this entry's slot in the LRU index.
+    used_seq: u64,
+}
+
+/// An LRU + TTL cache over virtual time.
+///
+/// Recency is a monotonically increasing sequence number bumped on every
+/// hit and insertion; the LRU index maps sequence numbers back to keys, so
+/// eviction picks the smallest live sequence in `O(log n)`. No wall clock
+/// is ever consulted: the caller passes `now_ms` from its own virtual
+/// timeline.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_serve::{CacheConfig, VerdictCache};
+///
+/// let mut cache = VerdictCache::new(CacheConfig { capacity: 2, ttl_ms: 100 });
+/// cache.insert("a".into(), 1, 0);
+/// assert_eq!(cache.get("a", 50), Some(1));   // fresh → hit
+/// assert_eq!(cache.get("a", 100), None);     // expired → miss
+/// ```
+#[derive(Debug, Clone)]
+pub struct VerdictCache<V> {
+    config: CacheConfig,
+    entries: HashMap<String, CacheEntry<V>>,
+    /// Recency index: `used_seq` → key. Smallest sequence = LRU victim.
+    recency: BTreeMap<u64, String>,
+    next_seq: u64,
+    counters: CacheCounters,
+}
+
+impl<V: Clone> VerdictCache<V> {
+    /// An empty cache with the given policy.
+    pub fn new(config: CacheConfig) -> Self {
+        VerdictCache {
+            config: CacheConfig {
+                capacity: config.capacity.max(1),
+                ..config
+            },
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_seq: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Event counts so far.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Live entries (fresh and stale-but-untouched alike).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key` at virtual time `now_ms`.
+    ///
+    /// A fresh entry is a hit: its recency is bumped and a clone of the
+    /// value returned. A stale entry is dropped (counted as expiration
+    /// *and* miss) and `None` returned.
+    pub fn get(&mut self, key: &str, now_ms: u64) -> Option<V> {
+        match self.entries.get(key) {
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+            Some(entry) if now_ms >= entry.expires_at_ms => {
+                let entry = self.entries.remove(key).expect("entry just observed");
+                self.recency.remove(&entry.used_seq);
+                self.counters.expirations += 1;
+                self.counters.misses += 1;
+                None
+            }
+            Some(_) => {
+                let seq = self.bump_seq();
+                let entry = self.entries.get_mut(key).expect("entry just observed");
+                self.recency.remove(&entry.used_seq);
+                self.recency.insert(seq, key.to_owned());
+                entry.used_seq = seq;
+                self.counters.hits += 1;
+                Some(entry.value.clone())
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key` at virtual time `now_ms`, evicting the
+    /// least recently used entry when the cache is full.
+    pub fn insert(&mut self, key: String, value: V, now_ms: u64) {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.config.capacity {
+            let victim_seq = *self.recency.keys().next().expect("full cache has entries");
+            let victim_key = self.recency.remove(&victim_seq).expect("indexed key");
+            self.entries.remove(&victim_key);
+            self.counters.evictions += 1;
+        }
+        let seq = self.bump_seq();
+        if let Some(old) = self.entries.insert(
+            key.clone(),
+            CacheEntry {
+                value,
+                expires_at_ms: now_ms.saturating_add(self.config.ttl_ms),
+                used_seq: seq,
+            },
+        ) {
+            self.recency.remove(&old.used_seq);
+        }
+        self.recency.insert(seq, key);
+        self.counters.insertions += 1;
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, ttl_ms: u64) -> VerdictCache<u32> {
+        VerdictCache::new(CacheConfig { capacity, ttl_ms })
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = cache(4, 1_000);
+        assert_eq!(c.get("a", 0), None);
+        c.insert("a".into(), 7, 0);
+        assert_eq!(c.get("a", 10), Some(7));
+        assert_eq!(c.get("b", 10), None);
+        let k = c.counters();
+        assert_eq!((k.hits, k.misses, k.insertions), (1, 2, 1));
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut c = cache(4, 100);
+        c.insert("a".into(), 1, 50);
+        assert_eq!(c.get("a", 149), Some(1), "one tick before expiry");
+        assert_eq!(c.get("a", 150), None, "expires exactly at insert+ttl");
+        assert_eq!(c.counters().expirations, 1);
+        assert_eq!(c.len(), 0, "stale entry is dropped");
+        // Re-insert restarts the clock.
+        c.insert("a".into(), 2, 200);
+        assert_eq!(c.get("a", 299), Some(2));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = cache(2, 10_000);
+        c.insert("a".into(), 1, 0);
+        c.insert("b".into(), 2, 1);
+        assert_eq!(c.get("a", 2), Some(1)); // "a" is now most recent
+        c.insert("c".into(), 3, 3); // evicts "b", the LRU
+        assert_eq!(c.get("b", 4), None);
+        assert_eq!(c.get("a", 4), Some(1));
+        assert_eq!(c.get("c", 4), Some(3));
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let mut c = cache(2, 10_000);
+        c.insert("a".into(), 1, 0);
+        c.insert("b".into(), 2, 0);
+        c.insert("a".into(), 9, 5);
+        assert_eq!(c.counters().evictions, 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a", 6), Some(9));
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let mut c = cache(0, 1_000);
+        c.insert("a".into(), 1, 0);
+        c.insert("b".into(), 2, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.get("b", 1), Some(2));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut c = cache(3, 500);
+            let mut log = Vec::new();
+            for (i, key) in ["a", "b", "a", "c", "d", "b", "a"].iter().enumerate() {
+                let t = i as u64 * 100;
+                if c.get(key, t).is_none() {
+                    c.insert((*key).to_owned(), i as u32, t);
+                }
+                log.push(format!("{key}@{t}:{:?}", c.counters()));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

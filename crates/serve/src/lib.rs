@@ -1,0 +1,58 @@
+//! Deterministic online scoring service over the Know Your Phish
+//! pipeline.
+//!
+//! The batch pipeline answers "how good is the classifier?"; this crate
+//! answers "what does it take to run it as a service?". A
+//! [`ScoringService`] wraps a warm [`kyp_core::Pipeline`] with the three
+//! mechanisms a production scorer needs, all simulated on a virtual clock
+//! so every run is bit-reproducible:
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!  requests ──────▶  │ AdmissionQueue (bounded; sheds when full)  │
+//!                    └──────────────┬─────────────────────────────┘
+//!                                   │ MicroBatcher: flush on max_batch
+//!                                   ▼            or max_delay_ms
+//!                    ┌────────────────────────────────────────────┐
+//!                    │ VerdictCache (LRU + TTL, landing-URL key)  │
+//!                    │   hit ──────────────▶ response             │
+//!                    │   miss ─▶ Pipeline::classify_scraped ─▶ …  │
+//!                    └──────────────┬─────────────────────────────┘
+//!                                   ▼
+//!                    ServeStats: latency histogram, throughput,
+//!                    cache / queue / batch counters → ServeReport
+//! ```
+//!
+//! # Determinism contract
+//!
+//! For one seeded trace (see [`workload`]), the stream of
+//! [`ServeResponse::verdict_line`] projections is byte-identical:
+//!
+//! - at **any thread count** — batch classification fans out over
+//!   [`kyp_exec`] with order-preserving joins;
+//! - with the **cache on or off** — fetches are memoized per unique URL
+//!   (stateful fault plans see the same fetch sequence either way) and
+//!   verdicts are pure functions of the fetched page;
+//! - under a **fault plan** — all retry/breaker timing is virtual.
+//!
+//! The cache's payoff is wall-clock time only: hits skip feature
+//! extraction and both model stages, which `exp_serve_throughput`
+//! measures as real pages/second.
+
+pub mod batcher;
+pub mod cache;
+pub mod protocol;
+pub mod queue;
+pub mod service;
+pub mod source;
+pub mod stats;
+pub mod workload;
+
+pub use batcher::{BatchCounters, BatchPolicy, MicroBatcher};
+pub use cache::{CacheConfig, CacheCounters, VerdictCache};
+pub use protocol::{CacheState, ServeOutcome, ServeRequest, ServeResponse};
+pub use queue::{AdmissionQueue, QueueCounters};
+pub use service::{ScoringService, ServeConfig, SHED_QUEUE_FULL};
+pub use source::{canonical_url, PageSource, ScraperSource, StoredPages};
+pub use stats::{LatencyHistogram, LatencySummary, ServeReport, LATENCY_BUCKET_BOUNDS_MS};
+pub use workload::{generate, ArrivalPattern, WorkloadConfig};

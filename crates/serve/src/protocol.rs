@@ -1,0 +1,155 @@
+//! The service's newline-delimited json line protocol.
+//!
+//! One [`ServeRequest`] in, one [`ServeResponse`] out, both a single json
+//! object per line. `kyp serve` speaks exactly this over stdin/stdout; the
+//! library API exchanges the same types directly.
+
+use serde::{Deserialize, Serialize};
+
+/// One scoring request.
+///
+/// `arrival_ms` places the request on the service's virtual timeline;
+/// arrivals must be non-decreasing (the service clamps regressions to the
+/// previous arrival). `id` is echoed back so callers can correlate
+/// out-of-band.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The URL to score.
+    pub url: String,
+    /// Arrival time on the service's virtual clock, in milliseconds.
+    pub arrival_ms: u64,
+}
+
+/// What the service concluded about one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeOutcome {
+    /// The pipeline produced a verdict.
+    Verdict {
+        /// Verdict kind: `legitimate`, `confirmed_legitimate`, `phish`
+        /// or `suspicious`.
+        kind: String,
+        /// Detector confidence.
+        score: f64,
+        /// Ranked target mlds (phish verdicts only).
+        targets: Vec<String>,
+    },
+    /// The page could not be fetched at all.
+    Unfetchable {
+        /// Terminal failure cause, e.g. `not_found`, `circuit_open`.
+        cause: String,
+    },
+    /// Admission control rejected the request.
+    Shed {
+        /// Why it was rejected, e.g. `queue_full`.
+        reason: String,
+    },
+}
+
+/// Where the response's verdict came from, cache-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheState {
+    /// Served from a fresh verdict-cache entry.
+    Hit,
+    /// Classified and inserted into the cache.
+    Miss,
+    /// The cache is disabled for this service.
+    Disabled,
+    /// The request never reached classification (shed / unfetchable).
+    Skipped,
+}
+
+/// One scored (or rejected) request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The request's URL, echoed back.
+    pub url: String,
+    /// What the service concluded.
+    pub outcome: ServeOutcome,
+    /// Verdict-cache involvement.
+    pub cache: CacheState,
+    /// Whether the page was only partially captured.
+    pub degraded: bool,
+    /// Virtual milliseconds from arrival to completion (0 for shed).
+    pub latency_ms: u64,
+    /// Completion time on the service's virtual clock.
+    pub completed_ms: u64,
+}
+
+impl ServeResponse {
+    /// The timing- and cache-independent projection of this response:
+    /// request identity plus verdict only.
+    ///
+    /// Two runs of the same trace must produce byte-identical sequences
+    /// of these lines whatever the thread count and whether the verdict
+    /// cache is enabled — the determinism contract `kyp-serve` inherits
+    /// from the execution layer. (Latency and cache state legitimately
+    /// differ between cache-on and cache-off runs, so they are excluded.)
+    pub fn verdict_line(&self) -> String {
+        let outcome = serde_json::to_string(&self.outcome).expect("serialize outcome");
+        format!(
+            "{} {} {} degraded={}",
+            self.id, self.url, outcome, self.degraded
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = ServeRequest {
+            id: 7,
+            url: "http://example.com/a".into(),
+            arrival_ms: 120,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ServeRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_roundtrips_through_json() {
+        let resp = ServeResponse {
+            id: 9,
+            url: "http://example.com/b".into(),
+            outcome: ServeOutcome::Verdict {
+                kind: "phish".into(),
+                score: 0.93,
+                targets: vec!["paypal".into()],
+            },
+            cache: CacheState::Miss,
+            degraded: false,
+            latency_ms: 14,
+            completed_ms: 210,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ServeResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn verdict_line_excludes_timing_and_cache_state() {
+        let mut resp = ServeResponse {
+            id: 1,
+            url: "http://x.com/".into(),
+            outcome: ServeOutcome::Shed {
+                reason: "queue_full".into(),
+            },
+            cache: CacheState::Skipped,
+            degraded: false,
+            latency_ms: 5,
+            completed_ms: 100,
+        };
+        let line = resp.verdict_line();
+        resp.latency_ms = 99;
+        resp.completed_ms = 999;
+        resp.cache = CacheState::Hit;
+        assert_eq!(line, resp.verdict_line());
+    }
+}

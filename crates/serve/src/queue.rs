@@ -1,0 +1,155 @@
+//! Bounded admission with explicit backpressure.
+//!
+//! A production scoring service cannot queue unboundedly: past a depth
+//! limit, latency guarantees are already lost and every further request
+//! only makes the backlog worse. [`AdmissionQueue`] therefore *sheds*
+//! (rejects immediately, with an explicit verdict the caller can surface)
+//! instead of buffering once full — load shedding as admission control.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Admission accounting over one queue's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueCounters {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests rejected because the queue was full.
+    pub shed: u64,
+    /// Deepest the queue ever got.
+    pub high_water: u64,
+}
+
+/// A bounded FIFO queue that sheds on overflow.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_serve::AdmissionQueue;
+///
+/// let mut q = AdmissionQueue::new(2);
+/// assert!(q.offer(1).is_ok());
+/// assert!(q.offer(2).is_ok());
+/// assert_eq!(q.offer(3), Err(3), "full queue sheds, returning the item");
+/// assert_eq!(q.take_batch(8), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    counters: QueueCounters,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue holding at most `capacity` items (clamped ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+            counters: QueueCounters::default(),
+        }
+    }
+
+    /// The configured depth limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Admission accounting so far.
+    pub fn counters(&self) -> QueueCounters {
+        self.counters
+    }
+
+    /// The oldest queued item, if any.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// The item at position `idx` from the front (0 = oldest), if any.
+    pub fn peek(&self, idx: usize) -> Option<&T> {
+        self.items.get(idx)
+    }
+
+    /// Attempts to admit `item`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` — handing the item back — when the queue is at
+    /// capacity; the rejection is tallied as shed.
+    pub fn offer(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.counters.shed += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.counters.admitted += 1;
+        self.counters.high_water = self.counters.high_water.max(self.items.len() as u64);
+        Ok(())
+    }
+
+    /// Removes and returns up to `n` items from the front, in FIFO order.
+    pub fn take_batch(&mut self, n: usize) -> Vec<T> {
+        let k = n.min(self.items.len());
+        self.items.drain(..k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = AdmissionQueue::new(10);
+        for i in 0..5 {
+            q.offer(i).unwrap();
+        }
+        assert_eq!(q.take_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.take_batch(10), vec![3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sheds_when_full_and_counts() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.offer("a").is_ok());
+        assert!(q.offer("b").is_ok());
+        assert_eq!(q.offer("c"), Err("c"));
+        assert_eq!(q.offer("d"), Err("d"));
+        let c = q.counters();
+        assert_eq!((c.admitted, c.shed, c.high_water), (2, 2, 2));
+        // Draining frees capacity again.
+        let _ = q.take_batch(1);
+        assert!(q.offer("e").is_ok());
+        assert_eq!(q.counters().admitted, 3);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = AdmissionQueue::new(8);
+        for i in 0..6 {
+            q.offer(i).unwrap();
+        }
+        let _ = q.take_batch(6);
+        q.offer(9).unwrap();
+        assert_eq!(q.counters().high_water, 6);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut q = AdmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.offer(1).is_ok());
+        assert_eq!(q.offer(2), Err(2));
+    }
+}

@@ -1,0 +1,633 @@
+//! The scoring service: admission, batching, caching and accounting wired
+//! around a warm [`Pipeline`].
+//!
+//! # Event model
+//!
+//! The service is a deterministic discrete-event loop over a virtual
+//! clock. Each pushed request is one arrival event; before it is admitted,
+//! every batch flush that falls due at or before its arrival instant is
+//! executed, in due order. A flush cuts up to `max_batch` requests off the
+//! queue, scores them (cache, then pipeline for the misses) and completes
+//! them all at `flush + batch_overhead_ms + service_cost_ms × batch_len`.
+//! The scorer is busy until that completion, so flushes serialize.
+//!
+//! # Determinism contract
+//!
+//! Two properties combine so the verdict stream is byte-identical across
+//! thread counts *and* across cache-on/cache-off runs of the same trace:
+//!
+//! - **Fetch once.** The service memoizes every fetch by canonical
+//!   request URL, so each unique URL hits the page source exactly once
+//!   per run whatever the duplicate rate. Stateful sources (fault plans,
+//!   circuit breakers, retry clocks) therefore see the same fetch
+//!   sequence whether or not the verdict cache later absorbs repeats.
+//! - **Pure classification.** A verdict is a pure function of the
+//!   captured page, so a cached verdict equals the verdict recomputation
+//!   would produce.
+//!
+//! The virtual cost model is deliberately cache-independent: hits and
+//! misses cost the same *virtual* time, so queueing, shedding and batch
+//! boundaries are identical in both runs. The cache's benefit is real
+//! (wall-clock) time — hits skip feature extraction and both model
+//! stages — which is exactly what the serving benchmark measures.
+
+use crate::batcher::{BatchPolicy, MicroBatcher};
+use crate::cache::{CacheConfig, VerdictCache};
+use crate::protocol::{CacheState, ServeOutcome, ServeRequest, ServeResponse};
+use crate::queue::AdmissionQueue;
+use crate::source::{canonical_key, canonical_url, PageSource};
+use crate::stats::{LatencyHistogram, ServeReport};
+use kyp_core::{Pipeline, PipelineVerdict};
+use kyp_web::{FailureCause, ScrapedPage};
+use std::collections::HashMap;
+
+/// Shed reason reported when the admission queue is full.
+pub const SHED_QUEUE_FULL: &str = "queue_full";
+
+/// Tuning of a [`ScoringService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Admission queue depth; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Micro-batching policy.
+    pub batch: BatchPolicy,
+    /// Verdict cache policy; `None` disables the cache.
+    pub cache: Option<CacheConfig>,
+    /// Virtual milliseconds of scoring work per request in a batch.
+    pub service_cost_ms: u64,
+    /// Virtual milliseconds of fixed overhead per batch flush.
+    pub batch_overhead_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            batch: BatchPolicy::default(),
+            cache: Some(CacheConfig::default()),
+            service_cost_ms: 8,
+            batch_overhead_ms: 2,
+        }
+    }
+}
+
+/// A memoized fetch: the page plus the canonical landing URL it settled
+/// on (the verdict-cache key).
+#[derive(Debug, Clone)]
+struct StoredScrape {
+    page: ScrapedPage,
+    landing_key: String,
+}
+
+/// How one batched request resolves before response assembly.
+enum Slot {
+    Unfetchable(FailureCause),
+    Cached(PipelineVerdict, bool),
+    /// Index into the flush's to-classify vector.
+    Pending(usize),
+}
+
+/// A long-lived online scoring service over a warm pipeline.
+///
+/// Generic over [`PageSource`] so the same loop serves a live simulated
+/// web or a stored page capture. Drive it with [`ScoringService::push`]
+/// per request (arrivals must be non-decreasing; regressions are clamped),
+/// then [`ScoringService::finish`] to drain, or hand it a whole trace via
+/// [`ScoringService::run_trace`].
+pub struct ScoringService<S> {
+    pipeline: Pipeline,
+    source: S,
+    config: ServeConfig,
+    cache: Option<VerdictCache<(PipelineVerdict, bool)>>,
+    queue: AdmissionQueue<ServeRequest>,
+    batcher: MicroBatcher,
+    latency: LatencyHistogram,
+    page_store: HashMap<String, Result<StoredScrape, FailureCause>>,
+    busy_until_ms: u64,
+    last_arrival_ms: u64,
+    first_arrival_ms: Option<u64>,
+    last_event_ms: u64,
+    answered: u64,
+    unfetchable: u64,
+    degraded: u64,
+}
+
+impl<S: PageSource> ScoringService<S> {
+    /// A fresh service scoring pages from `source` with `pipeline`.
+    pub fn new(pipeline: Pipeline, source: S, config: ServeConfig) -> Self {
+        let cache = config.cache.clone().map(VerdictCache::new);
+        let queue = AdmissionQueue::new(config.queue_capacity);
+        let batcher = MicroBatcher::new(config.batch.clone());
+        ScoringService {
+            pipeline,
+            source,
+            config,
+            cache,
+            queue,
+            batcher,
+            latency: LatencyHistogram::new(),
+            page_store: HashMap::new(),
+            busy_until_ms: 0,
+            last_arrival_ms: 0,
+            first_arrival_ms: None,
+            last_event_ms: 0,
+            answered: 0,
+            unfetchable: 0,
+            degraded: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Feeds one arrival into the service, returning every response that
+    /// completes up to (and including) this arrival instant — batch
+    /// flushes that fell due in the meantime, plus an immediate shed
+    /// response if admission rejects the request.
+    pub fn push(&mut self, request: ServeRequest) -> Vec<ServeResponse> {
+        let arrival = request.arrival_ms.max(self.last_arrival_ms);
+        self.last_arrival_ms = arrival;
+        self.first_arrival_ms.get_or_insert(arrival);
+        self.last_event_ms = self.last_event_ms.max(arrival);
+
+        let mut out = Vec::new();
+        while let Some(due) = self.batcher.due_at(&self.queue, self.busy_until_ms) {
+            if due > arrival {
+                break;
+            }
+            self.flush_at(due, &mut out);
+        }
+
+        let request = ServeRequest {
+            arrival_ms: arrival,
+            ..request
+        };
+        if let Err(rejected) = self.queue.offer(request) {
+            out.push(ServeResponse {
+                id: rejected.id,
+                url: rejected.url,
+                outcome: ServeOutcome::Shed {
+                    reason: SHED_QUEUE_FULL.to_owned(),
+                },
+                cache: CacheState::Skipped,
+                degraded: false,
+                latency_ms: 0,
+                completed_ms: arrival,
+            });
+        }
+        out
+    }
+
+    /// Drains the queue, flushing every remaining batch in due order, and
+    /// returns the responses.
+    pub fn finish(&mut self) -> Vec<ServeResponse> {
+        let mut out = Vec::new();
+        while let Some(due) = self.batcher.due_at(&self.queue, self.busy_until_ms) {
+            self.flush_at(due, &mut out);
+        }
+        out
+    }
+
+    /// Runs a whole trace through the service: pushes every request in
+    /// order, drains, and returns all responses (in completion order,
+    /// shed responses at their arrival instant).
+    pub fn run_trace(&mut self, trace: &[ServeRequest]) -> Vec<ServeResponse> {
+        let mut out = Vec::new();
+        for request in trace {
+            out.extend(self.push(request.clone()));
+        }
+        out.extend(self.finish());
+        out
+    }
+
+    /// The end-of-run accounting report.
+    pub fn report(&self) -> ServeReport {
+        let queue = self.queue.counters();
+        let first = self.first_arrival_ms.unwrap_or(0);
+        let elapsed = self.last_event_ms.saturating_sub(first);
+        let throughput = if elapsed > 0 {
+            self.answered as f64 / (elapsed as f64 / 1_000.0)
+        } else {
+            0.0
+        };
+        ServeReport {
+            requests: queue.admitted + queue.shed,
+            answered: self.answered,
+            shed: queue.shed,
+            unfetchable: self.unfetchable,
+            degraded: self.degraded,
+            cache_enabled: self.cache.is_some(),
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| c.counters())
+                .unwrap_or_default(),
+            queue,
+            batches: self.batcher.counters(),
+            latency: self.latency.summary(),
+            virtual_elapsed_ms: elapsed,
+            throughput_per_vsec: throughput,
+        }
+    }
+
+    /// Executes the batch flush due at virtual instant `flush_ms`.
+    fn flush_at(&mut self, flush_ms: u64, out: &mut Vec<ServeResponse>) {
+        let batch = self.batcher.take(&mut self.queue);
+        if batch.is_empty() {
+            return;
+        }
+        let completion_ms = flush_ms
+            .saturating_add(self.config.batch_overhead_ms)
+            .saturating_add(self.config.service_cost_ms * batch.len() as u64);
+        self.busy_until_ms = completion_ms;
+        self.last_event_ms = self.last_event_ms.max(completion_ms);
+
+        // Resolve each request: memoized fetch, then cache lookup; cache
+        // misses accumulate into one batch for parallel classification.
+        let mut slots = Vec::with_capacity(batch.len());
+        let mut to_classify: Vec<(String, ScrapedPage)> = Vec::new();
+        let mut pending_keys: Vec<String> = Vec::new();
+        for request in &batch {
+            let store_key = canonical_url(&request.url).unwrap_or_else(|| request.url.clone());
+            if !self.page_store.contains_key(&store_key) {
+                let fetched = self.source.fetch(&request.url).map(|page| {
+                    let landing_key = canonical_key(&page.visit.landing_url);
+                    StoredScrape { page, landing_key }
+                });
+                self.page_store.insert(store_key.clone(), fetched);
+            }
+            let slot = match self.page_store.get(&store_key).expect("just inserted") {
+                Err(cause) => Slot::Unfetchable(*cause),
+                Ok(stored) => {
+                    let cached = self
+                        .cache
+                        .as_mut()
+                        .and_then(|c| c.get(&stored.landing_key, flush_ms));
+                    match cached {
+                        Some((verdict, degraded)) => Slot::Cached(verdict, degraded),
+                        None => {
+                            let idx = to_classify.len();
+                            to_classify.push((request.url.clone(), stored.page.clone()));
+                            pending_keys.push(stored.landing_key.clone());
+                            Slot::Pending(idx)
+                        }
+                    }
+                }
+            };
+            slots.push(slot);
+        }
+
+        let classified = self.pipeline.classify_scraped(&to_classify);
+        if let Some(cache) = self.cache.as_mut() {
+            for (key, page) in pending_keys.iter().zip(&classified) {
+                cache.insert(
+                    key.clone(),
+                    (page.verdict.clone(), page.degraded),
+                    completion_ms,
+                );
+            }
+        }
+
+        for (request, slot) in batch.into_iter().zip(slots) {
+            let latency_ms = completion_ms.saturating_sub(request.arrival_ms);
+            let (outcome, cache_state, degraded) = match slot {
+                Slot::Unfetchable(cause) => {
+                    self.unfetchable += 1;
+                    (
+                        ServeOutcome::Unfetchable {
+                            cause: cause_str(cause).to_owned(),
+                        },
+                        CacheState::Skipped,
+                        false,
+                    )
+                }
+                Slot::Cached(verdict, degraded) => {
+                    self.answered += 1;
+                    (verdict_outcome(&verdict), CacheState::Hit, degraded)
+                }
+                Slot::Pending(idx) => {
+                    self.answered += 1;
+                    let page = &classified[idx];
+                    let state = if self.cache.is_some() {
+                        CacheState::Miss
+                    } else {
+                        CacheState::Disabled
+                    };
+                    (verdict_outcome(&page.verdict), state, page.degraded)
+                }
+            };
+            if degraded {
+                self.degraded += 1;
+            }
+            self.latency.record(latency_ms);
+            out.push(ServeResponse {
+                id: request.id,
+                url: request.url,
+                outcome,
+                cache: cache_state,
+                degraded,
+                latency_ms,
+                completed_ms: completion_ms,
+            });
+        }
+    }
+}
+
+/// Maps a pipeline verdict onto the wire outcome.
+fn verdict_outcome(verdict: &PipelineVerdict) -> ServeOutcome {
+    match verdict {
+        PipelineVerdict::Legitimate { score } => ServeOutcome::Verdict {
+            kind: "legitimate".to_owned(),
+            score: *score,
+            targets: Vec::new(),
+        },
+        PipelineVerdict::ConfirmedLegitimate { score, .. } => ServeOutcome::Verdict {
+            kind: "confirmed_legitimate".to_owned(),
+            score: *score,
+            targets: Vec::new(),
+        },
+        PipelineVerdict::Phish { score, candidates } => ServeOutcome::Verdict {
+            kind: "phish".to_owned(),
+            score: *score,
+            targets: candidates.iter().map(|c| c.mld.clone()).collect(),
+        },
+        PipelineVerdict::Suspicious { score } => ServeOutcome::Verdict {
+            kind: "suspicious".to_owned(),
+            score: *score,
+            targets: Vec::new(),
+        },
+    }
+}
+
+/// The wire name of a terminal fetch failure.
+fn cause_str(cause: FailureCause) -> &'static str {
+    match cause {
+        FailureCause::BadUrl => "bad_url",
+        FailureCause::NotFound => "not_found",
+        FailureCause::TooManyRedirects => "too_many_redirects",
+        FailureCause::Transient => "transient",
+        FailureCause::Timeout => "timeout",
+        FailureCause::DeadlineExceeded => "deadline_exceeded",
+        FailureCause::CircuitOpen => "circuit_open",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::StoredPages;
+    use crate::workload::{generate, ArrivalPattern, WorkloadConfig};
+    use kyp_core::{DetectorConfig, FeatureExtractor, PhishDetector, TargetIdentifier};
+    use kyp_ml::Dataset;
+    use kyp_search::SearchEngine;
+    use kyp_web::VisitedPage;
+    use std::sync::Arc;
+
+    fn url(s: &str) -> kyp_url::Url {
+        kyp_url::Url::parse(s).unwrap()
+    }
+
+    fn phish_page(i: usize) -> VisitedPage {
+        let u = url(&format!("http://paypal-secure{i}.badhost.example/login"));
+        VisitedPage {
+            starting_url: u.clone(),
+            landing_url: u.clone(),
+            redirection_chain: vec![u],
+            logged_links: vec![url("http://cdn.badhost.example/kit.js")],
+            href_links: vec![url("http://paypal.com/")],
+            text: "paypal secure login verify your paypal account password now".into(),
+            title: "PayPal Login".into(),
+            copyright: Some("paypal".into()),
+            screenshot_text: "paypal login".into(),
+            input_count: 3,
+            image_count: 1,
+            iframe_count: 1,
+        }
+    }
+
+    fn legit_page(i: usize) -> VisitedPage {
+        let u = url(&format!("http://mybank{i}.example.com/"));
+        VisitedPage {
+            starting_url: u.clone(),
+            landing_url: u.clone(),
+            redirection_chain: vec![u],
+            logged_links: vec![url(&format!("http://mybank{i}.example.com/style.css"))],
+            href_links: vec![url(&format!("http://mybank{i}.example.com/about"))],
+            text: "welcome to our neighborhood bank branch opening hours and news".into(),
+            title: "My Bank".into(),
+            copyright: Some("mybank".into()),
+            screenshot_text: String::new(),
+            input_count: 0,
+            image_count: 2,
+            iframe_count: 0,
+        }
+    }
+
+    fn pipeline() -> Pipeline {
+        let extractor = FeatureExtractor::default();
+        let mut data = Dataset::new(kyp_core::features::FEATURE_COUNT);
+        for i in 0..40 {
+            data.push_row(&extractor.extract(&phish_page(i)), true);
+            data.push_row(&extractor.extract(&legit_page(i)), false);
+        }
+        let detector = PhishDetector::train(&data, &DetectorConfig::default());
+        let mut engine = SearchEngine::new();
+        engine.index_page(
+            "paypal.com",
+            "paypal",
+            "paypal account login send money online payments paypal",
+        );
+        engine.index_page(
+            "mybank0.example.com",
+            "mybank0",
+            "welcome neighborhood bank branch news mybank",
+        );
+        Pipeline::new(extractor, detector, TargetIdentifier::new(Arc::new(engine)))
+    }
+
+    fn store(pages: usize) -> (StoredPages, Vec<String>) {
+        let mut all = Vec::new();
+        let mut urls = Vec::new();
+        for i in 0..pages {
+            let p = phish_page(i);
+            urls.push(p.starting_url.to_string());
+            all.push(p);
+            let l = legit_page(i);
+            urls.push(l.starting_url.to_string());
+            all.push(l);
+        }
+        (StoredPages::new(all), urls)
+    }
+
+    fn service(cache: bool) -> ScoringService<StoredPages> {
+        let (pages, _) = store(20);
+        ScoringService::new(
+            pipeline(),
+            pages,
+            ServeConfig {
+                cache: cache.then(CacheConfig::default),
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    fn trace(requests: usize, duplicate_rate: f64) -> Vec<ServeRequest> {
+        let (_, urls) = store(20);
+        generate(
+            &WorkloadConfig {
+                requests,
+                duplicate_rate,
+                ..WorkloadConfig::default()
+            },
+            &urls,
+        )
+    }
+
+    #[test]
+    fn answers_every_request_of_a_clean_trace() {
+        let mut svc = service(true);
+        let trace = trace(100, 0.3);
+        let responses = svc.run_trace(&trace);
+        assert_eq!(responses.len(), 100);
+        let report = svc.report();
+        assert_eq!(report.requests, 100);
+        assert_eq!(report.answered, 100);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.unfetchable, 0);
+        assert!(report.cache.hits > 0, "duplicates should hit the cache");
+        assert!(report.latency.count == 100);
+        assert!(report.virtual_elapsed_ms > 0);
+        assert!(report.throughput_per_vsec > 0.0);
+        // Responses complete in non-decreasing virtual time.
+        let times: Vec<u64> = responses.iter().map(|r| r.completed_ms).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cache_on_and_off_produce_identical_verdict_streams() {
+        let trace = trace(200, 0.4);
+        let mut on = service(true);
+        let mut off = service(false);
+        let lines_on: Vec<String> = on
+            .run_trace(&trace)
+            .iter()
+            .map(|r| r.verdict_line())
+            .collect();
+        let lines_off: Vec<String> = off
+            .run_trace(&trace)
+            .iter()
+            .map(|r| r.verdict_line())
+            .collect();
+        assert_eq!(lines_on, lines_off);
+        assert!(on.report().cache.hits > 0);
+        assert_eq!(off.report().cache.hits, 0);
+        // The virtual cost model is cache-independent, so even the timing
+        // reports agree on everything but the cache counters.
+        let (ron, roff) = (on.report(), off.report());
+        assert_eq!(ron.latency, roff.latency);
+        assert_eq!(ron.virtual_elapsed_ms, roff.virtual_elapsed_ms);
+    }
+
+    #[test]
+    fn bursty_overload_sheds_deterministically() {
+        let (_, urls) = store(20);
+        let trace = generate(
+            &WorkloadConfig {
+                requests: 120,
+                duplicate_rate: 0.2,
+                arrival: ArrivalPattern::Bursty {
+                    burst: 40,
+                    burst_gap_ms: 0,
+                    idle_gap_ms: 5,
+                },
+                ..WorkloadConfig::default()
+            },
+            &urls,
+        );
+        let run = || {
+            let (pages, _) = store(20);
+            let mut svc = ScoringService::new(
+                pipeline(),
+                pages,
+                ServeConfig {
+                    queue_capacity: 8,
+                    cache: Some(CacheConfig::default()),
+                    ..ServeConfig::default()
+                },
+            );
+            let lines: Vec<String> = svc
+                .run_trace(&trace)
+                .iter()
+                .map(|r| r.verdict_line())
+                .collect();
+            (lines, svc.report())
+        };
+        let (lines_a, report_a) = run();
+        let (lines_b, report_b) = run();
+        assert_eq!(lines_a, lines_b);
+        assert_eq!(report_a, report_b);
+        assert!(report_a.shed > 0, "overload must shed");
+        assert_eq!(report_a.requests, 120);
+        assert_eq!(
+            report_a.answered + report_a.shed + report_a.unfetchable,
+            120
+        );
+        assert_eq!(report_a.queue.high_water, 8);
+    }
+
+    #[test]
+    fn unknown_urls_come_back_unfetchable() {
+        let mut svc = service(true);
+        let responses = svc.run_trace(&[ServeRequest {
+            id: 0,
+            url: "http://unknown.example.org/".into(),
+            arrival_ms: 0,
+        }]);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(
+            responses[0].outcome,
+            ServeOutcome::Unfetchable {
+                cause: "not_found".into()
+            }
+        );
+        assert_eq!(svc.report().unfetchable, 1);
+    }
+
+    #[test]
+    fn each_unique_url_fetches_once_despite_duplicates() {
+        let (pages, urls) = store(4);
+        let mut svc = ScoringService::new(pipeline(), pages, ServeConfig::default());
+        let trace = generate(
+            &WorkloadConfig {
+                requests: 64,
+                duplicate_rate: 0.8,
+                ..WorkloadConfig::default()
+            },
+            &urls[..4],
+        );
+        svc.run_trace(&trace);
+        assert!(svc.page_store.len() <= 4);
+        assert_eq!(svc.report().answered, 64);
+    }
+
+    #[test]
+    fn regressive_arrivals_are_clamped_monotone() {
+        let mut svc = service(false);
+        let (_, urls) = store(20);
+        let mut out = svc.push(ServeRequest {
+            id: 0,
+            url: urls[0].clone(),
+            arrival_ms: 500,
+        });
+        out.extend(svc.push(ServeRequest {
+            id: 1,
+            url: urls[1].clone(),
+            arrival_ms: 100, // regresses; clamped to 500
+        }));
+        out.extend(svc.finish());
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.completed_ms > 500));
+    }
+}

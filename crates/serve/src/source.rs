@@ -1,0 +1,154 @@
+//! Where scored pages come from: a live scraper or a stored capture.
+//!
+//! The service is generic over [`PageSource`] so the same scoring loop
+//! runs against a simulated web (tests, benchmarks — via
+//! [`ScraperSource`]) or against a previously captured page set (the CLI,
+//! whose jsonl bundles carry visited pages but no raw HTML — via
+//! [`StoredPages`]).
+
+use kyp_url::Url;
+use kyp_web::{
+    FailureCause, ResilientBrowser, ScrapedPage, SourceAvailability, VisitedPage, World,
+};
+use std::collections::HashMap;
+
+/// A provider of scraped pages keyed by request URL.
+pub trait PageSource {
+    /// Fetches `url`, returning the scraped page or the terminal failure
+    /// cause. Implementations must be deterministic: the same sequence of
+    /// calls yields the same sequence of results.
+    fn fetch(&mut self, url: &str) -> Result<ScrapedPage, FailureCause>;
+}
+
+/// The canonical cache/store key of a URL: `{fqdn-or-host}/{path}` —
+/// scheme-, port- and query-insensitive, mirroring how the simulated web
+/// itself keys pages. `None` when the URL does not parse.
+pub fn canonical_url(url: &str) -> Option<String> {
+    Url::parse(url).ok().map(|u| canonical_key(&u))
+}
+
+/// [`canonical_url`] for an already-parsed URL.
+pub fn canonical_key(u: &Url) -> String {
+    let host = u.fqdn_str().unwrap_or_else(|| u.host().to_string());
+    format!("{host}{}", u.path())
+}
+
+/// A [`PageSource`] that scrapes live from a [`World`] through the
+/// resilient browser (retries, backoff, circuit breaking).
+pub struct ScraperSource<'w, W: World> {
+    browser: ResilientBrowser<'w, W>,
+}
+
+impl<'w, W: World> ScraperSource<'w, W> {
+    /// A source scraping `world` with the default retry policy.
+    pub fn new(world: &'w W) -> Self {
+        ScraperSource {
+            browser: ResilientBrowser::new(world),
+        }
+    }
+
+    /// A source wrapping an explicitly configured browser.
+    pub fn with_browser(browser: ResilientBrowser<'w, W>) -> Self {
+        ScraperSource { browser }
+    }
+}
+
+impl<'w, W: World> PageSource for ScraperSource<'w, W> {
+    fn fetch(&mut self, url: &str) -> Result<ScrapedPage, FailureCause> {
+        self.browser.scrape(url).map_err(|f| f.cause)
+    }
+}
+
+/// A [`PageSource`] over previously captured pages, keyed by the
+/// canonical form of each page's starting URL.
+///
+/// Captured pages carry no raw HTML, so a world cannot be rebuilt from
+/// them — but a full [`VisitedPage`] is exactly what classification
+/// needs. Lookups that miss the store report [`FailureCause::NotFound`];
+/// unparsable URLs report [`FailureCause::BadUrl`].
+pub struct StoredPages {
+    pages: HashMap<String, VisitedPage>,
+}
+
+impl StoredPages {
+    /// A store over `pages`, indexed by canonical starting URL. Later
+    /// duplicates of a key win.
+    pub fn new(pages: impl IntoIterator<Item = VisitedPage>) -> Self {
+        let pages = pages
+            .into_iter()
+            .map(|p| (canonical_key(&p.starting_url), p))
+            .collect();
+        StoredPages { pages }
+    }
+
+    /// Stored pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// `true` when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+impl PageSource for StoredPages {
+    fn fetch(&mut self, url: &str) -> Result<ScrapedPage, FailureCause> {
+        let key = canonical_url(url).ok_or(FailureCause::BadUrl)?;
+        let visit = self.pages.get(&key).ok_or(FailureCause::NotFound)?;
+        Ok(ScrapedPage {
+            visit: visit.clone(),
+            availability: SourceAvailability::FULL,
+            attempts: 1,
+            elapsed_ms: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(starting_url: &str, title: &str) -> VisitedPage {
+        let url = Url::parse(starting_url).unwrap();
+        VisitedPage {
+            starting_url: url.clone(),
+            landing_url: url.clone(),
+            redirection_chain: vec![url],
+            logged_links: Vec::new(),
+            href_links: Vec::new(),
+            text: format!("text of {title}"),
+            title: title.to_owned(),
+            copyright: None,
+            screenshot_text: String::new(),
+            input_count: 0,
+            image_count: 0,
+            iframe_count: 0,
+        }
+    }
+
+    #[test]
+    fn canonical_url_drops_scheme_and_query() {
+        let a = canonical_url("http://www.example.com/login?next=/home").unwrap();
+        let b = canonical_url("https://www.example.com/login").unwrap();
+        assert_eq!(a, b);
+        assert!(canonical_url("not a url ://").is_none());
+    }
+
+    #[test]
+    fn stored_pages_hit_and_miss() {
+        let mut store = StoredPages::new(vec![page("http://a.example.com/x", "A")]);
+        assert_eq!(store.len(), 1);
+        let hit = store.fetch("https://a.example.com/x?utm=1").unwrap();
+        assert_eq!(hit.visit.title, "A");
+        assert_eq!(hit.availability, SourceAvailability::FULL);
+        assert_eq!(
+            store.fetch("http://missing.example.com/").unwrap_err(),
+            FailureCause::NotFound
+        );
+        assert_eq!(
+            store.fetch("not a url ://").unwrap_err(),
+            FailureCause::BadUrl
+        );
+    }
+}

@@ -9,15 +9,20 @@
 //! $ kyp train --data data/ --out model.json      # train the detector
 //! $ kyp eval  --data data/ --model model.json    # Table VI-style metrics
 //! $ kyp scan  --model model.json --data data/ --page data/sample_phish.json
+//! $ kyp serve --model model.json --data data/ --requests 1000
 //! ```
 
 use knowyourphish::core::{
-    DetectorConfig, FeatureExtractor, PhishDetector, Pipeline, PipelineVerdict, ScrapeReport,
-    TargetIdentifier,
+    DetectorConfig, FeatureExtractor, ModelSnapshot, PhishDetector, Pipeline, PipelineVerdict,
+    ScrapeReport, TargetIdentifier,
 };
 use knowyourphish::datagen::{CampaignConfig, Corpus};
 use knowyourphish::ml::{metrics, Dataset};
 use knowyourphish::search::SearchEngine;
+use knowyourphish::serve::{
+    generate, ArrivalPattern, BatchPolicy, CacheConfig, ScoringService, ServeConfig, ServeRequest,
+    StoredPages, WorkloadConfig,
+};
 use knowyourphish::web::{
     Browser, DomainRanker, FaultPlan, FlakyWorld, ResilientBrowser, VisitedPage, World,
 };
@@ -28,13 +33,6 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
-
-/// The persisted model bundle: everything `scan`/`eval` need offline.
-#[derive(Serialize, Deserialize)]
-struct ModelBundle {
-    detector: PhishDetector,
-    ranker: DomainRanker,
-}
 
 /// One searchable page of the legitimate index (`index.jsonl`).
 #[derive(Serialize, Deserialize)]
@@ -50,7 +48,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = parse_opts(&args[1..]);
+    let opts = match parse_opts(&args[1..]) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("kyp: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Some(threads) = opts.get("threads") {
         match threads.parse::<usize>() {
             Ok(n) if n >= 1 => knowyourphish::exec::set_threads(n),
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&opts),
         "eval" => cmd_eval(&opts),
         "scan" => cmd_scan(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -90,22 +95,45 @@ USAGE:
   kyp eval  --data <dir> --model <model.json>        evaluate on the test sets
   kyp scan  --model <model.json> --data <dir> --page <page.json>
                                                      classify one scraped page
+  kyp serve --model <model.json> --data <dir>        online scoring service
+            [--requests <n>] [--trace-seed <n>]      built-in seeded workload...
+            [--duplicate-rate <f>] [--arrival-gap-ms <n>]
+            [--queue-capacity <n>] [--max-batch <n>] [--max-delay-ms <n>]
+            [--cache on|off]                         ...or requests over stdin
+
+`kyp serve` speaks newline-delimited json. Without --requests it reads
+one request object per stdin line and writes one response object per
+stdout line (the end-of-run report goes to stderr):
+
+  request : {\"id\": 0, \"url\": \"http://x.example.com/\", \"arrival_ms\": 0}
+  response: {\"id\": 0, \"url\": \"...\", \"outcome\": {\"Verdict\": {\"kind\":
+            \"legitimate\", \"score\": 0.12, \"targets\": []}}, \"cache\":
+            \"Miss\", \"degraded\": false, \"latency_ms\": 10, \"completed_ms\": 10}
+
+With --requests <n> it serves a seeded synthetic trace over the corpus
+URLs instead; the same seed always produces the same responses.
 
 Every command accepts --threads <n> to size the parallel execution pool
 (default: KYP_THREADS or the machine's available parallelism). Results
 are bit-identical at any thread count.";
 
-fn parse_opts(args: &[String]) -> HashMap<String, String> {
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
-        if let Some(key) = a.strip_prefix("--") {
-            if let Some(value) = iter.next() {
-                opts.insert(key.to_owned(), value.clone());
-            }
-        }
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!(
+                "unexpected argument {a:?} (options take the form --name <value>)"
+            ));
+        };
+        let Some(value) = iter.next() else {
+            return Err(format!(
+                "option --{key} is missing a value (expected --{key} <value>)"
+            ));
+        };
+        opts.insert(key.to_owned(), value.clone());
     }
-    opts
+    Ok(opts)
 }
 
 fn opt<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
@@ -297,17 +325,20 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let train = featurize(&extractor, &legit, &phish);
     let detector = PhishDetector::train(&train, &DetectorConfig::default());
-    let bundle = ModelBundle { detector, ranker };
-    let json = serde_json::to_string(&bundle).map_err(|e| e.to_string())?;
-    fs::write(&out, json).map_err(|e| format!("write {out:?}: {e}"))?;
-    eprintln!("model written to {out:?}");
+    let snapshot = ModelSnapshot::new(detector, ranker);
+    snapshot
+        .save(&out)
+        .map_err(|e| format!("write {out:?}: {e}"))?;
+    eprintln!(
+        "model snapshot (format v{}) written to {out:?}",
+        snapshot.format_version
+    );
     Ok(())
 }
 
-fn load_model(opts: &HashMap<String, String>) -> Result<ModelBundle, String> {
+fn load_model(opts: &HashMap<String, String>) -> Result<ModelSnapshot, String> {
     let path = PathBuf::from(opt(opts, "model")?);
-    let json = fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
-    serde_json::from_str(&json).map_err(|e| e.to_string())
+    ModelSnapshot::load(&path).map_err(|e| format!("load {path:?}: {e}"))
 }
 
 /// `kyp eval`: Table VI-style metrics on the held-out test bundles.
@@ -390,4 +421,164 @@ fn cmd_scan(opts: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Parses an optional numeric option, falling back to `default`.
+fn num_opt<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    opts.get(key).map_or(Ok(default), |s| {
+        s.parse().map_err(|_| format!("invalid --{key} {s:?}"))
+    })
+}
+
+/// Assembles the serving pipeline and page store from a model snapshot
+/// and a `kyp gen` data directory.
+fn load_serving_stack(
+    opts: &HashMap<String, String>,
+) -> Result<(Pipeline, StoredPages, Vec<String>), String> {
+    let snapshot = load_model(opts)?;
+    let data_dir = PathBuf::from(opt(opts, "data")?);
+    let engine = load_engine(&data_dir)?;
+    let extractor = FeatureExtractor::new(snapshot.ranker.clone());
+    let identifier = TargetIdentifier::new(Arc::new(engine));
+    let pipeline = Pipeline::new(extractor, snapshot.detector, identifier);
+
+    let mut pages = Vec::new();
+    for name in ["phish_train", "phish_test", "leg_train", "leg_test"] {
+        let path = data_dir.join(format!("{name}.jsonl"));
+        if path.exists() {
+            pages.extend(read_jsonl(&path)?);
+        }
+    }
+    if pages.is_empty() {
+        return Err(format!(
+            "no scraped pages found under {data_dir:?} (run `kyp gen` first)"
+        ));
+    }
+    let urls: Vec<String> = pages.iter().map(|p| p.starting_url.to_string()).collect();
+    Ok((pipeline, StoredPages::new(pages), urls))
+}
+
+/// `kyp serve`: online scoring over the captured corpus — newline-
+/// delimited json requests on stdin (or a seeded synthetic trace with
+/// `--requests`), one response per line on stdout, report on stderr.
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (pipeline, pages, urls) = load_serving_stack(opts)?;
+    let cache = match opts.get("cache").map(String::as_str) {
+        None | Some("on") => Some(CacheConfig::default()),
+        Some("off") => None,
+        Some(other) => return Err(format!("invalid --cache {other:?} (want on or off)")),
+    };
+    let config = ServeConfig {
+        queue_capacity: num_opt(opts, "queue-capacity", 64)?,
+        batch: BatchPolicy {
+            max_batch: num_opt(opts, "max-batch", 8)?,
+            max_delay_ms: num_opt(opts, "max-delay-ms", 25)?,
+        },
+        cache,
+        ..ServeConfig::default()
+    };
+    let mut service = ScoringService::new(pipeline, pages, config);
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut emit = |responses: Vec<knowyourphish::serve::ServeResponse>| -> Result<(), String> {
+        for response in responses {
+            let line = serde_json::to_string(&response).map_err(|e| e.to_string())?;
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    };
+
+    if let Some(requests) = opts.get("requests") {
+        let workload = WorkloadConfig {
+            seed: num_opt(opts, "trace-seed", 2015)?,
+            requests: requests
+                .parse()
+                .map_err(|_| format!("invalid --requests {requests:?}"))?,
+            duplicate_rate: num_opt(opts, "duplicate-rate", 0.2)?,
+            arrival: ArrivalPattern::Steady {
+                gap_ms: num_opt(opts, "arrival-gap-ms", 10)?,
+            },
+            fault_seed: 0,
+            fault_rate: 0.0,
+        };
+        let trace = generate(&workload, &urls);
+        eprintln!(
+            "serving {} synthetic requests (seed {}, duplicate rate {})...",
+            trace.len(),
+            workload.seed,
+            workload.duplicate_rate
+        );
+        emit(service.run_trace(&trace))?;
+    } else {
+        let stdin = std::io::stdin();
+        for (i, line) in stdin.lock().lines().enumerate() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request: ServeRequest =
+                serde_json::from_str(&line).map_err(|e| format!("stdin line {}: {e}", i + 1))?;
+            emit(service.push(request))?;
+        }
+        emit(service.finish())?;
+    }
+
+    let report = service.report();
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    eprintln!("{json}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_opts;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_value_pairs() {
+        let opts = parse_opts(&args(&["--data", "corpus/", "--threads", "4"])).unwrap();
+        assert_eq!(opts.get("data").map(String::as_str), Some("corpus/"));
+        assert_eq!(opts.get("threads").map(String::as_str), Some("4"));
+        assert_eq!(opts.len(), 2);
+    }
+
+    #[test]
+    fn empty_args_parse_to_empty_opts() {
+        assert!(parse_opts(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_an_error() {
+        let err = parse_opts(&args(&["--data", "corpus/", "--out"])).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+        assert!(err.contains("missing a value"), "{err}");
+        assert!(err.contains("--out <value>"), "names the fix: {err}");
+    }
+
+    #[test]
+    fn stray_positional_argument_is_an_error() {
+        let err = parse_opts(&args(&["corpus/", "--out", "x"])).unwrap_err();
+        assert!(err.contains("corpus/"), "{err}");
+        assert!(err.contains("--name <value>"), "names the form: {err}");
+    }
+
+    #[test]
+    fn single_dash_options_are_rejected() {
+        let err = parse_opts(&args(&["-o", "x"])).unwrap_err();
+        assert!(err.contains("\"-o\""), "{err}");
+    }
+
+    #[test]
+    fn later_duplicate_wins() {
+        let opts = parse_opts(&args(&["--seed", "1", "--seed", "2"])).unwrap();
+        assert_eq!(opts.get("seed").map(String::as_str), Some("2"));
+    }
 }

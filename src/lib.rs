@@ -21,6 +21,8 @@
 //! - [`ml`]: gradient boosting, metrics, cross-validation
 //! - [`core`]: the paper's contribution — 212 features, detector, target
 //!   identification, combined pipeline
+//! - [`serve`]: deterministic online scoring service (admission control,
+//!   micro-batching, verdict caching, latency accounting)
 //! - [`baselines`]: comparison systems for Table X
 
 pub use kyp_baselines as baselines;
@@ -30,6 +32,7 @@ pub use kyp_exec as exec;
 pub use kyp_html as html;
 pub use kyp_ml as ml;
 pub use kyp_search as search;
+pub use kyp_serve as serve;
 pub use kyp_text as text;
 pub use kyp_url as url;
 pub use kyp_web as web;
