@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! Baseline phishing detectors for the Table X comparison.
 //!
 //! The paper compares against eight prior systems; three representative

@@ -71,22 +71,22 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     let url = env.corpus.phish_test[0].url.clone();
 
     c.bench_function("scrape", |b| {
-        b.iter(|| black_box(browser.visit(black_box(&url)).unwrap()))
+        b.iter(|| black_box(browser.visit(black_box(&url)).unwrap()));
     });
 
     c.bench_function("load_json", |b| {
         b.iter(|| {
             let v: VisitedPage = serde_json::from_str(black_box(&env.phish_json)).unwrap();
             black_box(v)
-        })
+        });
     });
 
     c.bench_function("extract_features", |b| {
-        b.iter(|| black_box(env.extractor.extract(black_box(&env.phish_visit))))
+        b.iter(|| black_box(env.extractor.extract(black_box(&env.phish_visit))));
     });
 
     c.bench_function("classify", |b| {
-        b.iter(|| black_box(env.detector.score(black_box(&env.phish_features))))
+        b.iter(|| black_box(env.detector.score(black_box(&env.phish_features))));
     });
 
     c.bench_function("keyterms", |b| {
@@ -94,12 +94,12 @@ fn bench_pipeline_stages(c: &mut Criterion) {
             || DataSources::from_page(&env.phish_visit),
             |sources| black_box(keyterms::boosted_prominent_terms(&sources, 5)),
             BatchSize::SmallInput,
-        )
+        );
     });
 
     let identifier = TargetIdentifier::new(Arc::new(env.corpus.engine.clone()));
     c.bench_function("target_identify", |b| {
-        b.iter(|| black_box(identifier.identify(black_box(&env.phish_visit))))
+        b.iter(|| black_box(identifier.identify(black_box(&env.phish_visit))));
     });
 
     let mut group = c.benchmark_group("training");
@@ -110,7 +110,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
                 black_box(&env.train),
                 &DetectorConfig::default(),
             ))
-        })
+        });
     });
     group.finish();
 }

@@ -49,20 +49,17 @@ fn main() {
         EvalRow::print_header("Features");
         for set in FeatureSet::ALL_SETS {
             let cols = set.columns();
-            let (scores, labels) = match scenario {
-                "Cross-validation" => {
-                    let sub = train.select_features(&cols);
-                    cv::cross_validate_par(&sub, 5, args.seed, |tr, te| {
-                        let model = GradientBoosting::fit(tr, &GbmParams::default());
-                        model.predict_dataset(te)
-                    })
-                }
-                _ => {
-                    let sub_train = train.select_features(&cols);
-                    let sub_test = test.select_features(&cols);
-                    let model = GradientBoosting::fit(&sub_train, &GbmParams::default());
-                    (model.predict_dataset(&sub_test), sub_test.labels().to_vec())
-                }
+            let (scores, labels) = if scenario == "Cross-validation" {
+                let sub = train.select_features(&cols);
+                cv::cross_validate_par(&sub, 5, args.seed, |tr, te| {
+                    let model = GradientBoosting::fit(tr, &GbmParams::default());
+                    model.predict_dataset(te)
+                })
+            } else {
+                let sub_train = train.select_features(&cols);
+                let sub_test = test.select_features(&cols);
+                let model = GradientBoosting::fit(&sub_train, &GbmParams::default());
+                (model.predict_dataset(&sub_test), sub_test.labels().to_vec())
             };
             let row = EvalRow::compute(set.label(), &scores, &labels, THRESHOLD);
             row.print();
@@ -101,7 +98,7 @@ fn main() {
     println!();
     println!("Share of model gain per feature group (fall model):");
     for (label, v) in ["f1", "f2", "f3", "f4", "f5"].iter().zip(by_group) {
-        println!("  {label}: {:.3}", v);
+        println!("  {label}: {v:.3}");
     }
 }
 

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! Experiment harness for the *Know Your Phish* reproduction.
 //!
 //! Shared machinery for the per-table/per-figure experiment binaries in

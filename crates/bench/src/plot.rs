@@ -43,7 +43,7 @@ pub fn ascii_plot(series: &[(char, &[(f64, f64)])], width: usize, height: usize)
 
     let mut grid = vec![vec![' '; width]; height];
     for (glyph, points) in series {
-        for &(x, y) in points.iter() {
+        for &(x, y) in *points {
             if !x.is_finite() || !y.is_finite() {
                 continue;
             }

@@ -368,7 +368,7 @@ mod tests {
             FeatureSet::F5,
         ]
         .iter()
-        .flat_map(|s| s.columns())
+        .flat_map(super::FeatureSet::columns)
         .collect();
         all.sort_unstable();
         assert_eq!(all, (0..212).collect::<Vec<_>>());
@@ -384,7 +384,7 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        let labels: Vec<&str> = FeatureSet::ALL_SETS.iter().map(|s| s.label()).collect();
+        let labels: Vec<&str> = FeatureSet::ALL_SETS.iter().map(super::FeatureSet::label).collect();
         assert_eq!(
             labels,
             ["f1", "f2", "f3", "f4", "f5", "f1,5", "f2,3,4", "fall"]

@@ -9,7 +9,7 @@
 
 use kyp_url::Url;
 use kyp_web::VisitedPage;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn rdn_of(url: &Url) -> String {
     url.rdn().unwrap_or_else(|| url.host().to_string())
@@ -73,7 +73,9 @@ pub(crate) fn push_f4(page: &VisitedPage, out: &mut Vec<f64>) {
     );
     // 13. largest share of any single *external* RDN over all links —
     // phish point heavily at one target domain.
-    let mut counts: HashMap<String, usize> = HashMap::new();
+    // Ordered map (kyp-lint D01): `values()` below iterates, and feature
+    // extraction must be independent of hash order.
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for u in extlog.iter().chain(extlink.iter()) {
         *counts.entry(rdn_of(u)).or_insert(0) += 1;
     }

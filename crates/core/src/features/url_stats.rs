@@ -94,7 +94,7 @@ fn median(values: &mut [f64]) -> f64 {
     if n % 2 == 1 {
         values[n / 2]
     } else {
-        (values[n / 2 - 1] + values[n / 2]) / 2.0
+        f64::midpoint(values[n / 2 - 1], values[n / 2])
     }
 }
 

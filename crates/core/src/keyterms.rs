@@ -18,31 +18,35 @@ use crate::DataSources;
 use kyp_text::{extract_term_set, TermDistribution};
 use kyp_web::ocr::{simulate_ocr, OcrConfig};
 use kyp_web::VisitedPage;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The paper's keyterm list length (N=5, "proved to be a sufficient
 /// number to represent a webpage").
 pub const DEFAULT_KEYTERM_COUNT: usize = 5;
 
 /// The five user-visible term sets of Section V-A.
+///
+/// Ordered sets (kyp-lint D01): keyterm candidates are collected by
+/// iterating these, and the ranked keyterm lists feed search queries, so
+/// hash order must never leak into them.
 #[derive(Debug, Clone)]
 pub struct VisibleSets {
     /// `T_start ∪ T_startrdn ∪ T_land ∪ T_landrdn`.
-    pub url: HashSet<String>,
+    pub url: BTreeSet<String>,
     /// `T_title`.
-    pub title: HashSet<String>,
+    pub title: BTreeSet<String>,
     /// `T_text`.
-    pub text: HashSet<String>,
+    pub text: BTreeSet<String>,
     /// `T_copyright`.
-    pub copyright: HashSet<String>,
+    pub copyright: BTreeSet<String>,
     /// `T_intlink ∪ T_extlink` (FreeURL terms of HREF links).
-    pub links: HashSet<String>,
+    pub links: BTreeSet<String>,
 }
 
 impl VisibleSets {
     /// Builds the five sets from a page's term distributions.
     pub fn from_sources(sources: &DataSources) -> Self {
-        let set = |dists: &[&TermDistribution]| -> HashSet<String> {
+        let set = |dists: &[&TermDistribution]| -> BTreeSet<String> {
             dists
                 .iter()
                 .flat_map(|d| d.terms().map(str::to_owned))
@@ -76,7 +80,7 @@ impl VisibleSets {
     }
 
     /// Union of all five sets.
-    pub fn all_terms(&self) -> HashSet<String> {
+    pub fn all_terms(&self) -> BTreeSet<String> {
         let mut all = self.url.clone();
         all.extend(self.title.iter().cloned());
         all.extend(self.text.iter().cloned());

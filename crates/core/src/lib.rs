@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! The *Know Your Phish* contribution: phishing detection from 212
 //! browser-observable features, and search-based target identification.
 //!

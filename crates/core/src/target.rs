@@ -23,7 +23,7 @@ use kyp_text::extract_terms;
 use kyp_url::Url;
 use kyp_web::ocr::OcrConfig;
 use kyp_web::VisitedPage;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Configuration of the target identifier.
@@ -201,8 +201,8 @@ impl TargetIdentifier {
     fn search_step(
         &self,
         terms: &[String],
-        suspected: &HashSet<String>,
-        controlled_terms: &HashSet<String>,
+        suspected: &BTreeSet<String>,
+        controlled_terms: &BTreeSet<String>,
         step: u8,
     ) -> StepOutcome {
         if terms.is_empty() {
@@ -259,7 +259,7 @@ enum StepOutcome {
 }
 
 /// RDNs of the suspected page itself (starting and landing URLs).
-fn suspected_rdns(page: &VisitedPage) -> HashSet<String> {
+fn suspected_rdns(page: &VisitedPage) -> BTreeSet<String> {
     [&page.starting_url, &page.landing_url]
         .into_iter()
         .filter_map(Url::rdn)
@@ -286,8 +286,8 @@ fn collect_mlds(page: &VisitedPage) -> Vec<(String, String)> {
 
 /// Terms of every *controlled* data source (Section III-A: everything but
 /// the external links).
-fn controlled_term_set(sources: &DataSources) -> HashSet<String> {
-    let mut set = HashSet::new();
+fn controlled_term_set(sources: &DataSources) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
     for d in [
         &sources.text,
         &sources.title,
@@ -307,7 +307,7 @@ fn controlled_term_set(sources: &DataSources) -> HashSet<String> {
 
 /// Whether a candidate mld "appears in" a term set: either verbatim as a
 /// term, or composable from the set's terms.
-fn mld_appears_in(mld: &str, terms: &HashSet<String>) -> bool {
+fn mld_appears_in(mld: &str, terms: &BTreeSet<String>) -> bool {
     let canon = crate::features::canonical_mld(mld);
     if canon.is_empty() {
         return false;
@@ -458,7 +458,7 @@ mod tests {
 
     #[test]
     fn composable_paper_examples() {
-        let kt = |s: &[&str]| s.iter().map(|t| t.to_string()).collect::<Vec<_>>();
+        let kt = |s: &[&str]| s.iter().map(std::string::ToString::to_string).collect::<Vec<_>>();
         // bankofamerica from {bank, america}: "of" is filler.
         assert!(composable("bankofamerica", &kt(&["bank", "america"])));
         // Dash and digit separators.

@@ -1,0 +1,145 @@
+//! Cross-process determinism regression test for the feature pipeline.
+//!
+//! `HashMap` iteration order is seeded per process (`RandomState`), so a
+//! nondeterminism bug of the kind kyp-lint's D01 rule guards against —
+//! summing floats or emitting terms in hash order — produces output that
+//! is stable *within* one process run yet differs *between* runs. An
+//! in-process `assert_eq!(run(), run())` can never catch that class of
+//! bug. This test therefore re-executes its own test binary as a child
+//! process (twice) and asserts that the digest of the full feature-vector
+//! and TF-IDF output is byte-identical across all three processes.
+
+use kyp_core::FeatureExtractor;
+use kyp_datagen::{CampaignConfig, Corpus};
+use kyp_text::tfidf;
+use kyp_web::Browser;
+use std::env;
+use std::process::Command;
+
+/// Env var marking a child invocation: print the digest and exit.
+const CHILD_MARK: &str = "KYP_PROCESS_STABILITY_CHILD";
+/// Prefix of the digest line the child prints on stdout.
+const DIGEST_PREFIX: &str = "kyp-process-stability-digest=";
+
+/// FNV-1a over a byte stream; digests must not depend on `DefaultHasher`'s
+/// unspecified (and per-release unstable) algorithm.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Extracts feature vectors and TF-IDF maps for a small deterministic
+/// corpus and folds every bit of the output into one digest.
+fn pipeline_digest() -> String {
+    let corpus = Corpus::generate(&CampaignConfig::tiny());
+    let extractor = FeatureExtractor::new(corpus.ranker.clone());
+    let browser = Browser::new(&corpus.world);
+
+    let urls: Vec<&str> = corpus
+        .leg_train
+        .iter()
+        .map(String::as_str)
+        .take(8)
+        .chain(corpus.phish_test.iter().map(|r| r.url.as_str()).take(8))
+        .collect();
+    assert!(!urls.is_empty(), "tiny corpus yielded no urls");
+
+    let mut fnv = Fnv::new();
+    let mut tfidf_corpus = tfidf::Corpus::new();
+    for url in &urls {
+        let Ok(page) = browser.visit(url) else {
+            continue;
+        };
+        for value in extractor.extract(&page) {
+            fnv.write_f64(value);
+        }
+        tfidf_corpus.add_document(&page.text);
+        for (term, weight) in tfidf_corpus.tfidf(&page.text) {
+            fnv.write(term.as_bytes());
+            fnv.write_f64(weight);
+        }
+    }
+    format!("{:016x}", fnv.0)
+}
+
+/// Runs this test binary again, filtered down to this one test, and
+/// returns the digest line its child-mode branch printed.
+fn digest_from_child_process() -> String {
+    let exe = env::current_exe().expect("test binary path");
+    let output = Command::new(exe)
+        .args([
+            "--exact",
+            "feature_vectors_stable_across_process_runs",
+            "--nocapture",
+            "--test-threads",
+            "1",
+        ])
+        .env(CHILD_MARK, "1")
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        output.status.success(),
+        "child test process failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // Under `--nocapture` libtest interleaves its own progress line with
+    // the test's stdout, so the digest is not guaranteed to start a line.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let start = stdout
+        .find(DIGEST_PREFIX)
+        .unwrap_or_else(|| panic!("no digest line in child stdout:\n{stdout}"))
+        + DIGEST_PREFIX.len();
+    stdout[start..]
+        .chars()
+        .take_while(char::is_ascii_hexdigit)
+        .collect()
+}
+
+#[test]
+fn feature_vectors_stable_across_process_runs() {
+    let local = pipeline_digest();
+    if env::var_os(CHILD_MARK).is_some() {
+        // Child mode: report the digest for the parent and stop before
+        // recursing into grandchildren.
+        println!("{DIGEST_PREFIX}{local}");
+        return;
+    }
+    let first = digest_from_child_process();
+    let second = digest_from_child_process();
+    assert_eq!(
+        first, second,
+        "feature pipeline output differs between two child processes"
+    );
+    assert_eq!(
+        local, first,
+        "feature pipeline output differs between parent and child process"
+    );
+}
+
+#[test]
+fn tfidf_output_is_term_sorted() {
+    let mut corpus = tfidf::Corpus::new();
+    corpus.add_document("paypal account verification login");
+    corpus.add_document("grocery store hours");
+    let scored: Vec<String> = corpus
+        .tfidf("paypal login secure account")
+        .into_keys()
+        .collect();
+    let mut sorted = scored.clone();
+    sorted.sort();
+    assert_eq!(scored, sorted, "tfidf must emit terms in sorted order");
+}

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! Synthetic dataset generation for the *Know Your Phish* reproduction.
 //!
 //! The paper evaluates on PhishTank feeds and Intel Security URL lists

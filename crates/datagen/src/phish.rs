@@ -205,7 +205,7 @@ impl PhishGenerator {
                     h
                 );
                 world.add_redirect(&redirector, &current_target);
-                current_target = redirector.clone();
+                current_target.clone_from(&redirector);
                 entry = redirector;
             }
             entry
@@ -367,7 +367,9 @@ impl PhishGenerator {
         let keywords = content_brand.sector.keywords();
 
         let mut page = PageBuilder::new();
-        if !evasion.no_brand_hint {
+        if evasion.no_brand_hint {
+            page = page.title("Account verification");
+        } else {
             page = page.title(&format!(
                 "{brand_word} {}",
                 pick(
@@ -375,8 +377,6 @@ impl PhishGenerator {
                     &["Login", "Sign In", "Verify Account", "Security Check"]
                 )
             ));
-        } else {
-            page = page.title("Account verification");
         }
 
         // Text: mimics the target with urgency vocabulary. Self-contained
@@ -547,7 +547,7 @@ fn typosquat<R: Rng>(name: &str, rng: &mut R) -> String {
         }
         _ => {
             // Look-alike substitution.
-            for c in out.iter_mut() {
+            for c in &mut out {
                 match *c {
                     'o' => {
                         *c = '0';

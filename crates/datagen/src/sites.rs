@@ -655,7 +655,7 @@ mod tests {
             let chain_rdns: std::collections::HashSet<_> = visit
                 .redirection_chain
                 .iter()
-                .filter_map(|u| u.rdn())
+                .filter_map(kyp_url::Url::rdn)
                 .collect();
             if chain_rdns.len() > 1 {
                 cross_rdn_entry += 1;
@@ -703,7 +703,7 @@ mod tests {
             let rdns: std::collections::HashSet<_> = visit
                 .redirection_chain
                 .iter()
-                .filter_map(|u| u.rdn())
+                .filter_map(kyp_url::Url::rdn)
                 .collect();
             assert_eq!(rdns.len(), 1, "legit chains stay on one RDN");
         }

@@ -1,3 +1,5 @@
+#![deny(missing_debug_implementations)]
+
 //! Deterministic parallel execution for the *Know Your Phish* workspace.
 //!
 //! Every hot path of the reproduction — batch scraping, feature
@@ -65,7 +67,7 @@ pub fn current_threads() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&v| v >= 1)
-        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |p| p.get()));
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZero::get));
     resolved
 }
 
@@ -249,9 +251,7 @@ mod tests {
         let pool = Pool::new(4);
         let result = catch_unwind(AssertUnwindSafe(|| {
             pool.par_map_index(100, |i| {
-                if i == 37 {
-                    panic!("worker exploded");
-                }
+                assert!(i != 37, "worker exploded");
                 i
             })
         }));

@@ -101,7 +101,7 @@ impl Document {
         }
 
         doc.text = text_parts.join(" ");
-        doc.title = doc.title.trim().to_owned();
+        doc.title = String::from(doc.title.trim());
         doc.copyright = find_copyright(&doc.text);
         doc
     }

@@ -20,15 +20,12 @@ pub fn decode_entities(input: &str) -> String {
     while let Some(pos) = rest.find('&') {
         out.push_str(&rest[..pos]);
         rest = &rest[pos..];
-        match decode_one(rest) {
-            Some((c, consumed)) => {
-                out.push(c);
-                rest = &rest[consumed..];
-            }
-            None => {
-                out.push('&');
-                rest = &rest[1..];
-            }
+        if let Some((c, consumed)) = decode_one(rest) {
+            out.push(c);
+            rest = &rest[consumed..];
+        } else {
+            out.push('&');
+            rest = &rest[1..];
         }
     }
     out.push_str(rest);

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! A lightweight HTML tokenizer and data-source extractor for the *Know
 //! Your Phish* reproduction.
 //!

@@ -65,16 +65,13 @@ impl<'a> Tokenizer<'a> {
     fn take_raw_text(&mut self, close: &str) -> Token {
         let rest = self.rest();
         let lower = rest.to_ascii_lowercase();
-        match lower.find(close) {
-            Some(idx) => {
-                let content = &rest[..idx];
-                self.pos += idx;
-                Token::RawText(content.to_owned())
-            }
-            None => {
-                self.pos = self.input.len();
-                Token::RawText(rest.to_owned())
-            }
+        if let Some(idx) = lower.find(close) {
+            let content = &rest[..idx];
+            self.pos += idx;
+            Token::RawText(content.to_owned())
+        } else {
+            self.pos = self.input.len();
+            Token::RawText(rest.to_owned())
         }
     }
 

@@ -1,0 +1,698 @@
+//! Per-file rule analysis over the token stream.
+//!
+//! The analysis is deliberately token-level (no type information): it
+//! tracks, *within one file*, which names are bound to `HashMap`/`HashSet`
+//! — `let` bindings, struct fields, `fn` parameters, and local functions
+//! returning hash containers — and flags iteration over them. Everything a
+//! token pass cannot see (a hash map smuggled through a type alias or
+//! across files) is out of scope; the contract is enforced belt-and-braces
+//! by the integration determinism tests.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{rule_by_id, Severity};
+use std::collections::BTreeSet;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule ID (`D01`...).
+    pub rule: String,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What was found.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// One `// kyp-lint: allow(<rule>) — <justification>` annotation.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    /// Rule the annotation suppresses.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Line the annotation binds to (its own line; it also covers the
+    /// next line).
+    pub line: u32,
+    /// Free-text justification after the closing paren.
+    pub justification: String,
+    /// Whether the annotation suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Analysis result for one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Violations found (allow-suppressed findings excluded).
+    pub violations: Vec<Violation>,
+    /// Allow annotations seen.
+    pub allows: Vec<AllowRecord>,
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Smart-pointer/guard methods that forward to the underlying container,
+/// unwound when resolving a method-call receiver.
+const WRAPPER_CALLS: &[&str] = &[
+    "borrow",
+    "borrow_mut",
+    "lock",
+    "read",
+    "write",
+    "as_ref",
+    "as_mut",
+    "clone",
+];
+
+/// Type constructors a hash container may legitimately sit inside while
+/// still being "the" binding's type (`RefCell<HashMap<..>>`).
+const TYPE_WRAPPERS: &[&str] = &[
+    "std", "collections", "cell", "sync", "RefCell", "Cell", "Arc", "Rc", "Mutex", "RwLock",
+    "Box", "mut",
+];
+
+/// Analyzes one file's source against the rule set.
+///
+/// `crate_name` is the directory name under `crates/` (or `"root"`);
+/// `enabled` restricts checking to the listed rule IDs (`None` = all).
+/// Files on a test path (any component containing `test`) are skipped
+/// entirely; `#[cfg(test)]` items inside regular files are skipped by
+/// line range.
+pub fn analyze_source(
+    crate_name: &str,
+    rel_path: &str,
+    src: &str,
+    enabled: Option<&BTreeSet<String>>,
+) -> FileAnalysis {
+    let mut out = FileAnalysis::default();
+    let lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+
+    // ---- Allow annotations.
+    for c in &lexed.comments {
+        parse_allows(&c.text, c.end_line, rel_path, &mut out.allows);
+    }
+
+    if is_test_path(rel_path) {
+        // Whole file is test support; only A00 applies below.
+        finish_allow_violations(&mut out, rel_path, &lines, enabled);
+        return out;
+    }
+
+    let toks = &lexed.tokens;
+    let test_ranges = test_line_ranges(toks);
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let rule_on = |id: &str| {
+        rule_by_id(id).is_some_and(|r| r.scope.applies_to(crate_name))
+            && enabled.is_none_or(|set| set.contains(id))
+    };
+
+    let mut findings: Vec<(String, u32, String)> = Vec::new();
+
+    // ---- D01: hash container iteration.
+    if rule_on("D01") {
+        let (hash_idents, hash_fns) = collect_hash_names(toks);
+        find_hash_iteration(toks, &hash_idents, &hash_fns, &mut findings);
+    }
+
+    // ---- D02..D05, P01: direct token patterns.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        match name {
+            "SystemTime" if rule_on("D02") => {
+                findings.push(("D02".into(), t.line, "SystemTime used".into()));
+            }
+            "Instant" if rule_on("D02") && path_call(toks, i, "now") => {
+                findings.push(("D02".into(), t.line, "Instant::now() called".into()));
+            }
+            "thread"
+                if rule_on("D03")
+                    && (path_call(toks, i, "spawn") || path_call(toks, i, "scope")) =>
+            {
+                findings.push((
+                    "D03".into(),
+                    t.line,
+                    "raw thread::spawn/scope (use kyp-exec)".into(),
+                ));
+            }
+            "thread_rng" | "from_entropy" | "OsRng" if rule_on("D04") => {
+                findings.push((
+                    "D04".into(),
+                    t.line,
+                    format!("entropy-seeded randomness: {name}"),
+                ));
+            }
+            "unsafe" if rule_on("D05") => {
+                findings.push(("D05".into(), t.line, "unsafe block or function".into()));
+            }
+            "unwrap" | "expect"
+                if rule_on("P01")
+                    && i > 0
+                    && toks[i - 1].kind == TokKind::Punct('.')
+                    && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct('('))
+                // `.expect(` always takes an argument; `.unwrap(` must be
+                // the nullary method, not e.g. a closure-taking custom fn.
+                && (name == "expect" || toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Punct(')')))
+                => {
+                    findings.push((
+                        "P01".into(),
+                        t.line,
+                        format!(".{name}() may panic in library code"),
+                    ));
+                }
+            _ => {}
+        }
+    }
+
+    // ---- Apply test-region and allow filtering.
+    findings.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    for (rule, line, message) in findings {
+        if in_test(line) {
+            continue;
+        }
+        if suppress(&mut out.allows, &rule, line) {
+            continue;
+        }
+        let severity = rule_by_id(&rule).map_or(Severity::Error, |r| r.severity);
+        out.violations.push(Violation {
+            rule,
+            severity,
+            file: rel_path.to_owned(),
+            line,
+            message,
+            snippet: snippet_at(&lines, line),
+        });
+    }
+
+    finish_allow_violations(&mut out, rel_path, &lines, enabled);
+    out
+}
+
+/// Is the ident at `i` followed by `:: <member>` (e.g. `Instant :: now`)?
+fn path_call(toks: &[Tok], i: usize, member: &str) -> bool {
+    toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Punct(':'))
+        && toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Punct(':'))
+        && toks
+            .get(i + 3)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == member)
+}
+
+/// Any path component containing `test` marks test-support source
+/// (`tests/`, `test_pages.rs`, ...), which every rule skips.
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path
+        .split(['/', '\\'])
+        .any(|comp| comp.contains("test"))
+}
+
+fn snippet_at(lines: &[&str], line: u32) -> String {
+    lines
+        .get(line as usize - 1)
+        .map(|l| l.trim().to_owned())
+        .unwrap_or_default()
+}
+
+/// Marks a matching allow used and reports whether the finding is
+/// suppressed. An allow covers its own line and the next one.
+fn suppress(allows: &mut [AllowRecord], rule: &str, line: u32) -> bool {
+    let mut hit = false;
+    for a in allows.iter_mut() {
+        if a.rule == rule && (a.line == line || a.line + 1 == line) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// A00: allows with no justification, or naming an unknown rule.
+fn finish_allow_violations(
+    out: &mut FileAnalysis,
+    rel_path: &str,
+    lines: &[&str],
+    enabled: Option<&BTreeSet<String>>,
+) {
+    if enabled.is_some_and(|set| !set.contains("A00")) {
+        return;
+    }
+    for a in &out.allows {
+        let problem = if rule_by_id(&a.rule).is_none() {
+            Some(format!("allow names unknown rule {:?}", a.rule))
+        } else if a.justification.len() < 3 {
+            Some(format!("allow({}) has no justification", a.rule))
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            out.violations.push(Violation {
+                rule: "A00".into(),
+                severity: Severity::Error,
+                file: rel_path.to_owned(),
+                line: a.line,
+                message,
+                snippet: snippet_at(lines, a.line),
+            });
+        }
+    }
+}
+
+/// Parses a `kyp-lint: allow(D01, D02) — justification` annotation.
+///
+/// The annotation must open the comment (a doc comment *mentioning* the
+/// syntax mid-prose is not an annotation).
+fn parse_allows(text: &str, line: u32, file: &str, out: &mut Vec<AllowRecord>) {
+    let trimmed = text.trim_start();
+    if !trimmed.starts_with("kyp-lint:") {
+        return;
+    }
+    let rest = &trimmed["kyp-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return;
+    };
+    let after = &rest[open + "allow(".len()..];
+    let Some(close) = after.find(')') else {
+        return;
+    };
+    let ids = &after[..close];
+    let justification = after[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+        .trim()
+        .to_owned();
+    for id in ids.split([',', ' ']).filter(|s| !s.is_empty()) {
+        out.push(AllowRecord {
+            rule: id.trim().to_owned(),
+            file: file.to_owned(),
+            line,
+            justification: justification.clone(),
+            used: false,
+        });
+    }
+}
+
+/// Line ranges of `#[cfg(test)]` items (attribute through closing brace).
+fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            let start_line = toks[i].line;
+            // Move past this attribute's closing `]`.
+            let mut j = skip_attr(toks, i);
+            // Skip any further attributes on the same item.
+            while j < toks.len() && toks[j].kind == TokKind::Punct('#') {
+                j = skip_attr(toks, j);
+            }
+            // Find the item body: first `{` before a top-level `;`.
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('(' | '[') => depth += 1,
+                    TokKind::Punct(')' | ']') => depth -= 1,
+                    TokKind::Punct(';') if depth == 0 => break, // `mod x;` etc.
+                    TokKind::Punct('{') if depth == 0 => {
+                        let end = match_brace(toks, j);
+                        ranges.push((start_line, toks[end.min(toks.len() - 1)].line));
+                        j = end;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j.max(i) + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Is `#` at `i` the start of `#[cfg(...test...)]`?
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    if toks[i].kind != TokKind::Punct('#') {
+        return false;
+    }
+    let mut j = i + 1;
+    // Tolerate inner attributes `#![...]` too.
+    if toks.get(j).map(|t| t.kind) == Some(TokKind::Punct('!')) {
+        j += 1;
+    }
+    if toks.get(j).map(|t| t.kind) != Some(TokKind::Punct('[')) {
+        return false;
+    }
+    if toks.get(j + 1).map(|t| t.text.as_str()) != Some("cfg") {
+        return false;
+    }
+    // Scan the attribute tokens for a bare `test` ident.
+    let mut depth = 0i32;
+    for t in &toks[j..] {
+        match t.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            TokKind::Ident if t.text == "test" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Index just past the `]` closing the attribute starting at `i` (`#`).
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j.saturating_sub(1)
+}
+
+/// Collects names bound to hash containers: `name: HashMap<..>` (fields,
+/// params, annotated lets), `name = HashMap::new()`-style bindings, and
+/// functions declared in this file returning a hash container.
+fn collect_hash_names(toks: &[Tok]) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut idents = BTreeSet::new();
+    let mut fns = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            // `name : [wrappers] HashMap` — walk back over type syntax.
+            let mut j = i;
+            while j > 0 {
+                let p = &toks[j - 1];
+                let is_wrapper = match p.kind {
+                    TokKind::Punct(':' | '<' | '&') => true,
+                    TokKind::Ident => TYPE_WRAPPERS.contains(&p.text.as_str()),
+                    TokKind::Lifetime => true,
+                    _ => false,
+                };
+                if !is_wrapper {
+                    break;
+                }
+                j -= 1;
+            }
+            // After the walk, `toks[j]` starts the type; the name sits at
+            // `j-2 j-1` as `ident :` (the ':' was consumed by the walk, so
+            // check the original neighbourhood instead).
+            if j > 0 && toks[j].kind == TokKind::Punct(':') && toks[j - 1].kind == TokKind::Ident {
+                idents.insert(toks[j - 1].text.clone());
+            }
+            // `name = HashMap::new(...)` — walk back over `std::collections::`.
+            let mut k = i;
+            while k >= 2
+                && toks[k - 1].kind == TokKind::Punct(':')
+                && toks[k - 2].kind == TokKind::Punct(':')
+            {
+                if k >= 3 && toks[k - 3].kind == TokKind::Ident {
+                    k -= 3;
+                } else {
+                    break;
+                }
+            }
+            if k > 0 && toks[k - 1].kind == TokKind::Punct('=') {
+                let ctor_follows = toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Punct(':'))
+                    && toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Punct(':'));
+                if ctor_follows && k >= 2 && toks[k - 2].kind == TokKind::Ident {
+                    idents.insert(toks[k - 2].text.clone());
+                }
+            }
+        }
+        // `fn name(..) -> ... HashMap/HashSet ... {`.
+        if t.kind == TokKind::Ident && t.text == "fn" {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    if let Some(ret) = return_type_range(toks, i) {
+                        let hashy = toks[ret.0..ret.1].iter().any(|t| {
+                            t.kind == TokKind::Ident
+                                && (t.text == "HashMap" || t.text == "HashSet")
+                        });
+                        if hashy {
+                            fns.insert(name_tok.text.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (idents, fns)
+}
+
+/// Token range `(start, end)` of a fn's return type, if it has one.
+fn return_type_range(toks: &[Tok], fn_idx: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut j = fn_idx + 1;
+    let mut arrow = None;
+    while j + 1 < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('(' | '[') => depth += 1,
+            TokKind::Punct(')' | ']') => depth -= 1,
+            TokKind::Punct('-')
+                if depth == 0 && toks[j + 1].kind == TokKind::Punct('>') && arrow.is_none() =>
+            {
+                arrow = Some(j + 2);
+            }
+            TokKind::Punct('{' | ';') if depth == 0 => {
+                return arrow.map(|a| (a, j));
+            }
+            TokKind::Ident if depth == 0 && toks[j].text == "where" => {
+                return arrow.map(|a| (a, j));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Flags iteration method calls and `for … in` loops over hash-bound names.
+fn find_hash_iteration(
+    toks: &[Tok],
+    hash_idents: &BTreeSet<String>,
+    hash_fns: &BTreeSet<String>,
+    findings: &mut Vec<(String, u32, String)>,
+) {
+    for i in 0..toks.len() {
+        // `.iter()` family.
+        if toks[i].kind == TokKind::Punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && ITER_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Punct('('))
+        {
+            if let Some(name) = receiver_hash_name(toks, i, hash_idents, hash_fns) {
+                findings.push((
+                    "D01".into(),
+                    toks[i + 1].line,
+                    format!(
+                        "hash-order iteration: {name}.{}() (sort first or use BTreeMap/BTreeSet)",
+                        toks[i + 1].text
+                    ),
+                ));
+            }
+        }
+        // `for pat in [&mut] path {`.
+        if toks[i].kind == TokKind::Ident && toks[i].text == "for" {
+            if let Some((name, line)) = for_loop_hash_target(toks, i, hash_idents) {
+                findings.push((
+                    "D01".into(),
+                    line,
+                    format!("hash-order iteration: for … in {name} (sort first or use BTreeMap/BTreeSet)"),
+                ));
+            }
+        }
+    }
+}
+
+/// Resolves the receiver of `.method()` at the `.` token `dot`, unwinding
+/// wrapper calls (`.borrow()`, `.lock()`, ...). Returns the hash-bound
+/// name when the receiver resolves to one.
+fn receiver_hash_name(
+    toks: &[Tok],
+    mut dot: usize,
+    hash_idents: &BTreeSet<String>,
+    hash_fns: &BTreeSet<String>,
+) -> Option<String> {
+    loop {
+        if dot == 0 {
+            return None;
+        }
+        let prev = dot - 1;
+        match toks[prev].kind {
+            TokKind::Ident => {
+                let name = toks[prev].text.as_str();
+                if hash_idents.contains(name) {
+                    return Some(name.to_owned());
+                }
+                return None;
+            }
+            TokKind::Punct(')') => {
+                // A call result: find the callee.
+                let open = match_paren_back(toks, prev)?;
+                if open == 0 {
+                    return None;
+                }
+                let callee = &toks[open - 1];
+                if callee.kind != TokKind::Ident {
+                    return None;
+                }
+                if hash_fns.contains(&callee.text) {
+                    return Some(format!("{}()", callee.text));
+                }
+                if WRAPPER_CALLS.contains(&callee.text.as_str()) && open >= 2 {
+                    // `<recv>.borrow()` — keep unwinding from the `.`
+                    // before the callee.
+                    if toks[open - 2].kind == TokKind::Punct('.') {
+                        dot = open - 2;
+                        continue;
+                    }
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Index of the `(` matching the `)` at `close`.
+fn match_paren_back(toks: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        match toks[j].kind {
+            TokKind::Punct(')') => depth += 1,
+            TokKind::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// For a `for` keyword at `i`, returns the hash-bound name iterated over,
+/// when the loop expression is a plain `[&][mut] path.to.name`.
+fn for_loop_hash_target(
+    toks: &[Tok],
+    i: usize,
+    hash_idents: &BTreeSet<String>,
+) -> Option<(String, u32)> {
+    // Find `in` at depth 0 (the pattern may contain parens/brackets).
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    let in_idx = loop {
+        let t = toks.get(j)?;
+        match t.kind {
+            TokKind::Punct('(' | '[') => depth += 1,
+            TokKind::Punct(')' | ']') => depth -= 1,
+            TokKind::Ident if depth == 0 && t.text == "in" => break j,
+            TokKind::Punct('{') => return None, // gave up: not a for-in
+            _ => {}
+        }
+        j += 1;
+    };
+    // Collect expression tokens until the body `{` at depth 0.
+    let mut expr = Vec::new();
+    depth = 0;
+    j = in_idx + 1;
+    loop {
+        let t = toks.get(j)?;
+        match t.kind {
+            TokKind::Punct('(' | '[') => depth += 1,
+            TokKind::Punct(')' | ']') => depth -= 1,
+            TokKind::Punct('{') if depth == 0 => break,
+            _ => {}
+        }
+        expr.push(j);
+        j += 1;
+    }
+    // Accept `& mut? ident (. ident)*`.
+    let mut it = expr.iter().peekable();
+    while it
+        .peek()
+        .is_some_and(|&&k| matches!(toks[k].kind, TokKind::Punct('&')))
+    {
+        it.next();
+    }
+    if it
+        .peek()
+        .is_some_and(|&&k| toks[k].kind == TokKind::Ident && toks[k].text == "mut")
+    {
+        it.next();
+    }
+    let mut last_ident: Option<usize> = None;
+    let mut expect_ident = true;
+    for &k in it {
+        match toks[k].kind {
+            TokKind::Ident if expect_ident => {
+                last_ident = Some(k);
+                expect_ident = false;
+            }
+            TokKind::Punct('.') if !expect_ident => expect_ident = true,
+            _ => return None, // anything fancier is not a bare path
+        }
+    }
+    let k = last_ident?;
+    if hash_idents.contains(&toks[k].text) {
+        Some((toks[k].text.clone(), toks[k].line))
+    } else {
+        None
+    }
+}

@@ -1,0 +1,357 @@
+//! A minimal Rust lexer: just enough token structure for the determinism
+//! rules of this crate.
+//!
+//! The lexer distinguishes identifiers, single-character punctuation and
+//! literals, tracks line numbers, and — crucially — never reports text
+//! found inside string literals or comments as tokens, so a rule pattern
+//! like `Instant :: now` cannot fire on documentation prose. Comments are
+//! collected separately because `// kyp-lint: allow(...)` escape hatches
+//! live in them.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `for`, `unsafe`, ...).
+    Ident,
+    /// One punctuation character (`.`, `:`, `(`, ...). Multi-character
+    /// operators arrive as consecutive tokens (`::` is two `:`).
+    Punct(char),
+    /// A string/char/numeric literal (contents deliberately dropped).
+    Literal,
+    /// A lifetime marker (`'a`); kept distinct so `'static` is never
+    /// mistaken for an identifier.
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier text; empty for non-identifiers.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment with the line it *ends* on (block comments may span lines;
+/// allow annotations bind to the end line and the line after it).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text, delimiters stripped.
+    pub text: String,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text. Unterminated constructs are tolerated (the
+/// lexer consumes to end of input) — the compiler, not this tool, owns
+/// syntax errors.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].trim_start_matches(['/', '!']).to_owned(),
+                    end_line: line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end].trim_start_matches(['*', '!']).to_owned(),
+                    end_line: line,
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                i += 1;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(lit(tok_line));
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let tok_line = line;
+                i = skip_prefixed_string(b, i, &mut line);
+                out.tokens.push(lit(tok_line));
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'ident` not followed by a
+                // closing quote is a lifetime.
+                if is_lifetime(b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let tok_line = line;
+                    i += 1;
+                    let mut j = i;
+                    while j < b.len() && b[j] != b'\'' {
+                        if b[j] == b'\\' {
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(b.len());
+                    out.tokens.push(lit(tok_line));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_owned(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // A fractional part — but never the `..` of a range.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(lit(line));
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn lit(line: u32) -> Tok {
+    Tok {
+        kind: TokKind::Literal,
+        text: String::new(),
+        line,
+    }
+}
+
+/// Consumes a regular string body starting *after* the opening quote;
+/// returns the index after the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does `r`/`b` at `i` open a raw/byte string (`r"`, `r#`, `b"`, `br"`,
+/// `b'`, `rb` is not valid Rust)?
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    matches!(
+        &b[i..],
+        [b'r', b'"' | b'#', ..] | [b'b', b'r', b'"' | b'#', ..] | [b'b', b'"' | b'\'', ..]
+    )
+}
+
+/// Consumes `r#"..."#`-style and `b"..."` / `b'.'` literals from the
+/// prefix character on; returns the index after the closing delimiter.
+fn skip_prefixed_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // Skip the prefix letters.
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        // Byte char literal.
+        i += 1;
+        while i < b.len() && b[i] != b'\'' {
+            if b[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        return (i + 1).min(b.len());
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+        if hashes == 0 {
+            // With zero hashes a raw string still has no escapes, but a
+            // plain byte string does; treat both as escape-aware which is
+            // safe for raw strings too (raw strings cannot contain `"`).
+            return skip_string(b, i, line);
+        }
+        // Scan for `"` followed by `hashes` hash marks.
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+            }
+            if b[i] == b'"' && b[i + 1..].len() >= hashes && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#') {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// `'x` is a lifetime when what follows the quote is an identifier that is
+/// not immediately closed by another quote (which would make it a char).
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false;
+    }
+    let mut j = i + 2;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    // `'a'` → char literal; `'a` followed by anything else → lifetime.
+    !(j < b.len() && b[j] == b'\'' && j == i + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_tokens() {
+        let src = "// Instant::now in a comment\n\
+                   /* HashMap in a block */\n\
+                   let s = \"thread_rng inside a string\";\n\
+                   let r = r\"SystemTime raw\";\n";
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_owned()));
+        assert!(!ids.iter().any(|t| t == "Instant"
+            || t == "HashMap"
+            || t == "thread_rng"
+            || t == "SystemTime"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let src = "let x = r#\"unsafe \"quoted\" text\"#; fn after() {}";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_owned()));
+        assert!(ids.contains(&"after".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        // 'x' is a literal, not a lifetime.
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn comments_carry_end_lines() {
+        let src = "let a = 1;\n// kyp-lint: allow(D01) — reason\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].end_line, 2);
+        assert!(lexed.comments[0].text.contains("kyp-lint"));
+    }
+
+    #[test]
+    fn line_numbers_advance_through_block_comments() {
+        let src = "/* one\ntwo\nthree */\nfn here() {}";
+        let lexed = lex(src);
+        let f = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "fn")
+            .expect("fn token");
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn numeric_range_is_not_swallowed() {
+        let src = "for i in 0..n.len() { }";
+        let ids = idents(src);
+        assert!(ids.contains(&"len".to_owned()));
+    }
+}

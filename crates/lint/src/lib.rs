@@ -1,0 +1,252 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+//! `kyp-lint` — the workspace determinism & invariant static-analysis
+//! pass (DESIGN.md §8e).
+//!
+//! The reproduction's core contract is that training, feature extraction
+//! and serve-loop verdict streams are byte-identical at any thread count.
+//! The integration tests sample that property at a few thread counts;
+//! this crate enforces it at the *source* level, so a PR cannot silently
+//! introduce a hash-order dependence, a wall-clock read, or a stray
+//! thread that the sampled tests happen to miss.
+//!
+//! The analyzer is token-level and dependency-free — it lexes every
+//! workspace source file (never parsing string literals or comments as
+//! code) and pattern-matches the rule table of [`rules::RULES`]:
+//!
+//! | ID  | invariant |
+//! |-----|-----------|
+//! | D01 | no `HashMap`/`HashSet` iteration in output-affecting crates |
+//! | D02 | no `Instant::now`/`SystemTime` outside `crates/bench` |
+//! | D03 | no raw `thread::spawn`/`scope` outside `crates/exec` |
+//! | D04 | no entropy-seeded RNG anywhere |
+//! | D05 | no `unsafe` outside `crates/exec` |
+//! | P01 | no `unwrap()`/`expect()` in `core`/`serve` library code |
+//! | A00 | every allow annotation carries a justification |
+//!
+//! A finding is suppressed by an inline escape hatch on the same or the
+//! preceding line — `// kyp-lint: allow(D01) — <justification>` — and
+//! every hatch is itself counted, reported, and rejected when it lacks a
+//! justification.
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_lint::analyze_source;
+//!
+//! let bad = "fn f(m: &std::collections::HashMap<String, u32>) -> u32 {\n\
+//!            m.values().sum()\n}\n";
+//! let analysis = analyze_source("core", "crates/core/src/x.rs", bad, None);
+//! assert_eq!(analysis.violations[0].rule, "D01");
+//! ```
+
+mod analyze;
+mod lexer;
+mod report;
+pub mod rules;
+
+pub use analyze::{analyze_source, AllowRecord, FileAnalysis, Violation};
+pub use report::LintOutcome;
+pub use rules::{Rule, Severity, RULES};
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One workspace source file queued for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Directory name under `crates/` (`"root"` for the top-level
+    /// package).
+    pub crate_name: String,
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+}
+
+/// Enumerates the workspace's own source files (crate `src/` trees plus
+/// the root package), skipping `vendor/`, `target/` and test trees.
+/// The listing is path-sorted, so reports are deterministic.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory walks.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let name = member
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_owned();
+            collect_rs(&member.join("src"), root, &name, &mut out)?;
+        }
+    }
+    collect_rs(&root.join("src"), root, "root", &mut out)?;
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                crate_name: crate_name.to_owned(),
+                rel_path: rel,
+                abs_path: path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full lint pass over the workspace at `root`.
+///
+/// `rules` restricts checking to the given rule IDs (`None` = all).
+///
+/// # Errors
+///
+/// Returns an error string on filesystem failures or unknown rule IDs in
+/// the filter.
+pub fn run_lint(root: &Path, rules: Option<&BTreeSet<String>>) -> Result<LintOutcome, String> {
+    if let Some(set) = rules {
+        validate_filter(set)?;
+    }
+    let files = workspace_files(root).map_err(|e| format!("walk {}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!(
+            "no workspace sources under {} (expected crates/*/src and src/)",
+            root.display()
+        ));
+    }
+    let mut outcome = LintOutcome::default();
+    for f in &files {
+        let src = fs::read_to_string(&f.abs_path)
+            .map_err(|e| format!("read {}: {e}", f.abs_path.display()))?;
+        let analysis = analyze_source(&f.crate_name, &f.rel_path, &src, rules);
+        outcome.violations.extend(analysis.violations);
+        outcome.allows.extend(analysis.allows);
+        outcome.files_scanned.push(f.rel_path.clone());
+    }
+    outcome
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    outcome
+        .allows
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(outcome)
+}
+
+/// Rejects filters naming rules that don't exist.
+fn validate_filter(set: &BTreeSet<String>) -> Result<(), String> {
+    for id in set {
+        if id != "A00" && rules::rule_by_id(id).is_none() {
+            return Err(format!(
+                "unknown rule {id:?} (known: {})",
+                RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source file as if it lived in `crate_name`'s `src/` tree.
+///
+/// Only the file's *name* is used as its reported path, so fixture files
+/// under `tests/fixtures/` are analyzed in full rather than skipped as
+/// test support.
+///
+/// # Errors
+///
+/// Returns an error string on read failures or unknown rule IDs in the
+/// filter.
+pub fn lint_file(
+    path: &Path,
+    crate_name: &str,
+    rules: Option<&BTreeSet<String>>,
+) -> Result<LintOutcome, String> {
+    if let Some(set) = rules {
+        validate_filter(set)?;
+    }
+    let src =
+        fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let rel = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let analysis = analyze_source(crate_name, &rel, &src, rules);
+    let mut outcome = LintOutcome::default();
+    outcome.violations.extend(analysis.violations);
+    outcome.allows.extend(analysis.allows);
+    outcome.files_scanned.push(rel);
+    Ok(outcome)
+}
+
+/// Parses a `--rules` filter value (`"D01,D02"`) into a rule set.
+///
+/// # Errors
+///
+/// Returns an error string when the list is empty.
+pub fn parse_rule_filter(value: &str) -> Result<BTreeSet<String>, String> {
+    let set: BTreeSet<String> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if set.is_empty() {
+        return Err("empty --rules filter".to_owned());
+    }
+    Ok(set)
+}
+
+/// Locates the workspace root: `dir` itself or the nearest ancestor with
+/// a `Cargo.toml` declaring `[workspace]`.
+pub fn find_workspace_root(dir: &Path) -> Option<PathBuf> {
+    let mut cur = Some(dir);
+    while let Some(d) = cur {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_owned());
+                }
+            }
+        }
+        cur = d.parent();
+    }
+    None
+}

@@ -1,0 +1,110 @@
+//! `kyp-lint` binary: scans the workspace, prints the human report,
+//! writes the JSON report, exits nonzero on violations.
+//!
+//! ```console
+//! $ cargo run -p kyp-lint                        # lint the workspace
+//! $ cargo run -p kyp-lint -- --rules D01,P01     # subset of rules
+//! $ cargo run -p kyp-lint -- --json out.json     # report path override
+//! $ cargo run -p kyp-lint -- some_file.rs        # lint one file
+//! ```
+//!
+//! A positional `.rs` path switches to single-file mode: the file is
+//! analyzed as if it lived in `--crate-name`'s `src/` tree (default
+//! `core`, whose scope enables every rule) and no JSON report is written
+//! unless `--json` is given. This is how the fixture corpus under
+//! `tests/fixtures/` is exercised from the command line.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("kyp-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<PathBuf> = None;
+    let mut rules = None;
+    let mut root: Option<PathBuf> = None;
+    let mut crate_name = "core".to_owned();
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--json" => {
+                let v = iter.next().ok_or("--json is missing a value")?;
+                json_path = Some(PathBuf::from(v));
+            }
+            "--rules" => {
+                let v = iter.next().ok_or("--rules is missing a value")?;
+                rules = Some(kyp_lint::parse_rule_filter(v)?);
+            }
+            "--crate-name" => {
+                let v = iter.next().ok_or("--crate-name is missing a value")?;
+                crate_name = v.clone();
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "kyp-lint — workspace determinism & invariant static analysis\n\n\
+                     USAGE: kyp-lint [--rules D01,D02,...] [--json <path>] [--quiet] [<root>]\n\
+                     \x20      kyp-lint [--rules ...] [--crate-name <c>] <file.rs>\n\n\
+                     Scans crates/*/src and src/ under <root> (default: the enclosing\n\
+                     workspace), prints a human report, writes a JSON report\n\
+                     (default results/lint.json), and exits nonzero on violations.\n\
+                     A positional .rs file is linted alone, as crate <c> (default core)."
+                );
+                return Ok(true);
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown option {other:?} (see --help)")),
+        }
+    }
+    let single_file = root
+        .as_ref()
+        .is_some_and(|p| p.extension().is_some_and(|e| e == "rs"));
+    let (outcome, json) = if single_file {
+        let path = root.expect("checked above");
+        let outcome = kyp_lint::lint_file(&path, &crate_name, rules.as_ref())?;
+        (outcome, json_path)
+    } else {
+        let root = if let Some(r) = root {
+            r
+        } else {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            kyp_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root found (pass one explicitly)")?
+        };
+        let outcome = kyp_lint::run_lint(&root, rules.as_ref())?;
+        let json = json_path.unwrap_or_else(|| root.join("results").join("lint.json"));
+        (outcome, Some(json))
+    };
+    if let Some(json) = &json {
+        if let Some(dir) = json.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(json, outcome.render_json())
+            .map_err(|e| format!("write {}: {e}", json.display()))?;
+    }
+    if !quiet {
+        print!("{}", outcome.render_human());
+        if let Some(json) = &json {
+            println!("kyp-lint: report written to {}", json.display());
+        }
+    }
+    Ok(outcome.is_clean())
+}

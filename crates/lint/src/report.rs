@@ -1,0 +1,207 @@
+//! Report rendering: a human summary for terminals and CI logs, and a
+//! machine JSON report (`results/lint.json`).
+//!
+//! The JSON is emitted by hand — this crate is dependency-free by design
+//! (it must never be able to perturb what it measures) — and its key
+//! order is fixed, so the report bytes are themselves deterministic.
+
+use crate::analyze::{AllowRecord, Violation};
+use crate::rules::RULES;
+use std::fmt::Write as _;
+
+/// Aggregated outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Files scanned, in path order.
+    pub files_scanned: Vec<String>,
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// All allow annotations, sorted by (file, line, rule).
+    pub allows: Vec<AllowRecord>,
+}
+
+impl LintOutcome {
+    /// `true` when the run should exit 0.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count for one rule.
+    fn count_for(&self, rule: &str) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// The human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                s,
+                "{}: [{}] {}:{}: {}\n    {}",
+                v.severity.name(),
+                v.rule,
+                v.file,
+                v.line,
+                v.message,
+                v.snippet
+            );
+        }
+        let _ = writeln!(
+            s,
+            "kyp-lint: {} file(s) scanned, {} violation(s), {} allow annotation(s)",
+            self.files_scanned.len(),
+            self.violations.len(),
+            self.allows.len()
+        );
+        for r in RULES {
+            let n = self.count_for(r.id);
+            let allows = self.allows.iter().filter(|a| a.rule == r.id).count();
+            if n > 0 || allows > 0 {
+                let _ = writeln!(s, "  {}: {} violation(s), {} allow(s)", r.id, n, allows);
+            }
+        }
+        for a in self.allows.iter().filter(|a| !a.used) {
+            let _ = writeln!(
+                s,
+                "note: unused allow({}) at {}:{} — consider removing it",
+                a.rule, a.file, a.line
+            );
+        }
+        s
+    }
+
+    /// The machine-readable JSON report.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned.len());
+        let _ = writeln!(s, "  \"violation_count\": {},", self.violations.len());
+        let _ = writeln!(s, "  \"allow_count\": {},", self.allows.len());
+
+        s.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"id\": {}, \"severity\": {}, \"summary\": {}, \"violations\": {}, \"allows\": {}}}",
+                json_str(r.id),
+                json_str(r.severity.name()),
+                json_str(r.summary),
+                self.count_for(r.id),
+                self.allows.iter().filter(|a| a.rule == r.id).count()
+            );
+            s.push_str(if i + 1 < RULES.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(&v.rule),
+                json_str(v.severity.name()),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                json_str(&v.snippet)
+            );
+            s.push_str(if i + 1 < self.violations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"justification\": {}, \"used\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.justification),
+                a.used
+            );
+            s.push_str(if i + 1 < self.allows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn outcome_with_one() -> LintOutcome {
+        LintOutcome {
+            files_scanned: vec!["crates/x/src/lib.rs".into()],
+            violations: vec![Violation {
+                rule: "D01".into(),
+                severity: Severity::Error,
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                message: "hash-order iteration: m.iter()".into(),
+                snippet: "for x in m.iter() { \"quote\\\" }".into(),
+            }],
+            allows: vec![AllowRecord {
+                rule: "P01".into(),
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                justification: "invariant: checked above".into(),
+                used: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn human_report_names_rule_and_location() {
+        let h = outcome_with_one().render_human();
+        assert!(h.contains("[D01] crates/x/src/lib.rs:3"));
+        assert!(h.contains("1 violation(s)"));
+    }
+
+    #[test]
+    fn json_report_is_wellformed_enough() {
+        let j = outcome_with_one().render_json();
+        assert!(j.contains("\"violation_count\": 1"));
+        assert!(j.contains("\\\"quote\\\\\\\""));
+        assert!(j.contains("\"used\": true"));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "brace balance"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn clean_outcome_is_clean() {
+        assert!(LintOutcome::default().is_clean());
+        assert!(!outcome_with_one().is_clean());
+    }
+}

@@ -1,0 +1,14 @@
+//! A00 failing fixture: escape hatches that don't hold up — one with no
+//! justification, one naming a rule that doesn't exist.
+
+use std::collections::HashMap;
+
+pub fn any_value(map: &HashMap<String, u32>) -> Option<u32> {
+    // kyp-lint: allow(D01)
+    map.values().next().copied()
+}
+
+pub fn port(s: &str) -> u16 {
+    // kyp-lint: allow(Z99) — this rule does not exist
+    s.parse().unwrap_or(0)
+}

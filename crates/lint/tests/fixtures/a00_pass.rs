@@ -1,0 +1,9 @@
+//! A00 passing fixture: a justified escape hatch suppressing a real
+//! finding.
+
+use std::collections::HashMap;
+
+pub fn total(map: &HashMap<String, u32>) -> u32 {
+    // kyp-lint: allow(D01) — u32 addition is commutative, so the sum is order-independent
+    map.values().sum()
+}

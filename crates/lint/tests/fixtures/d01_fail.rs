@@ -1,0 +1,26 @@
+//! D01 failing fixture: iteration over hash containers in an
+//! output-affecting crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    counts: HashMap<String, u32>,
+    seen: HashSet<String>,
+}
+
+impl Index {
+    /// Sums in hash order — nondeterministic for floats, and the order
+    /// itself leaks into any emitted sequence.
+    pub fn total(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// `for … in &map` is iteration too.
+    pub fn dump(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for name in &self.seen {
+            out.push(name.clone());
+        }
+        out
+    }
+}

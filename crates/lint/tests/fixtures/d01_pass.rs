@@ -1,0 +1,25 @@
+//! D01 passing fixture: keyed lookup into a hash container stays legal,
+//! and ordered containers may be iterated freely.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Index {
+    counts: HashMap<String, u32>,
+    ordered: BTreeMap<String, u32>,
+}
+
+impl Index {
+    /// Keyed lookup — no iteration order involved.
+    pub fn count(&self, key: &str) -> u32 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterating a BTreeMap is deterministic.
+    pub fn dump(&self) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.ordered {
+            out.push((k.clone(), *v));
+        }
+        out
+    }
+}

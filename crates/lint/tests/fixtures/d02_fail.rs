@@ -1,0 +1,9 @@
+//! D02 failing fixture: wall-clock reads outside `crates/bench`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp_ms() -> u128 {
+    let started = Instant::now();
+    let _ = SystemTime::now();
+    started.elapsed().as_millis()
+}

@@ -1,0 +1,12 @@
+//! D02 passing fixture: time is virtual — a caller-supplied counter.
+
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    pub fn advance(&mut self, delta_ms: u64) -> u64 {
+        self.now_ms = self.now_ms.saturating_add(delta_ms);
+        self.now_ms
+    }
+}

@@ -1,0 +1,7 @@
+//! D03 failing fixture: raw thread primitives outside `crates/exec`.
+
+pub fn fan_out(jobs: Vec<u64>) -> Vec<std::thread::JoinHandle<u64>> {
+    jobs.into_iter()
+        .map(|j| std::thread::spawn(move || j * 2))
+        .collect()
+}

@@ -1,0 +1,6 @@
+//! D03 passing fixture: parallelism goes through the kyp-exec pool,
+//! which owns the deterministic join order.
+
+pub fn fan_out(jobs: &[u64]) -> Vec<u64> {
+    kyp_exec::pool().par_map(jobs, |j| j * 2)
+}

@@ -1,0 +1,15 @@
+//! D04 failing fixture: entropy-seeded randomness. Reruns of the same
+//! configuration would see different draws.
+
+use rand::rngs::OsRng;
+use rand::Rng;
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}
+
+pub fn seed_material() -> u64 {
+    let mut os = OsRng;
+    os.gen()
+}

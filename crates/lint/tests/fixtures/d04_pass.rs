@@ -1,0 +1,10 @@
+//! D04 passing fixture: randomness flows from an explicit seed, so every
+//! run of the same configuration draws the same sequence.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.gen_range(0..100)
+}

@@ -1,0 +1,6 @@
+//! D05 failing fixture: `unsafe` outside `crates/exec`.
+
+pub fn first_word(bytes: &[u8]) -> u32 {
+    assert!(bytes.len() >= 4);
+    unsafe { bytes.as_ptr().cast::<u32>().read_unaligned() }
+}

@@ -1,0 +1,7 @@
+//! D05 passing fixture: the same operation in safe Rust.
+
+pub fn first_word(bytes: &[u8]) -> u32 {
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(word)
+}

@@ -1,0 +1,10 @@
+//! P01 failing fixture: panicking extractors in library code of a
+//! hardened crate.
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+
+pub fn require(flag: Option<u32>) -> u32 {
+    flag.expect("flag must be set")
+}

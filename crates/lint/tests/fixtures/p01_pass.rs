@@ -1,0 +1,9 @@
+//! P01 passing fixture: fallible paths stay fallible.
+
+pub fn parse_port(s: &str) -> Option<u16> {
+    s.parse().ok()
+}
+
+pub fn require(flag: Option<u32>) -> u32 {
+    flag.unwrap_or(0)
+}

@@ -1,0 +1,132 @@
+//! The fixture corpus: every rule has a failing fixture the analyzer must
+//! flag and a passing fixture it must leave alone — plus the live
+//! workspace itself, which must lint clean with zero unexplained allows.
+
+use kyp_lint::{analyze_source, lint_file, run_lint, FileAnalysis};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Analyzes a fixture as library code of the `core` crate (whose scope
+/// enables every rule).
+fn analyze_fixture(name: &str) -> FileAnalysis {
+    let path = fixture_dir().join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    analyze_source("core", name, &src, None)
+}
+
+fn rules_hit(analysis: &FileAnalysis) -> BTreeSet<&str> {
+    analysis
+        .violations
+        .iter()
+        .map(|v| v.rule.as_str())
+        .collect()
+}
+
+/// Every failing fixture must raise its rule (and only its rule); every
+/// passing fixture must be spotless.
+#[test]
+fn each_rule_has_a_failing_and_a_passing_fixture() {
+    for rule in ["D01", "D02", "D03", "D04", "D05", "P01", "A00"] {
+        let lower = rule.to_lowercase();
+        let bad = analyze_fixture(&format!("{lower}_fail.rs"));
+        assert!(
+            !bad.violations.is_empty(),
+            "{rule}: failing fixture raised nothing"
+        );
+        assert_eq!(
+            rules_hit(&bad),
+            BTreeSet::from([rule]),
+            "{rule}: failing fixture raised unexpected rules"
+        );
+        let good = analyze_fixture(&format!("{lower}_pass.rs"));
+        assert!(
+            good.violations.is_empty(),
+            "{rule}: passing fixture raised {:?}",
+            good.violations
+        );
+    }
+}
+
+#[test]
+fn d01_fixture_flags_both_iteration_forms() {
+    let bad = analyze_fixture("d01_fail.rs");
+    assert_eq!(bad.violations.len(), 2, "{:?}", bad.violations);
+    assert!(bad.violations[0].message.contains("values"));
+    assert!(bad.violations[1].message.contains("for"));
+}
+
+#[test]
+fn justified_allow_is_counted_and_marked_used() {
+    let good = analyze_fixture("a00_pass.rs");
+    assert_eq!(good.allows.len(), 1);
+    let allow = &good.allows[0];
+    assert_eq!(allow.rule, "D01");
+    assert!(allow.used, "allow did not suppress the finding");
+    assert!(allow.justification.contains("commutative"));
+}
+
+#[test]
+fn rules_outside_their_scope_stay_silent() {
+    // The same sources analyzed as crate `bench` (D02-exempt) and `exec`
+    // (D03/D05-exempt) must not fire.
+    let dir = fixture_dir();
+    let d02 = std::fs::read_to_string(dir.join("d02_fail.rs")).unwrap();
+    assert!(analyze_source("bench", "d02_fail.rs", &d02, None)
+        .violations
+        .is_empty());
+    let d03 = std::fs::read_to_string(dir.join("d03_fail.rs")).unwrap();
+    assert!(analyze_source("exec", "d03_fail.rs", &d03, None)
+        .violations
+        .is_empty());
+    let d05 = std::fs::read_to_string(dir.join("d05_fail.rs")).unwrap();
+    assert!(analyze_source("exec", "d05_fail.rs", &d05, None)
+        .violations
+        .is_empty());
+}
+
+#[test]
+fn rule_filter_restricts_findings() {
+    let dir = fixture_dir();
+    let filter: BTreeSet<String> = ["D02".to_owned()].into();
+    let outcome = lint_file(&dir.join("d03_fail.rs"), "core", Some(&filter)).unwrap();
+    assert!(outcome.is_clean(), "D02-only filter must ignore D03");
+    let outcome = lint_file(&dir.join("d02_fail.rs"), "core", Some(&filter)).unwrap();
+    assert!(!outcome.is_clean());
+}
+
+/// The acceptance gate: the workspace's own sources lint clean, and every
+/// escape hatch in them carries a justification and suppresses something.
+#[test]
+fn live_workspace_is_clean_with_zero_unexplained_allows() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let outcome = run_lint(root, None).expect("lint run");
+    assert!(
+        outcome.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        outcome.render_human()
+    );
+    for allow in &outcome.allows {
+        assert!(
+            allow.justification.len() >= 3,
+            "unexplained allow at {}:{}",
+            allow.file,
+            allow.line
+        );
+        assert!(
+            allow.used,
+            "stale allow (suppresses nothing) at {}:{}",
+            allow.file,
+            allow.line
+        );
+    }
+}

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! Machine-learning substrate for the *Know Your Phish* reproduction.
 //!
 //! The paper (Section IV-C) classifies webpages with **Gradient

@@ -125,12 +125,9 @@ impl RegressionTree {
     ) -> Self {
         let mut tree = RegressionTree { nodes: Vec::new() };
         let all_columns: Vec<usize>;
-        let cols = match columns {
-            Some(c) => c,
-            None => {
-                all_columns = (0..binned.n_features).collect();
-                &all_columns
-            }
+        let cols = if let Some(c) = columns { c } else {
+            all_columns = (0..binned.n_features).collect();
+            &all_columns
         };
         tree.build(binned, grads, hess, rows, params, cols, 0, pool);
         tree
@@ -418,12 +415,12 @@ impl BinnedMatrix {
             if distinct > 1 {
                 if distinct <= MAX_BINS {
                     // Midpoints between consecutive distinct values.
-                    th.extend(col.windows(2).map(|w| (w[0] + w[1]) / 2.0));
+                    th.extend(col.windows(2).map(|w| f64::midpoint(w[0], w[1])));
                 } else {
                     // Quantile cuts.
                     for q in 1..MAX_BINS {
                         let idx = q * (distinct - 1) / MAX_BINS;
-                        let cut = (col[idx] + col[idx + 1]) / 2.0;
+                        let cut = f64::midpoint(col[idx], col[idx + 1]);
                         if th.last() != Some(&cut) {
                             th.push(cut);
                         }

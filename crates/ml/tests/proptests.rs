@@ -57,8 +57,8 @@ proptest! {
             d.push_row(&[i as f64], false);
         }
         let tree = RegressionTree::fit(&d, &targets, 4);
-        let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let pred = tree.predict(&[probe]);
         prop_assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9, "{pred} outside [{lo}, {hi}]");
     }

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! A search-engine substrate for the *Know Your Phish* target
 //! identification component.
 //!
@@ -28,7 +31,7 @@
 //! ```
 
 use kyp_text::extract_terms;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One search result: a registered domain with its relevance score.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +57,10 @@ struct DocInfo {
 #[derive(Debug, Clone, Default)]
 pub struct SearchEngine {
     docs: Vec<DocInfo>,
-    /// term → (document id, term frequency) postings.
+    /// term → (document id, term frequency) postings. A hash map is fine
+    /// here (kyp-lint D01 permits keyed lookup): postings are only ever
+    /// read by key, and each list is in document-id order by
+    /// construction.
     postings: HashMap<String, Vec<(u32, f64)>>,
 }
 
@@ -68,7 +74,10 @@ impl SearchEngine {
     /// domain terms — whatever the caller deems visible to a crawler).
     pub fn index_page(&mut self, rdn: &str, mld: &str, text: &str) {
         let id = self.docs.len() as u32;
-        let mut tf: HashMap<String, f64> = HashMap::new();
+        // Ordered map (kyp-lint D01): the norm below is a float sum over
+        // the values — summation order must not depend on hash order, or
+        // scores drift across processes.
+        let mut tf: BTreeMap<String, f64> = BTreeMap::new();
         // Domain terms are searchable too, like a real engine.
         for term in extract_terms(text).into_iter().chain(extract_terms(rdn)) {
             *tf.entry(term).or_insert(0.0) += 1.0;
@@ -103,7 +112,8 @@ impl SearchEngine {
     /// Queries the index with keyterms, returning the top-`k` distinct
     /// RDNs by TF-IDF cosine score (paper Steps 2–4).
     pub fn query(&self, terms: &[String], k: usize) -> Vec<SearchHit> {
-        let mut scores: HashMap<u32, f64> = HashMap::new();
+        // Ordered map (kyp-lint D01): iterated into the ranked hit list.
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
         for term in terms {
             let idf = self.idf(term);
             if let Some(post) = self.postings.get(term.as_str()) {

@@ -95,9 +95,9 @@ impl MicroBatcher {
     pub fn due_at(&self, queue: &AdmissionQueue<ServeRequest>, free_at_ms: u64) -> Option<u64> {
         let oldest = queue.front()?;
         let due = if queue.len() >= self.policy.max_batch {
-            let newest_in_batch = queue
-                .peek(self.policy.max_batch - 1)
-                .expect("length checked above");
+            // Always present (length checked above); `?` keeps the
+            // no-panic contract (kyp-lint P01) without an expect.
+            let newest_in_batch = queue.peek(self.policy.max_batch - 1)?;
             free_at_ms.max(newest_in_batch.arrival_ms)
         } else {
             free_at_ms.max(oldest.arrival_ms.saturating_add(self.policy.max_delay_ms))

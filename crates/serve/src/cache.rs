@@ -129,6 +129,7 @@ impl<V: Clone> VerdictCache<V> {
                 None
             }
             Some(entry) if now_ms >= entry.expires_at_ms => {
+                // kyp-lint: allow(P01) — the match arm just observed the key; remove cannot miss
                 let entry = self.entries.remove(key).expect("entry just observed");
                 self.recency.remove(&entry.used_seq);
                 self.counters.expirations += 1;
@@ -137,6 +138,7 @@ impl<V: Clone> VerdictCache<V> {
             }
             Some(_) => {
                 let seq = self.bump_seq();
+                // kyp-lint: allow(P01) — re-borrow after bump_seq; the key was just matched Some
                 let entry = self.entries.get_mut(key).expect("entry just observed");
                 self.recency.remove(&entry.used_seq);
                 self.recency.insert(seq, key.to_owned());
@@ -151,7 +153,9 @@ impl<V: Clone> VerdictCache<V> {
     /// least recently used entry when the cache is full.
     pub fn insert(&mut self, key: String, value: V, now_ms: u64) {
         if !self.entries.contains_key(&key) && self.entries.len() >= self.config.capacity {
+            // kyp-lint: allow(P01) — capacity ≥ 1 and the cache is full, so the LRU index is non-empty
             let victim_seq = *self.recency.keys().next().expect("full cache has entries");
+            // kyp-lint: allow(P01) — victim_seq was read from this index one line up
             let victim_key = self.recency.remove(&victim_seq).expect("indexed key");
             self.entries.remove(&victim_key);
             self.counters.evictions += 1;

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! Deterministic online scoring service over the Know Your Phish
 //! pipeline.
 //!

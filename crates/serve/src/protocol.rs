@@ -89,6 +89,7 @@ impl ServeResponse {
     /// from the execution layer. (Latency and cache state legitimately
     /// differ between cache-on and cache-off runs, so they are excluded.)
     pub fn verdict_line(&self) -> String {
+        // kyp-lint: allow(P01) — serializing a field-only enum is infallible; a Result here would infect the whole protocol surface
         let outcome = serde_json::to_string(&self.outcome).expect("serialize outcome");
         format!(
             "{} {} {} degraded={}",

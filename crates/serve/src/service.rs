@@ -94,6 +94,7 @@ enum Slot {
 /// per request (arrivals must be non-decreasing; regressions are clamped),
 /// then [`ScoringService::finish`] to drain, or hand it a whole trace via
 /// [`ScoringService::run_trace`].
+#[derive(Debug)]
 pub struct ScoringService<S> {
     pipeline: Pipeline,
     source: S,
@@ -222,7 +223,7 @@ impl<S: PageSource> ScoringService<S> {
             cache: self
                 .cache
                 .as_ref()
-                .map(|c| c.counters())
+                .map(super::cache::VerdictCache::counters)
                 .unwrap_or_default(),
             queue,
             batches: self.batcher.counters(),
@@ -251,28 +252,27 @@ impl<S: PageSource> ScoringService<S> {
         let mut pending_keys: Vec<String> = Vec::new();
         for request in &batch {
             let store_key = canonical_url(&request.url).unwrap_or_else(|| request.url.clone());
-            if !self.page_store.contains_key(&store_key) {
-                let fetched = self.source.fetch(&request.url).map(|page| {
+            // The entry API makes fetch-once memoization a single keyed
+            // access: no check-then-get, nothing to expect (kyp-lint P01).
+            let source = &mut self.source;
+            let stored = self.page_store.entry(store_key).or_insert_with(|| {
+                source.fetch(&request.url).map(|page| {
                     let landing_key = canonical_key(&page.visit.landing_url);
                     StoredScrape { page, landing_key }
-                });
-                self.page_store.insert(store_key.clone(), fetched);
-            }
-            let slot = match self.page_store.get(&store_key).expect("just inserted") {
+                })
+            });
+            let slot = match stored {
                 Err(cause) => Slot::Unfetchable(*cause),
                 Ok(stored) => {
                     let cached = self
                         .cache
                         .as_mut()
                         .and_then(|c| c.get(&stored.landing_key, flush_ms));
-                    match cached {
-                        Some((verdict, degraded)) => Slot::Cached(verdict, degraded),
-                        None => {
-                            let idx = to_classify.len();
-                            to_classify.push((request.url.clone(), stored.page.clone()));
-                            pending_keys.push(stored.landing_key.clone());
-                            Slot::Pending(idx)
-                        }
+                    if let Some((verdict, degraded)) = cached { Slot::Cached(verdict, degraded) } else {
+                        let idx = to_classify.len();
+                        to_classify.push((request.url.clone(), stored.page.clone()));
+                        pending_keys.push(stored.landing_key.clone());
+                        Slot::Pending(idx)
                     }
                 }
             };
@@ -513,12 +513,12 @@ mod tests {
         let lines_on: Vec<String> = on
             .run_trace(&trace)
             .iter()
-            .map(|r| r.verdict_line())
+            .map(super::super::protocol::ServeResponse::verdict_line)
             .collect();
         let lines_off: Vec<String> = off
             .run_trace(&trace)
             .iter()
-            .map(|r| r.verdict_line())
+            .map(super::super::protocol::ServeResponse::verdict_line)
             .collect();
         assert_eq!(lines_on, lines_off);
         assert!(on.report().cache.hits > 0);
@@ -560,7 +560,7 @@ mod tests {
             let lines: Vec<String> = svc
                 .run_trace(&trace)
                 .iter()
-                .map(|r| r.verdict_line())
+                .map(super::super::protocol::ServeResponse::verdict_line)
                 .collect();
             (lines, svc.report())
         };

@@ -35,6 +35,7 @@ pub fn canonical_key(u: &Url) -> String {
 
 /// A [`PageSource`] that scrapes live from a [`World`] through the
 /// resilient browser (retries, backoff, circuit breaking).
+#[derive(Debug)]
 pub struct ScraperSource<'w, W: World> {
     browser: ResilientBrowser<'w, W>,
 }
@@ -53,7 +54,7 @@ impl<'w, W: World> ScraperSource<'w, W> {
     }
 }
 
-impl<'w, W: World> PageSource for ScraperSource<'w, W> {
+impl<W: World> PageSource for ScraperSource<'_, W> {
     fn fetch(&mut self, url: &str) -> Result<ScrapedPage, FailureCause> {
         self.browser.scrape(url).map_err(|f| f.cause)
     }
@@ -66,6 +67,7 @@ impl<'w, W: World> PageSource for ScraperSource<'w, W> {
 /// them — but a full [`VisitedPage`] is exactly what classification
 /// needs. Lookups that miss the store report [`FailureCause::NotFound`];
 /// unparsable URLs report [`FailureCause::BadUrl`].
+#[derive(Debug, Clone)]
 pub struct StoredPages {
     pages: HashMap<String, VisitedPage>,
 }
@@ -73,8 +75,8 @@ pub struct StoredPages {
 impl StoredPages {
     /// A store over `pages`, indexed by canonical starting URL. Later
     /// duplicates of a key win.
-    pub fn new(pages: impl IntoIterator<Item = VisitedPage>) -> Self {
-        let pages = pages
+    pub fn new(items: impl IntoIterator<Item = VisitedPage>) -> Self {
+        let pages = items
             .into_iter()
             .map(|p| (canonical_key(&p.starting_url), p))
             .collect();

@@ -108,6 +108,7 @@ pub fn generate(config: &WorkloadConfig, pool: &[String]) -> Vec<ServeRequest> {
         let repeat = !seen.is_empty()
             && (next_fresh >= order.len() || rng.gen_bool(config.duplicate_rate.clamp(0.0, 1.0)));
         let url = if repeat {
+            // kyp-lint: allow(P01) — `repeat` is only true when seen is non-empty
             *seen.choose(&mut rng).expect("seen is non-empty")
         } else {
             let fresh = order[next_fresh];

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! Term extraction and term-distribution machinery for the *Know Your
 //! Phish* reproduction.
 //!

@@ -8,7 +8,7 @@
 
 use crate::extract_terms;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Document-frequency statistics over a corpus, used to compute IDF.
 ///
@@ -25,7 +25,9 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Corpus {
-    doc_freq: HashMap<String, u32>,
+    // Ordered map (kyp-lint D01): document frequencies are iterated by
+    // serialization, and feature pipelines must never observe hash order.
+    doc_freq: BTreeMap<String, u32>,
     doc_count: u32,
 }
 
@@ -59,14 +61,15 @@ impl Corpus {
         ((1.0 + n) / (1.0 + df)).ln() + 1.0
     }
 
-    /// TF-IDF scores of a document's terms against this corpus.
-    pub fn tfidf(&self, text: &str) -> HashMap<String, f64> {
+    /// TF-IDF scores of a document's terms against this corpus, in
+    /// deterministic (term-sorted) order.
+    pub fn tfidf(&self, text: &str) -> BTreeMap<String, f64> {
         let terms = extract_terms(text);
         let total = terms.len() as f64;
         if total == 0.0 {
-            return HashMap::new();
+            return BTreeMap::new();
         }
-        let mut tf: HashMap<String, f64> = HashMap::new();
+        let mut tf: BTreeMap<String, f64> = BTreeMap::new();
         for t in terms {
             *tf.entry(t).or_insert(0.0) += 1.0;
         }

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! URL decomposition for the *Know Your Phish* reproduction.
 //!
 //! The paper (Section II-B, Fig. 1) decomposes a URL as
@@ -237,7 +240,7 @@ impl Url {
 
     /// The FQDN as a dotted string, e.g. `www.amazon.co.uk`.
     pub fn fqdn_str(&self) -> Option<String> {
-        self.fqdn().map(|f| f.to_string())
+        self.fqdn().map(std::string::ToString::to_string)
     }
 
     /// The explicit port, if one was present.
@@ -264,7 +267,7 @@ impl Url {
     ///
     /// `None` for IP-literal hosts.
     pub fn rdn(&self) -> Option<String> {
-        self.fqdn().map(|f| f.rdn())
+        self.fqdn().map(fqdn::Fqdn::rdn)
     }
 
     /// The main level domain — the label before the public suffix.
@@ -274,18 +277,18 @@ impl Url {
 
     /// The public suffix, e.g. `co.uk`.
     pub fn public_suffix(&self) -> Option<String> {
-        self.fqdn().map(|f| f.public_suffix())
+        self.fqdn().map(fqdn::Fqdn::public_suffix)
     }
 
     /// Number of labels in the FQDN (paper URL feature #3,
     /// "count of level domains"). Zero for IP hosts.
     pub fn level_domain_count(&self) -> usize {
-        self.fqdn().map_or(0, |f| f.label_count())
+        self.fqdn().map_or(0, fqdn::Fqdn::label_count)
     }
 
     /// Length of the FQDN string (paper URL feature #5). Zero for IP hosts.
     pub fn fqdn_len(&self) -> usize {
-        self.fqdn().map_or(0, |f| f.len())
+        self.fqdn().map_or(0, fqdn::Fqdn::len)
     }
 
     /// Length of the mld (paper URL feature #6). Zero for IP hosts.

@@ -17,22 +17,19 @@ proptest! {
     fn accepted_urls_decompose(input in ".{0,120}") {
         if let Ok(url) = Url::parse(&input) {
             // FQDN xor IP.
-            match url.fqdn() {
-                Some(fqdn) => {
-                    let rdn = url.rdn().unwrap();
-                    prop_assert!(fqdn.to_string().ends_with(&rdn));
-                    prop_assert!(fqdn.label_count() >= 1);
-                    // Subdomain labels + RDN labels == all labels.
-                    let rdn_labels = rdn.split('.').count();
-                    prop_assert_eq!(
-                        fqdn.subdomains().len() + rdn_labels,
-                        fqdn.label_count()
-                    );
-                }
-                None => {
-                    prop_assert!(url.host().is_ip());
-                    prop_assert_eq!(url.mld(), None);
-                }
+            if let Some(fqdn) = url.fqdn() {
+                let rdn = url.rdn().unwrap();
+                prop_assert!(fqdn.to_string().ends_with(&rdn));
+                prop_assert!(fqdn.label_count() >= 1);
+                // Subdomain labels + RDN labels == all labels.
+                let rdn_labels = rdn.split('.').count();
+                prop_assert_eq!(
+                    fqdn.subdomains().len() + rdn_labels,
+                    fqdn.label_count()
+                );
+            } else {
+                prop_assert!(url.host().is_ip());
+                prop_assert_eq!(url.mld(), None);
             }
             // FreeURL is derived without panic.
             let _ = url.free_url().joined();

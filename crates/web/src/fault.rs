@@ -15,7 +15,7 @@
 use crate::world::{Fetch, FetchResult, FetchedPage, WebWorld, World};
 use kyp_url::Url;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One injectable failure mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,7 +110,8 @@ impl FaultPlan {
 pub struct FlakyWorld<'w> {
     inner: &'w WebWorld,
     plan: FaultPlan,
-    attempts: RefCell<HashMap<String, u32>>,
+    // Ordered map (kyp-lint D01): `total_fetches` sums the values.
+    attempts: RefCell<BTreeMap<String, u32>>,
 }
 
 impl<'w> FlakyWorld<'w> {
@@ -119,7 +120,7 @@ impl<'w> FlakyWorld<'w> {
         FlakyWorld {
             inner,
             plan,
-            attempts: RefCell::new(HashMap::new()),
+            attempts: RefCell::new(BTreeMap::new()),
         }
     }
 

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! A simulated web and browser/scraper for the *Know Your Phish*
 //! reproduction.
 //!

@@ -59,8 +59,7 @@ fn main() {
                 warnings += 1;
                 let target = candidates
                     .first()
-                    .map(|c| c.mld.as_str())
-                    .unwrap_or("unknown");
+                    .map_or("unknown", |c| c.mld.as_str());
                 println!(
                     "  [WARNING]  {url}\n             phishing ({score:.2}), impersonating {target} (truth: {})",
                     if *truly_phish { "phish" } else { "legitimate" }

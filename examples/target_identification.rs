@@ -73,7 +73,7 @@ fn main() {
             assert_eq!(candidates[0].mld, target.name, "found the right target");
         }
         TargetVerdict::Legitimate { step } => {
-            println!("verdict        : legitimate (confirmed at step {step})")
+            println!("verdict        : legitimate (confirmed at step {step})");
         }
         TargetVerdict::Unknown => println!("verdict        : suspicious, no target found"),
     }
@@ -84,7 +84,7 @@ fn main() {
     println!("real brand site: {}", legit_visit.landing_url);
     match identifier.identify(&legit_visit) {
         TargetVerdict::Legitimate { step } => {
-            println!("verdict        : legitimate (confirmed at step {step})")
+            println!("verdict        : legitimate (confirmed at step {step})");
         }
         other => println!("verdict        : {other:?}"),
     }

@@ -70,6 +70,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&opts),
         "scan" => cmd_scan(&opts),
         "serve" => cmd_serve(&opts),
+        "lint" => cmd_lint(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -100,6 +101,8 @@ USAGE:
             [--duplicate-rate <f>] [--arrival-gap-ms <n>]
             [--queue-capacity <n>] [--max-batch <n>] [--max-delay-ms <n>]
             [--cache on|off]                         ...or requests over stdin
+  kyp lint  [--root <dir>] [--rules D01,D02,...]     determinism static analysis
+            [--json <path>]                          (see DESIGN.md section 8e)
 
 `kyp serve` speaks newline-delimited json. Without --requests it reads
 one request object per stdin line and writes one response object per
@@ -399,7 +402,7 @@ fn cmd_scan(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("title : {:?}", page.title);
     match pipeline.classify(&page) {
         PipelineVerdict::Legitimate { score } => {
-            println!("verdict: legitimate (confidence {score:.3})")
+            println!("verdict: legitimate (confidence {score:.3})");
         }
         PipelineVerdict::ConfirmedLegitimate { score, step } => println!(
             "verdict: legitimate — flagged ({score:.3}) but confirmed at identification step {step}"
@@ -417,7 +420,7 @@ fn cmd_scan(opts: &HashMap<String, String>) -> Result<(), String> {
             }
         }
         PipelineVerdict::Suspicious { score } => {
-            println!("verdict: suspicious (confidence {score:.3}), no target identified")
+            println!("verdict: suspicious (confidence {score:.3}), no target identified");
         }
     }
     Ok(())
@@ -532,6 +535,38 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     eprintln!("{json}");
     Ok(())
+}
+
+/// `kyp lint`: run the workspace determinism & invariant static-analysis
+/// pass (DESIGN.md section 8e) and fail on violations.
+fn cmd_lint(opts: &HashMap<String, String>) -> Result<(), String> {
+    let rules = opts
+        .get("rules")
+        .map(|v| knowyourphish::lint::parse_rule_filter(v))
+        .transpose()?;
+    let root = match opts.get("root") {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            knowyourphish::lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root found (pass --root <dir>)")?
+        }
+    };
+    let outcome = knowyourphish::lint::run_lint(&root, rules.as_ref())?;
+    if let Some(path) = opts.get("json") {
+        let path = PathBuf::from(path);
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        fs::write(&path, outcome.render_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    print!("{}", outcome.render_human());
+    if outcome.is_clean() {
+        Ok(())
+    } else {
+        Err("lint violations found (see report above)".to_owned())
+    }
 }
 
 #[cfg(test)]

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! Umbrella crate for the *Know Your Phish* (ICDCS 2016) reproduction.
 //!
 //! Re-exports every workspace crate under one roof so examples and
@@ -24,9 +27,11 @@
 //! - [`serve`]: deterministic online scoring service (admission control,
 //!   micro-batching, verdict caching, latency accounting)
 //! - [`baselines`]: comparison systems for Table X
+//! - [`lint`]: workspace determinism & invariant static analysis
 
 pub use kyp_baselines as baselines;
 pub use kyp_core as core;
+pub use kyp_lint as lint;
 pub use kyp_datagen as datagen;
 pub use kyp_exec as exec;
 pub use kyp_html as html;

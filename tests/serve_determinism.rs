@@ -19,7 +19,7 @@ use knowyourphish::datagen::{CampaignConfig, Corpus};
 use knowyourphish::ml::Dataset;
 use knowyourphish::serve::{
     generate, ArrivalPattern, BatchPolicy, CacheConfig, ScoringService, ScraperSource, ServeConfig,
-    ServeRequest, WorkloadConfig,
+    ServeRequest, ServeResponse, WorkloadConfig,
 };
 use knowyourphish::web::{FaultPlan, FlakyWorld, ResilientBrowser};
 use std::sync::Arc;
@@ -105,7 +105,7 @@ fn verdict_lines<S: knowyourphish::serve::PageSource>(
     service
         .run_trace(trace)
         .iter()
-        .map(|r| r.verdict_line())
+        .map(ServeResponse::verdict_line)
         .collect()
 }
 
