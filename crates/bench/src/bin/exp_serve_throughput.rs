@@ -129,7 +129,10 @@ fn main() {
                     if elapsed < wall {
                         wall = elapsed;
                     }
-                    lines = responses.iter().map(kyp_serve::ServeResponse::verdict_line).collect();
+                    lines = responses
+                        .iter()
+                        .map(kyp_serve::ServeResponse::verdict_line)
+                        .collect();
                     last_report = Some(service.report());
                 }
                 let run_report = last_report.expect("at least one rep ran");

@@ -111,9 +111,23 @@ fn main() {
     let mut baseline_model: Option<String> = None;
     let mut entries = Vec::new();
     let mut all_identical = true;
+    let hardware_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     for &threads in &sweep {
         kyp_exec::set_threads(threads);
+        // Requesting more workers than the machine has cores can't speed
+        // anything up — the sweep point is still *correct* (bit-identical
+        // outputs), but its speedup_vs_1 reads below 1 for scheduling
+        // reasons, not algorithmic ones. Flag it instead of silently
+        // reporting a regression.
+        let oversubscribed = threads > hardware_threads;
+        if oversubscribed {
+            eprintln!(
+                "warning: sweep point --threads {threads} oversubscribes the machine \
+                 ({hardware_threads} hardware threads available); its speedup_vs_1 \
+                 measures scheduler contention, not the pipeline"
+            );
+        }
 
         let mut wall = f64::INFINITY;
         let mut scores: Vec<f64> = Vec::new();
@@ -164,6 +178,11 @@ fn main() {
         let mut entry = report::timing_entry(threads, visits.len(), wall, speedup);
         report::push_field(&mut entry, "train_wall_ms", report::float(train_wall_ms));
         report::push_field(&mut entry, "outputs_identical", report::boolean(identical));
+        report::push_field(
+            &mut entry,
+            "oversubscribed",
+            report::boolean(oversubscribed),
+        );
         entries.push(entry);
     }
     kyp_exec::set_threads(0); // back to auto-detection
@@ -179,7 +198,7 @@ fn main() {
         ("pages", report::uint(visits.len() as u64)),
         (
             "available_parallelism",
-            report::uint(std::thread::available_parallelism().map_or(1, |p| p.get() as u64)),
+            report::uint(hardware_threads as u64),
         ),
         ("sweep", serde_json::Value::Array(entries)),
     ]);

@@ -230,8 +230,23 @@ impl FeatureExtractor {
     /// Extracts features reusing already-computed term distributions
     /// (the keyterm extractor needs the same [`DataSources`]).
     pub fn extract_with_sources(&self, page: &VisitedPage, sources: &DataSources) -> Vec<f64> {
+        self.extract_with_sources_observed(page, sources, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`FeatureExtractor::extract_with_sources`], reporting each
+    /// feature family to `obs` as it completes. The observer only
+    /// watches; the returned vector is identical to the unobserved call.
+    pub fn extract_with_sources_observed(
+        &self,
+        page: &VisitedPage,
+        sources: &DataSources,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Vec<f64> {
+        use kyp_obs::FeatureFamily;
         let mut out = Vec::with_capacity(self.feature_count());
         url_stats::push_f1(page, &self.ranker, &mut out);
+        obs.feature_family(FeatureFamily::F1Url, out.len());
+        let f2_start = out.len();
         if self.config.extended_distributions {
             consistency::push_f2_extended(
                 page,
@@ -243,9 +258,16 @@ impl FeatureExtractor {
         } else {
             consistency::push_f2(sources, self.config.consistency_metric, &mut out);
         }
+        obs.feature_family(FeatureFamily::F2TermConsistency, out.len() - f2_start);
+        let f3_start = out.len();
         mld_usage::push_f3(page, sources, &mut out);
+        obs.feature_family(FeatureFamily::F3MldUsage, out.len() - f3_start);
+        let f4_start = out.len();
         rdn_usage::push_f4(page, &mut out);
+        obs.feature_family(FeatureFamily::F4RdnUsage, out.len() - f4_start);
+        let f5_start = out.len();
         content::push_f5(page, sources, &mut out);
+        obs.feature_family(FeatureFamily::F5Content, out.len() - f5_start);
         debug_assert_eq!(out.len(), self.feature_count());
         out
     }
@@ -384,7 +406,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        let labels: Vec<&str> = FeatureSet::ALL_SETS.iter().map(super::FeatureSet::label).collect();
+        let labels: Vec<&str> = FeatureSet::ALL_SETS
+            .iter()
+            .map(super::FeatureSet::label)
+            .collect();
         assert_eq!(
             labels,
             ["f1", "f2", "f3", "f4", "f5", "f1,5", "f2,3,4", "fall"]

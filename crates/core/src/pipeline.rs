@@ -52,6 +52,18 @@ impl PipelineVerdict {
             PipelineVerdict::Phish { .. } | PipelineVerdict::Suspicious { .. }
         )
     }
+
+    /// The payload-free observation kind of this verdict.
+    pub fn kind(&self) -> kyp_obs::VerdictKind {
+        match self {
+            PipelineVerdict::Legitimate { .. } => kyp_obs::VerdictKind::Legitimate,
+            PipelineVerdict::ConfirmedLegitimate { .. } => {
+                kyp_obs::VerdictKind::ConfirmedLegitimate
+            }
+            PipelineVerdict::Phish { .. } => kyp_obs::VerdictKind::Phish,
+            PipelineVerdict::Suspicious { .. } => kyp_obs::VerdictKind::Suspicious,
+        }
+    }
 }
 
 /// Detector + target identifier, wired as in the paper.
@@ -98,7 +110,7 @@ impl Pipeline {
 
     /// Classifies a page with the two-stage process.
     pub fn classify(&self, page: &VisitedPage) -> PipelineVerdict {
-        self.classify_degraded(page, &SourceAvailability::FULL)
+        self.classify_bundle(page, &SourceAvailability::FULL, &mut kyp_obs::NoopObserver)
     }
 
     /// Classifies a partially captured page.
@@ -113,19 +125,47 @@ impl Pipeline {
         page: &VisitedPage,
         availability: &SourceAvailability,
     ) -> PipelineVerdict {
+        self.classify_bundle(page, availability, &mut kyp_obs::NoopObserver)
+    }
+
+    /// The canonical classification core every `classify*` entry point
+    /// delegates to: degraded-aware source assembly, feature extraction,
+    /// the GBM decision, and (for flagged pages) target identification —
+    /// with every stage reported to `obs`.
+    ///
+    /// The observer only watches: the verdict is a pure function of
+    /// `(page, availability)`, and passing [`kyp_obs::NoopObserver`]
+    /// compiles to the uninstrumented pipeline.
+    pub fn classify_bundle(
+        &self,
+        page: &VisitedPage,
+        availability: &SourceAvailability,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> PipelineVerdict {
+        obs.page_start(page.starting_url.as_str());
         let sources = DataSources::from_partial(page, availability);
-        let features = self.extractor.extract_with_sources(page, &sources);
+        let features = self
+            .extractor
+            .extract_with_sources_observed(page, &sources, obs);
         let score = self.detector.score(&features);
-        if score < self.detector.threshold() {
-            return PipelineVerdict::Legitimate { score };
-        }
-        match self.identifier.identify_with_sources(page, &sources) {
-            TargetVerdict::Legitimate { step } => {
-                PipelineVerdict::ConfirmedLegitimate { score, step }
+        let flagged = score >= self.detector.threshold();
+        obs.detector_score(score, flagged);
+        let verdict = if flagged {
+            match self
+                .identifier
+                .identify_with_sources_observed(page, &sources, obs)
+            {
+                TargetVerdict::Legitimate { step } => {
+                    PipelineVerdict::ConfirmedLegitimate { score, step }
+                }
+                TargetVerdict::Phish { candidates } => PipelineVerdict::Phish { score, candidates },
+                TargetVerdict::Unknown => PipelineVerdict::Suspicious { score },
             }
-            TargetVerdict::Phish { candidates } => PipelineVerdict::Phish { score, candidates },
-            TargetVerdict::Unknown => PipelineVerdict::Suspicious { score },
-        }
+        } else {
+            PipelineVerdict::Legitimate { score }
+        };
+        obs.verdict(verdict.kind());
+        verdict
     }
 
     /// Scrapes and classifies a batch of URLs, degrading gracefully.
@@ -154,6 +194,23 @@ impl Pipeline {
         scraper: &mut ResilientBrowser<'_, W>,
         urls: &[String],
     ) -> BatchRun {
+        self.classify_all_observed(scraper, urls, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`Pipeline::classify_all`], reporting every scrape and
+    /// classification stage to `obs`.
+    ///
+    /// Scrape events stream into the observer in fetch order as the
+    /// serial scraping loop runs; classification events are recorded
+    /// per page inside the worker pool and replayed in input order, so
+    /// the observed stream — like the [`BatchRun`] itself — is
+    /// bit-identical at any thread count.
+    pub fn classify_all_observed<W: World>(
+        &self,
+        scraper: &mut ResilientBrowser<'_, W>,
+        urls: &[String],
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> BatchRun {
         let retries_before = scraper.total_retries();
         let trips_before = scraper.breaker().trips();
         let clock_before = scraper.clock().now_ms();
@@ -162,7 +219,7 @@ impl Pipeline {
         let mut scraped_pages = Vec::new();
         for url in urls {
             report.requested += 1;
-            match scraper.scrape(url) {
+            match scraper.scrape_observed(url, obs) {
                 Ok(scraped) => {
                     report.completed += 1;
                     if scraped.availability.is_degraded() {
@@ -180,7 +237,7 @@ impl Pipeline {
         report.breaker_trips = scraper.breaker().trips() - trips_before;
         report.virtual_elapsed_ms = scraper.clock().now_ms() - clock_before;
 
-        let classified = self.classify_scraped(&scraped_pages);
+        let classified = self.classify_scraped_observed(&scraped_pages, obs);
         BatchRun { classified, report }
     }
 
@@ -194,11 +251,40 @@ impl Pipeline {
     /// function of its captured bytes, so the result is bit-identical to a
     /// serial loop at any thread count.
     pub fn classify_scraped(&self, pages: &[(String, ScrapedPage)]) -> Vec<ClassifiedPage> {
-        kyp_exec::pool().par_map(pages, |(url, scraped)| ClassifiedPage {
-            url: url.clone(),
-            verdict: self.classify_degraded(&scraped.visit, &scraped.availability),
-            degraded: scraped.availability.is_degraded(),
-        })
+        self.classify_scraped_observed(pages, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`Pipeline::classify_scraped`], reporting every stage to
+    /// `obs`.
+    ///
+    /// Each worker records its page's events into a private
+    /// [`kyp_obs::Recorder`] — a pure function of the page — and the
+    /// buffers are replayed into `obs` in input order after the pool
+    /// joins, so the observed stream is independent of the thread count
+    /// and of how chunks were scheduled.
+    pub fn classify_scraped_observed(
+        &self,
+        pages: &[(String, ScrapedPage)],
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Vec<ClassifiedPage> {
+        let results = kyp_exec::pool().par_map(pages, |(url, scraped)| {
+            let mut recorder = kyp_obs::Recorder::new();
+            let verdict =
+                self.classify_bundle(&scraped.visit, &scraped.availability, &mut recorder);
+            let page = ClassifiedPage {
+                url: url.clone(),
+                verdict,
+                degraded: scraped.availability.is_degraded(),
+            };
+            (page, recorder.into_events())
+        });
+        results
+            .into_iter()
+            .map(|(page, events)| {
+                kyp_obs::replay(&events, obs);
+                page
+            })
+            .collect()
     }
 }
 

@@ -158,6 +158,20 @@ impl TargetIdentifier {
         page: &VisitedPage,
         sources: &DataSources,
     ) -> TargetVerdict {
+        self.identify_with_sources_observed(page, sources, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`identify_with_sources`](Self::identify_with_sources),
+    /// reporting each identification step's outcome to `obs`. The
+    /// observer only watches; the verdict is identical to the unobserved
+    /// call.
+    pub fn identify_with_sources_observed(
+        &self,
+        page: &VisitedPage,
+        sources: &DataSources,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> TargetVerdict {
+        use kyp_obs::TargetStepOutcome;
         let n = self.config.keyterm_count;
         let k = self.config.search_results;
         let suspected = suspected_rdns(page);
@@ -172,27 +186,48 @@ impl TargetIdentifier {
             }
             let hits = self.engine.query_domain(rdn, k);
             if hits.iter().any(|h| suspected.contains(&h.rdn)) {
+                obs.target_step(1, &TargetStepOutcome::ConfirmedLegitimate);
                 return TargetVerdict::Legitimate { step: 1 };
             }
         }
+        obs.target_step(1, &TargetStepOutcome::Continue);
 
-        // ---- Steps 2-4: keyterm searches.
+        // ---- Steps 2-4: keyterm searches. Each step reports its outcome
+        // before step 5 (candidate ranking) reports the final cut.
         let prominent = keyterms::prominent_terms(sources, n);
         match self.search_step(&prominent, &suspected, &controlled_terms, 2) {
-            StepOutcome::Legitimate(step) => return TargetVerdict::Legitimate { step },
-            StepOutcome::Candidates(c) => return self.step5(page, sources, c),
-            StepOutcome::Continue => {}
+            StepOutcome::Legitimate(step) => {
+                obs.target_step(step, &TargetStepOutcome::ConfirmedLegitimate);
+                return TargetVerdict::Legitimate { step };
+            }
+            StepOutcome::Candidates(c) => {
+                obs.target_step(2, &TargetStepOutcome::Candidates { count: c.len() });
+                return self.step5_observed(page, sources, c, obs);
+            }
+            StepOutcome::Continue => obs.target_step(2, &TargetStepOutcome::Continue),
         }
         match self.search_step(&boosted, &suspected, &controlled_terms, 3) {
-            StepOutcome::Legitimate(step) => return TargetVerdict::Legitimate { step },
-            StepOutcome::Candidates(c) => return self.step5(page, sources, c),
-            StepOutcome::Continue => {}
+            StepOutcome::Legitimate(step) => {
+                obs.target_step(step, &TargetStepOutcome::ConfirmedLegitimate);
+                return TargetVerdict::Legitimate { step };
+            }
+            StepOutcome::Candidates(c) => {
+                obs.target_step(3, &TargetStepOutcome::Candidates { count: c.len() });
+                return self.step5_observed(page, sources, c, obs);
+            }
+            StepOutcome::Continue => obs.target_step(3, &TargetStepOutcome::Continue),
         }
         let ocr_terms = keyterms::ocr_prominent_terms(page, sources, &self.config.ocr, n);
         match self.search_step(&ocr_terms, &suspected, &controlled_terms, 4) {
-            StepOutcome::Legitimate(step) => return TargetVerdict::Legitimate { step },
-            StepOutcome::Candidates(c) => return self.step5(page, sources, c),
-            StepOutcome::Continue => {}
+            StepOutcome::Legitimate(step) => {
+                obs.target_step(step, &TargetStepOutcome::ConfirmedLegitimate);
+                return TargetVerdict::Legitimate { step };
+            }
+            StepOutcome::Candidates(c) => {
+                obs.target_step(4, &TargetStepOutcome::Candidates { count: c.len() });
+                return self.step5_observed(page, sources, c, obs);
+            }
+            StepOutcome::Continue => obs.target_step(4, &TargetStepOutcome::Continue),
         }
 
         TargetVerdict::Unknown
@@ -221,6 +256,27 @@ impl TargetIdentifier {
         } else {
             StepOutcome::Candidates(candidates)
         }
+    }
+
+    /// Step 5: rank candidate mlds by appearances across the page,
+    /// reporting the final (capped) candidate count.
+    fn step5_observed(
+        &self,
+        page: &VisitedPage,
+        sources: &DataSources,
+        hits: Vec<SearchHit>,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> TargetVerdict {
+        let verdict = self.step5(page, sources, hits);
+        if let TargetVerdict::Phish { candidates } = &verdict {
+            obs.target_step(
+                5,
+                &kyp_obs::TargetStepOutcome::Candidates {
+                    count: candidates.len(),
+                },
+            );
+        }
+        verdict
     }
 
     /// Step 5: rank candidate mlds by appearances across the page.
@@ -458,7 +514,11 @@ mod tests {
 
     #[test]
     fn composable_paper_examples() {
-        let kt = |s: &[&str]| s.iter().map(std::string::ToString::to_string).collect::<Vec<_>>();
+        let kt = |s: &[&str]| {
+            s.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+        };
         // bankofamerica from {bank, america}: "of" is filler.
         assert!(composable("bankofamerica", &kt(&["bank", "america"])));
         // Dash and digit separators.

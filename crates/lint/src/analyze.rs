@@ -82,8 +82,18 @@ const WRAPPER_CALLS: &[&str] = &[
 /// Type constructors a hash container may legitimately sit inside while
 /// still being "the" binding's type (`RefCell<HashMap<..>>`).
 const TYPE_WRAPPERS: &[&str] = &[
-    "std", "collections", "cell", "sync", "RefCell", "Cell", "Arc", "Rc", "Mutex", "RwLock",
-    "Box", "mut",
+    "std",
+    "collections",
+    "cell",
+    "sync",
+    "RefCell",
+    "Cell",
+    "Arc",
+    "Rc",
+    "Mutex",
+    "RwLock",
+    "Box",
+    "mut",
 ];
 
 /// Analyzes one file's source against the rule set.
@@ -171,14 +181,14 @@ pub fn analyze_source(
                     && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct('('))
                 // `.expect(` always takes an argument; `.unwrap(` must be
                 // the nullary method, not e.g. a closure-taking custom fn.
-                && (name == "expect" || toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Punct(')')))
-                => {
-                    findings.push((
-                        "P01".into(),
-                        t.line,
-                        format!(".{name}() may panic in library code"),
-                    ));
-                }
+                && (name == "expect" || toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Punct(')'))) =>
+            {
+                findings.push((
+                    "P01".into(),
+                    t.line,
+                    format!(".{name}() may panic in library code"),
+                ));
+            }
             _ => {}
         }
     }
@@ -475,8 +485,7 @@ fn collect_hash_names(toks: &[Tok]) -> (BTreeSet<String>, BTreeSet<String>) {
                 if name_tok.kind == TokKind::Ident {
                     if let Some(ret) = return_type_range(toks, i) {
                         let hashy = toks[ret.0..ret.1].iter().any(|t| {
-                            t.kind == TokKind::Ident
-                                && (t.text == "HashMap" || t.text == "HashSet")
+                            t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet")
                         });
                         if hashy {
                             fns.insert(name_tok.text.clone());
@@ -526,9 +535,9 @@ fn find_hash_iteration(
     for i in 0..toks.len() {
         // `.iter()` family.
         if toks[i].kind == TokKind::Punct('.')
-            && toks
-                .get(i + 1)
-                .is_some_and(|t| t.kind == TokKind::Ident && ITER_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && ITER_METHODS.contains(&t.text.as_str())
+            })
             && toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Punct('('))
         {
             if let Some(name) = receiver_hash_name(toks, i, hash_idents, hash_fns) {

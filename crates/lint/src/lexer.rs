@@ -252,7 +252,10 @@ fn skip_prefixed_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
             if b[i] == b'\n' {
                 *line += 1;
             }
-            if b[i] == b'"' && b[i + 1..].len() >= hashes && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#') {
+            if b[i] == b'"'
+                && b[i + 1..].len() >= hashes
+                && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+            {
                 return i + 1 + hashes;
             }
             i += 1;
@@ -299,10 +302,9 @@ mod tests {
                    let r = r\"SystemTime raw\";\n";
         let ids = idents(src);
         assert!(ids.contains(&"let".to_owned()));
-        assert!(!ids.iter().any(|t| t == "Instant"
-            || t == "HashMap"
-            || t == "thread_rng"
-            || t == "SystemTime"));
+        assert!(!ids
+            .iter()
+            .any(|t| t == "Instant" || t == "HashMap" || t == "thread_rng" || t == "SystemTime"));
     }
 
     #[test]

@@ -201,12 +201,11 @@ pub fn lint_file(
     if let Some(set) = rules {
         validate_filter(set)?;
     }
-    let src =
-        fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    let rel = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.display().to_string());
+    let src = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let rel = path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
     let analysis = analyze_source(crate_name, &rel, &src, rules);
     let mut outcome = LintOutcome::default();
     outcome.violations.extend(analysis.violations);

@@ -53,7 +53,7 @@ fn run() -> Result<bool, String> {
             }
             "--crate-name" => {
                 let v = iter.next().ok_or("--crate-name is missing a value")?;
-                crate_name = v.clone();
+                crate_name.clone_from(v);
             }
             "--quiet" => quiet = true,
             "--help" | "-h" => {

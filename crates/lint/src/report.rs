@@ -123,7 +123,11 @@ impl LintOutcome {
                 json_str(&a.justification),
                 a.used
             );
-            s.push_str(if i + 1 < self.allows.len() { ",\n" } else { "\n" });
+            s.push_str(if i + 1 < self.allows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         s.push_str("  ]\n}\n");
         s

@@ -68,7 +68,17 @@ pub struct Rule {
 /// Crates whose output feeds feature vectors, model training, verdicts or
 /// reports — iteration order there must be deterministic.
 pub const OUTPUT_AFFECTING: &[&str] = &[
-    "core", "ml", "text", "html", "url", "web", "search", "serve", "datagen", "baselines",
+    "core",
+    "ml",
+    "text",
+    "html",
+    "url",
+    "web",
+    "search",
+    "serve",
+    "datagen",
+    "baselines",
+    "obs",
 ];
 
 /// The full rule table, in report order.
@@ -90,25 +100,28 @@ pub const RULES: &[Rule] = &[
         id: "D03",
         severity: Severity::Error,
         scope: Scope::Except(&["exec"]),
-        summary: "no std::thread::spawn/scope outside crates/exec — parallelism goes through kyp-exec",
+        summary:
+            "no std::thread::spawn/scope outside crates/exec — parallelism goes through kyp-exec",
     },
     Rule {
         id: "D04",
         severity: Severity::Error,
         scope: Scope::All,
-        summary: "no entropy-seeded RNG (thread_rng/from_entropy/OsRng) anywhere — seeds are explicit",
+        summary:
+            "no entropy-seeded RNG (thread_rng/from_entropy/OsRng) anywhere — seeds are explicit",
     },
     Rule {
         id: "D05",
         severity: Severity::Error,
         scope: Scope::Except(&["exec"]),
-        summary: "no unsafe outside crates/exec (enforced twice: here and by #![forbid(unsafe_code)])",
+        summary:
+            "no unsafe outside crates/exec (enforced twice: here and by #![forbid(unsafe_code)])",
     },
     Rule {
         id: "P01",
         severity: Severity::Error,
-        scope: Scope::Only(&["core", "serve"]),
-        summary: "no unwrap()/expect() in non-test library code of core/serve",
+        scope: Scope::Only(&["core", "serve", "obs"]),
+        summary: "no unwrap()/expect() in non-test library code of core/serve/obs",
     },
     Rule {
         id: "A00",

@@ -101,6 +101,49 @@ fn rule_filter_restricts_findings() {
     assert!(!outcome.is_clean());
 }
 
+/// The classification seam stays collapsed: `classify_bundle` is the one
+/// canonical entry point, and every other `classify*` name is a blessed
+/// thin wrapper (or its `_observed` twin). Do NOT add a new `classify_*`
+/// variant — thread a [`kyp_obs::PipelineObserver`] or a
+/// `SourceAvailability` through `classify_bundle` instead, and if a new
+/// wrapper is genuinely unavoidable, bless it here with a justification.
+#[test]
+fn pipeline_classify_variants_are_a_closed_set() {
+    let blessed = BTreeSet::from([
+        "classify",
+        "classify_degraded",
+        "classify_bundle",
+        "classify_all",
+        "classify_all_observed",
+        "classify_scraped",
+        "classify_scraped_observed",
+    ]);
+    let pipeline = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("crates/core/src/pipeline.rs");
+    let src = std::fs::read_to_string(&pipeline)
+        .unwrap_or_else(|e| panic!("read {}: {e}", pipeline.display()));
+    let mut found = BTreeSet::new();
+    for line in src.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("pub fn classify") else {
+            continue;
+        };
+        let suffix: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        found.insert(format!("classify{suffix}"));
+    }
+    let found: BTreeSet<&str> = found.iter().map(String::as_str).collect();
+    assert_eq!(
+        found, blessed,
+        "pipeline.rs grew or lost a classify* variant; collapse onto \
+         classify_bundle instead of adding wrappers (see this test's doc)"
+    );
+}
+
 /// The acceptance gate: the workspace's own sources lint clean, and every
 /// escape hatch in them carries a justification and suppresses something.
 #[test]
@@ -125,8 +168,7 @@ fn live_workspace_is_clean_with_zero_unexplained_allows() {
         assert!(
             allow.used,
             "stale allow (suppresses nothing) at {}:{}",
-            allow.file,
-            allow.line
+            allow.file, allow.line
         );
     }
 }

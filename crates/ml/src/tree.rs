@@ -125,7 +125,9 @@ impl RegressionTree {
     ) -> Self {
         let mut tree = RegressionTree { nodes: Vec::new() };
         let all_columns: Vec<usize>;
-        let cols = if let Some(c) = columns { c } else {
+        let cols = if let Some(c) = columns {
+            c
+        } else {
             all_columns = (0..binned.n_features).collect();
             &all_columns
         };

@@ -1,0 +1,55 @@
+//! Minimal hand-rolled json rendering shared by the metrics and trace
+//! serializers. The crate is dependency-free by design, and hand-rendering
+//! keeps field order under our control — the byte-reproducibility the
+//! determinism suite asserts.
+
+/// Appends `s` to `out` as a json string literal (quotes included).
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` in Rust's shortest round-trip notation, which is
+/// platform-independent; non-finite values render as json `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn floats_render_shortest_roundtrip() {
+        let mut out = String::new();
+        push_f64(&mut out, 0.85);
+        assert_eq!(out, "0.85");
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+//! Deterministic observability for the *Know Your Phish* workspace.
+//!
+//! The pipeline's evaluation hinges on per-stage cost accounting (the
+//! paper's Table VIII) and on knowing *why* a page was flagged; a
+//! production scorer additionally needs per-request telemetry. This crate
+//! supplies both without breaking the workspace's determinism contract:
+//!
+//! - [`MetricsRegistry`] — counters, gauges and fixed-bucket
+//!   [`Histogram`]s with **stable registration order**, rendered to a
+//!   byte-reproducible `metrics.json`;
+//! - [`Tracer`] — a span/event log stamped from caller-provided *virtual*
+//!   timestamps (never `Instant`, so the kyp-lint D02 rule stays clean),
+//!   rendered as newline-delimited json;
+//! - [`PipelineObserver`] — the per-stage hook seam every instrumented
+//!   component accepts: scrape start/end, per-attempt fetches, feature
+//!   extraction per family, the GBM prediction, target-identification
+//!   steps 1–5, and the serving layer's cache/shed/batch events;
+//! - [`NoopObserver`] — the zero-cost default: every hook has an empty
+//!   default body, so uninstrumented call sites compile to the
+//!   uninstrumented code;
+//! - [`Recorder`] / [`replay`] — the bridge across the thread pool:
+//!   workers record each page's events into a private buffer (a pure
+//!   function of the page), and the caller replays the buffers **in input
+//!   order** into the real observer, so the emitted metrics and trace are
+//!   byte-identical at any thread count;
+//! - [`ObsSink`] — the standard observer wiring every hook into a
+//!   registry and a tracer.
+//!
+//! The crate is dependency-free (json is hand-rendered with stable field
+//! order) so every workspace layer can depend on it without cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_obs::{MetricsRegistry, PipelineObserver, ObsSink, VerdictKind};
+//!
+//! let mut sink = ObsSink::new();
+//! sink.clock(40);
+//! sink.page_start("http://phish.example/login");
+//! sink.detector_score(0.93, true);
+//! sink.verdict(VerdictKind::Phish);
+//! assert_eq!(sink.registry().counter("detector.flagged"), 1);
+//! assert_eq!(sink.registry().counter("verdict.phish"), 1);
+//! let ndjson = sink.tracer().render_ndjson();
+//! assert!(ndjson.lines().count() >= 2);
+//! ```
+
+mod json;
+mod metrics;
+mod observer;
+mod sink;
+mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, POW2_BUCKET_BOUNDS};
+pub use observer::{
+    replay, FeatureFamily, NoopObserver, ObsEvent, PipelineObserver, Recorder, ScrapeObservation,
+    TargetStepOutcome, VerdictKind,
+};
+pub use sink::ObsSink;
+pub use trace::{FieldValue, SpanId, Tracer};

@@ -1,0 +1,404 @@
+//! The [`PipelineObserver`] seam: per-stage hooks every instrumented
+//! component accepts, plus the [`Recorder`]/[`replay`] bridge that keeps
+//! observation deterministic across the thread pool.
+//!
+//! Every hook has an empty default body, so [`NoopObserver`] (and any
+//! partial implementation) costs nothing at the call site: the optimizer
+//! sees an empty inlined function and deletes the call.
+
+/// The feature families of the paper's Section IV, in extraction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureFamily {
+    /// f1 — URL character statistics.
+    F1Url,
+    /// f2 — term consistency across data sources.
+    F2TermConsistency,
+    /// f3 — main-level-domain usage.
+    F3MldUsage,
+    /// f4 — registered-domain-name usage.
+    F4RdnUsage,
+    /// f5 — page content statistics.
+    F5Content,
+}
+
+impl FeatureFamily {
+    /// Short stable label (`"f1"` … `"f5"`) used in metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureFamily::F1Url => "f1",
+            FeatureFamily::F2TermConsistency => "f2",
+            FeatureFamily::F3MldUsage => "f3",
+            FeatureFamily::F4RdnUsage => "f4",
+            FeatureFamily::F5Content => "f5",
+        }
+    }
+}
+
+/// The terminal classification a page received, mirroring
+/// `PipelineVerdict` without carrying its payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Below the decision threshold.
+    Legitimate,
+    /// Flagged by the detector but confirmed legitimate by target
+    /// identification.
+    ConfirmedLegitimate,
+    /// Flagged, with target candidates identified.
+    Phish,
+    /// Flagged, but no target could be identified.
+    Suspicious,
+}
+
+impl VerdictKind {
+    /// Stable snake_case name used in metric names and trace fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictKind::Legitimate => "legitimate",
+            VerdictKind::ConfirmedLegitimate => "confirmed_legitimate",
+            VerdictKind::Phish => "phish",
+            VerdictKind::Suspicious => "suspicious",
+        }
+    }
+}
+
+/// What a target-identification step concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetStepOutcome {
+    /// The step proved the site operates its own prominent terms.
+    ConfirmedLegitimate,
+    /// The step produced this many target candidates (step 5 ranks them).
+    Candidates {
+        /// Number of candidate target domains found.
+        count: usize,
+    },
+    /// The step was inconclusive; the next step runs.
+    Continue,
+}
+
+/// How a scrape ended, summarised for observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrapeObservation {
+    /// The page was fetched (possibly with degraded sources).
+    Fetched {
+        /// Total visit attempts, including the successful one.
+        attempts: u32,
+        /// Virtual elapsed milliseconds spent scraping.
+        elapsed_ms: u64,
+        /// Whether any data source was unavailable.
+        degraded: bool,
+    },
+    /// The scrape gave up.
+    Failed {
+        /// Stable wire name of the terminal failure cause.
+        cause: String,
+        /// Total visit attempts made.
+        attempts: u32,
+        /// Virtual elapsed milliseconds spent before giving up.
+        elapsed_ms: u64,
+    },
+}
+
+/// Per-stage hooks for the classification pipeline.
+///
+/// Implementations observe; they must not influence control flow. All
+/// methods have empty default bodies so observers implement only what
+/// they need and the no-op case compiles away.
+pub trait PipelineObserver {
+    /// The virtual clock advanced to `now_ms`; subsequent records should
+    /// be stamped with it.
+    fn clock(&mut self, _now_ms: u64) {}
+
+    /// A scrape of `url` is starting.
+    fn scrape_start(&mut self, _url: &str) {}
+
+    /// The scrape of `url` finished.
+    fn scrape_end(&mut self, _url: &str, _outcome: &ScrapeObservation) {}
+
+    /// One fetch attempt completed, costing `cost_ms` virtual
+    /// milliseconds.
+    fn fetch_attempt(&mut self, _url: &str, _cost_ms: u64, _ok: bool) {}
+
+    /// Classification of `url` is starting.
+    fn page_start(&mut self, _url: &str) {}
+
+    /// One feature family finished extracting `features` values.
+    fn feature_family(&mut self, _family: FeatureFamily, _features: usize) {}
+
+    /// The detector scored the page.
+    fn detector_score(&mut self, _score: f64, _flagged: bool) {}
+
+    /// A target-identification step ran.
+    fn target_step(&mut self, _step: u8, _outcome: &TargetStepOutcome) {}
+
+    /// The page received its terminal verdict, closing the page.
+    fn verdict(&mut self, _kind: VerdictKind) {}
+
+    /// The serving layer answered a request from the verdict cache.
+    fn cache_hit(&mut self) {}
+
+    /// The serving layer missed the verdict cache.
+    fn cache_miss(&mut self) {}
+
+    /// The serving layer shed a request at admission.
+    fn shed(&mut self) {}
+
+    /// The serving layer flushed a batch of `size` requests.
+    fn batch_flush(&mut self, _size: usize) {}
+}
+
+/// The zero-cost observer: every hook is the empty default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {}
+
+/// One recorded observer call, with owned payloads so buffers can cross
+/// the thread pool's join.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// [`PipelineObserver::clock`].
+    Clock {
+        /// Virtual now, in milliseconds.
+        now_ms: u64,
+    },
+    /// [`PipelineObserver::scrape_start`].
+    ScrapeStart {
+        /// Scraped URL.
+        url: String,
+    },
+    /// [`PipelineObserver::scrape_end`].
+    ScrapeEnd {
+        /// Scraped URL.
+        url: String,
+        /// How the scrape ended.
+        outcome: ScrapeObservation,
+    },
+    /// [`PipelineObserver::fetch_attempt`].
+    FetchAttempt {
+        /// Fetched URL.
+        url: String,
+        /// Virtual cost of the attempt.
+        cost_ms: u64,
+        /// Whether the attempt succeeded.
+        ok: bool,
+    },
+    /// [`PipelineObserver::page_start`].
+    PageStart {
+        /// Page URL.
+        url: String,
+    },
+    /// [`PipelineObserver::feature_family`].
+    FeatureFamily {
+        /// Which family.
+        family: FeatureFamily,
+        /// Number of feature values it produced.
+        features: usize,
+    },
+    /// [`PipelineObserver::detector_score`].
+    DetectorScore {
+        /// The GBM score.
+        score: f64,
+        /// Whether the score crossed the decision threshold.
+        flagged: bool,
+    },
+    /// [`PipelineObserver::target_step`].
+    TargetStep {
+        /// Step number (1–5).
+        step: u8,
+        /// What the step concluded.
+        outcome: TargetStepOutcome,
+    },
+    /// [`PipelineObserver::verdict`].
+    Verdict {
+        /// The terminal verdict kind.
+        kind: VerdictKind,
+    },
+    /// [`PipelineObserver::cache_hit`].
+    CacheHit,
+    /// [`PipelineObserver::cache_miss`].
+    CacheMiss,
+    /// [`PipelineObserver::shed`].
+    Shed,
+    /// [`PipelineObserver::batch_flush`].
+    BatchFlush {
+        /// Number of requests in the flushed batch.
+        size: usize,
+    },
+}
+
+/// An observer that buffers events for later [`replay`].
+///
+/// This is the determinism bridge for parallel stages: each worker
+/// records into its own `Recorder` (a pure function of the item it
+/// processed), and after the pool joins, the caller replays the buffers
+/// in **input order** into the real observer. The observed stream is
+/// then independent of how work was scheduled across threads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    events: Vec<ObsEvent>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in call order.
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, yielding its events.
+    pub fn into_events(self) -> Vec<ObsEvent> {
+        self.events
+    }
+}
+
+impl PipelineObserver for Recorder {
+    fn clock(&mut self, now_ms: u64) {
+        self.events.push(ObsEvent::Clock { now_ms });
+    }
+
+    fn scrape_start(&mut self, url: &str) {
+        self.events.push(ObsEvent::ScrapeStart {
+            url: url.to_owned(),
+        });
+    }
+
+    fn scrape_end(&mut self, url: &str, outcome: &ScrapeObservation) {
+        self.events.push(ObsEvent::ScrapeEnd {
+            url: url.to_owned(),
+            outcome: outcome.clone(),
+        });
+    }
+
+    fn fetch_attempt(&mut self, url: &str, cost_ms: u64, ok: bool) {
+        self.events.push(ObsEvent::FetchAttempt {
+            url: url.to_owned(),
+            cost_ms,
+            ok,
+        });
+    }
+
+    fn page_start(&mut self, url: &str) {
+        self.events.push(ObsEvent::PageStart {
+            url: url.to_owned(),
+        });
+    }
+
+    fn feature_family(&mut self, family: FeatureFamily, features: usize) {
+        self.events
+            .push(ObsEvent::FeatureFamily { family, features });
+    }
+
+    fn detector_score(&mut self, score: f64, flagged: bool) {
+        self.events.push(ObsEvent::DetectorScore { score, flagged });
+    }
+
+    fn target_step(&mut self, step: u8, outcome: &TargetStepOutcome) {
+        self.events.push(ObsEvent::TargetStep {
+            step,
+            outcome: *outcome,
+        });
+    }
+
+    fn verdict(&mut self, kind: VerdictKind) {
+        self.events.push(ObsEvent::Verdict { kind });
+    }
+
+    fn cache_hit(&mut self) {
+        self.events.push(ObsEvent::CacheHit);
+    }
+
+    fn cache_miss(&mut self) {
+        self.events.push(ObsEvent::CacheMiss);
+    }
+
+    fn shed(&mut self) {
+        self.events.push(ObsEvent::Shed);
+    }
+
+    fn batch_flush(&mut self, size: usize) {
+        self.events.push(ObsEvent::BatchFlush { size });
+    }
+}
+
+/// Replays recorded events into `target`, in order.
+pub fn replay(events: &[ObsEvent], target: &mut dyn PipelineObserver) {
+    for event in events {
+        match event {
+            ObsEvent::Clock { now_ms } => target.clock(*now_ms),
+            ObsEvent::ScrapeStart { url } => target.scrape_start(url),
+            ObsEvent::ScrapeEnd { url, outcome } => target.scrape_end(url, outcome),
+            ObsEvent::FetchAttempt { url, cost_ms, ok } => {
+                target.fetch_attempt(url, *cost_ms, *ok);
+            }
+            ObsEvent::PageStart { url } => target.page_start(url),
+            ObsEvent::FeatureFamily { family, features } => {
+                target.feature_family(*family, *features);
+            }
+            ObsEvent::DetectorScore { score, flagged } => {
+                target.detector_score(*score, *flagged);
+            }
+            ObsEvent::TargetStep { step, outcome } => target.target_step(*step, outcome),
+            ObsEvent::Verdict { kind } => target.verdict(*kind),
+            ObsEvent::CacheHit => target.cache_hit(),
+            ObsEvent::CacheMiss => target.cache_miss(),
+            ObsEvent::Shed => target.shed(),
+            ObsEvent::BatchFlush { size } => target.batch_flush(*size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_replays_into_another_observer_verbatim() {
+        let mut rec = Recorder::new();
+        rec.clock(5);
+        rec.page_start("http://a/");
+        rec.feature_family(FeatureFamily::F1Url, 14);
+        rec.detector_score(0.9, true);
+        rec.target_step(1, &TargetStepOutcome::Continue);
+        rec.target_step(2, &TargetStepOutcome::Candidates { count: 3 });
+        rec.verdict(VerdictKind::Phish);
+        rec.cache_miss();
+        rec.batch_flush(4);
+
+        let mut copy = Recorder::new();
+        replay(rec.events(), &mut copy);
+        assert_eq!(rec, copy);
+    }
+
+    #[test]
+    fn noop_observer_accepts_every_hook() {
+        let mut noop = NoopObserver;
+        noop.clock(1);
+        noop.scrape_start("u");
+        noop.scrape_end(
+            "u",
+            &ScrapeObservation::Failed {
+                cause: "timeout".into(),
+                attempts: 3,
+                elapsed_ms: 90,
+            },
+        );
+        noop.fetch_attempt("u", 30, false);
+        noop.verdict(VerdictKind::Legitimate);
+        noop.shed();
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FeatureFamily::F1Url.label(), "f1");
+        assert_eq!(FeatureFamily::F5Content.label(), "f5");
+        assert_eq!(
+            VerdictKind::ConfirmedLegitimate.name(),
+            "confirmed_legitimate"
+        );
+        assert_eq!(VerdictKind::Suspicious.name(), "suspicious");
+    }
+}

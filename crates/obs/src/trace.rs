@@ -1,0 +1,247 @@
+//! The span/event tracer: an append-only log of what the pipeline did,
+//! stamped from caller-provided **virtual** timestamps and rendered as
+//! newline-delimited json.
+//!
+//! The tracer owns no clock: every record carries the `ts_ms` its caller
+//! read from the relevant `kyp-web` virtual clock (or 0 for purely
+//! computational stages), so the log is bit-reproducible and kyp-lint's
+//! D02 rule (no `Instant`/`SystemTime`) holds by construction.
+
+use crate::json::{push_f64, push_str_literal};
+
+/// Identifier of an open span, handed back by [`Tracer::begin_span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u64);
+
+/// A typed field value attached to a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string field.
+    Str(String),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A float field (rendered shortest-roundtrip; non-finite → null).
+    F64(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl FieldValue {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            FieldValue::Str(s) => push_str_literal(out, s),
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) => push_f64(out, *v),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Record {
+    SpanBegin { span: u64, name: String },
+    SpanEnd { span: u64, name: String },
+    Event { name: String },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Line {
+    seq: u64,
+    ts_ms: u64,
+    record: Record,
+    fields: Vec<(String, FieldValue)>,
+}
+
+/// An append-only span/event log.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_obs::{FieldValue, Tracer};
+///
+/// let mut t = Tracer::new();
+/// let span = t.begin_span(0, "scrape", &[("url", FieldValue::Str("http://a/".into()))]);
+/// t.event(4, "fetch.attempt", &[("ok", FieldValue::Bool(true))]);
+/// t.end_span(9, span, &[]);
+/// let ndjson = t.render_ndjson();
+/// assert_eq!(ndjson.lines().count(), 3);
+/// assert!(ndjson.starts_with("{\"seq\":0,\"ts\":0,\"ev\":\"span_begin\""));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    lines: Vec<Line>,
+    /// Open spans: (id, name) pairs, scanned linearly (spans nest only a
+    /// few deep).
+    open: Vec<(u64, String)>,
+    next_span: u64,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records logged so far.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    fn push(&mut self, ts_ms: u64, record: Record, fields: &[(&str, FieldValue)]) {
+        let seq = self.lines.len() as u64;
+        self.lines.push(Line {
+            seq,
+            ts_ms,
+            record,
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Opens a span named `name` at virtual instant `ts_ms`.
+    pub fn begin_span(&mut self, ts_ms: u64, name: &str, fields: &[(&str, FieldValue)]) -> SpanId {
+        self.next_span += 1;
+        let id = self.next_span;
+        self.open.push((id, name.to_owned()));
+        self.push(
+            ts_ms,
+            Record::SpanBegin {
+                span: id,
+                name: name.to_owned(),
+            },
+            fields,
+        );
+        SpanId(id)
+    }
+
+    /// Closes `span` at virtual instant `ts_ms`. Closing an unknown (or
+    /// already closed) span logs nothing.
+    pub fn end_span(&mut self, ts_ms: u64, span: SpanId, fields: &[(&str, FieldValue)]) {
+        let Some(pos) = self.open.iter().position(|(id, _)| *id == span.0) else {
+            return;
+        };
+        let (id, name) = self.open.remove(pos);
+        self.push(ts_ms, Record::SpanEnd { span: id, name }, fields);
+    }
+
+    /// Logs a point event at virtual instant `ts_ms`.
+    pub fn event(&mut self, ts_ms: u64, name: &str, fields: &[(&str, FieldValue)]) {
+        self.push(
+            ts_ms,
+            Record::Event {
+                name: name.to_owned(),
+            },
+            fields,
+        );
+    }
+
+    /// Renders the log as newline-delimited json, one record per line, in
+    /// append order. Identical logs render byte-identically.
+    pub fn render_ndjson(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"ts\":{},\"ev\":",
+                line.seq, line.ts_ms
+            ));
+            let name = match &line.record {
+                Record::SpanBegin { span, name } => {
+                    out.push_str(&format!("\"span_begin\",\"span\":{span},\"name\":"));
+                    name
+                }
+                Record::SpanEnd { span, name } => {
+                    out.push_str(&format!("\"span_end\",\"span\":{span},\"name\":"));
+                    name
+                }
+                Record::Event { name } => {
+                    out.push_str("\"event\",\"name\":");
+                    name
+                }
+            };
+            push_str_literal(&mut out, name);
+            if !line.fields.is_empty() {
+                out.push_str(",\"fields\":{");
+                for (i, (key, value)) in line.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_str_literal(&mut out, key);
+                    out.push(':');
+                    value.render_into(&mut out);
+                }
+                out.push('}');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_keep_sequence_and_timestamps() {
+        let mut t = Tracer::new();
+        let s = t.begin_span(10, "outer", &[]);
+        t.event(12, "tick", &[("n", FieldValue::U64(1))]);
+        t.end_span(20, s, &[("ok", FieldValue::Bool(true))]);
+        let nd = t.render_ndjson();
+        let lines: Vec<&str> = nd.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"seq\":0") && lines[0].contains("\"ts\":10"));
+        assert!(lines[1].contains("\"fields\":{\"n\":1}"));
+        assert!(lines[2].contains("\"span_end\"") && lines[2].contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn spans_nest_and_close_by_id() {
+        let mut t = Tracer::new();
+        let a = t.begin_span(0, "a", &[]);
+        let b = t.begin_span(1, "b", &[]);
+        t.end_span(2, a, &[]);
+        t.end_span(3, b, &[]);
+        let nd = t.render_ndjson();
+        assert!(nd.contains("\"span\":1,\"name\":\"a\""));
+        assert!(nd.contains("\"span\":2,\"name\":\"b\""));
+        // Double-close is a no-op.
+        let before = t.len();
+        t.end_span(4, a, &[]);
+        assert_eq!(t.len(), before);
+    }
+
+    #[test]
+    fn render_is_reproducible() {
+        let build = || {
+            let mut t = Tracer::new();
+            let s = t.begin_span(0, "x", &[("f", FieldValue::F64(0.25))]);
+            t.end_span(5, s, &[]);
+            t.render_ndjson()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn every_line_is_valid_json_shape() {
+        let mut t = Tracer::new();
+        t.event(
+            0,
+            "quote\"and\\slash",
+            &[("k", FieldValue::Str("v\n".into()))],
+        );
+        let nd = t.render_ndjson();
+        assert!(nd.contains("quote\\\"and\\\\slash"));
+        assert!(nd.contains("\"v\\n\""));
+    }
+}

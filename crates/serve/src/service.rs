@@ -148,6 +148,17 @@ impl<S: PageSource> ScoringService<S> {
     /// flushes that fell due in the meantime, plus an immediate shed
     /// response if admission rejects the request.
     pub fn push(&mut self, request: ServeRequest) -> Vec<ServeResponse> {
+        self.push_observed(request, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`ScoringService::push`], reporting shed, cache, batch and
+    /// classification events to `obs`. The observer only watches; the
+    /// responses are identical to the unobserved call.
+    pub fn push_observed(
+        &mut self,
+        request: ServeRequest,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Vec<ServeResponse> {
         let arrival = request.arrival_ms.max(self.last_arrival_ms);
         self.last_arrival_ms = arrival;
         self.first_arrival_ms.get_or_insert(arrival);
@@ -158,7 +169,7 @@ impl<S: PageSource> ScoringService<S> {
             if due > arrival {
                 break;
             }
-            self.flush_at(due, &mut out);
+            self.flush_at(due, &mut out, obs);
         }
 
         let request = ServeRequest {
@@ -166,6 +177,8 @@ impl<S: PageSource> ScoringService<S> {
             ..request
         };
         if let Err(rejected) = self.queue.offer(request) {
+            obs.clock(arrival);
+            obs.shed();
             out.push(ServeResponse {
                 id: rejected.id,
                 url: rejected.url,
@@ -184,9 +197,17 @@ impl<S: PageSource> ScoringService<S> {
     /// Drains the queue, flushing every remaining batch in due order, and
     /// returns the responses.
     pub fn finish(&mut self) -> Vec<ServeResponse> {
+        self.finish_observed(&mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`ScoringService::finish`], reporting events to `obs`.
+    pub fn finish_observed(
+        &mut self,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Vec<ServeResponse> {
         let mut out = Vec::new();
         while let Some(due) = self.batcher.due_at(&self.queue, self.busy_until_ms) {
-            self.flush_at(due, &mut out);
+            self.flush_at(due, &mut out, obs);
         }
         out
     }
@@ -195,11 +216,24 @@ impl<S: PageSource> ScoringService<S> {
     /// order, drains, and returns all responses (in completion order,
     /// shed responses at their arrival instant).
     pub fn run_trace(&mut self, trace: &[ServeRequest]) -> Vec<ServeResponse> {
+        self.run_trace_observed(trace, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`ScoringService::run_trace`], reporting events to `obs`.
+    ///
+    /// The service is single-threaded at the event-loop level (only
+    /// classification fans out, and that stage records/replays), so the
+    /// observed stream is byte-identical at any thread count.
+    pub fn run_trace_observed(
+        &mut self,
+        trace: &[ServeRequest],
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Vec<ServeResponse> {
         let mut out = Vec::new();
         for request in trace {
-            out.extend(self.push(request.clone()));
+            out.extend(self.push_observed(request.clone(), obs));
         }
-        out.extend(self.finish());
+        out.extend(self.finish_observed(obs));
         out
     }
 
@@ -233,12 +267,93 @@ impl<S: PageSource> ScoringService<S> {
         }
     }
 
+    /// Exports the end-of-run accounting into `registry`: every
+    /// [`ServeReport`] counter as a `serve.report.*` gauge plus the full
+    /// latency histogram. All exported values are derived from virtual
+    /// time and input-order counts, so the rendered json is
+    /// byte-identical at any thread count.
+    pub fn export_metrics(&self, registry: &mut kyp_obs::MetricsRegistry) {
+        let report = self.report();
+        let gauge = |r: &mut kyp_obs::MetricsRegistry, name: &str, v: u64| {
+            r.set_gauge(name, v.cast_signed());
+        };
+        gauge(registry, "serve.report.requests", report.requests);
+        gauge(registry, "serve.report.answered", report.answered);
+        gauge(registry, "serve.report.shed", report.shed);
+        gauge(registry, "serve.report.unfetchable", report.unfetchable);
+        gauge(registry, "serve.report.degraded", report.degraded);
+        registry.set_gauge(
+            "serve.report.cache_enabled",
+            i64::from(report.cache_enabled),
+        );
+        gauge(registry, "serve.report.cache.hits", report.cache.hits);
+        gauge(registry, "serve.report.cache.misses", report.cache.misses);
+        gauge(
+            registry,
+            "serve.report.cache.insertions",
+            report.cache.insertions,
+        );
+        gauge(
+            registry,
+            "serve.report.cache.evictions",
+            report.cache.evictions,
+        );
+        gauge(
+            registry,
+            "serve.report.cache.expirations",
+            report.cache.expirations,
+        );
+        gauge(
+            registry,
+            "serve.report.queue.admitted",
+            report.queue.admitted,
+        );
+        gauge(registry, "serve.report.queue.shed", report.queue.shed);
+        registry.set_gauge(
+            "serve.report.queue.high_water",
+            report.queue.high_water.cast_signed(),
+        );
+        gauge(registry, "serve.report.batches", report.batches.batches);
+        gauge(
+            registry,
+            "serve.report.batches.requests",
+            report.batches.requests,
+        );
+        registry.set_gauge(
+            "serve.report.batches.max_size",
+            report.batches.max_size.cast_signed(),
+        );
+        gauge(
+            registry,
+            "serve.report.batches.full_flushes",
+            report.batches.full_flushes,
+        );
+        gauge(
+            registry,
+            "serve.report.batches.deadline_flushes",
+            report.batches.deadline_flushes,
+        );
+        gauge(
+            registry,
+            "serve.report.virtual_elapsed_ms",
+            report.virtual_elapsed_ms,
+        );
+        registry.set_histogram("serve.latency_ms", self.latency.as_histogram().clone());
+    }
+
     /// Executes the batch flush due at virtual instant `flush_ms`.
-    fn flush_at(&mut self, flush_ms: u64, out: &mut Vec<ServeResponse>) {
+    fn flush_at(
+        &mut self,
+        flush_ms: u64,
+        out: &mut Vec<ServeResponse>,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) {
         let batch = self.batcher.take(&mut self.queue);
         if batch.is_empty() {
             return;
         }
+        obs.clock(flush_ms);
+        obs.batch_flush(batch.len());
         let completion_ms = flush_ms
             .saturating_add(self.config.batch_overhead_ms)
             .saturating_add(self.config.service_cost_ms * batch.len() as u64);
@@ -268,7 +383,13 @@ impl<S: PageSource> ScoringService<S> {
                         .cache
                         .as_mut()
                         .and_then(|c| c.get(&stored.landing_key, flush_ms));
-                    if let Some((verdict, degraded)) = cached { Slot::Cached(verdict, degraded) } else {
+                    if let Some((verdict, degraded)) = cached {
+                        obs.cache_hit();
+                        Slot::Cached(verdict, degraded)
+                    } else {
+                        if self.cache.is_some() {
+                            obs.cache_miss();
+                        }
                         let idx = to_classify.len();
                         to_classify.push((request.url.clone(), stored.page.clone()));
                         pending_keys.push(stored.landing_key.clone());
@@ -279,7 +400,7 @@ impl<S: PageSource> ScoringService<S> {
             slots.push(slot);
         }
 
-        let classified = self.pipeline.classify_scraped(&to_classify);
+        let classified = self.pipeline.classify_scraped_observed(&to_classify, obs);
         if let Some(cache) = self.cache.as_mut() {
             for (key, page) in pending_keys.iter().zip(&classified) {
                 cache.insert(
@@ -297,7 +418,7 @@ impl<S: PageSource> ScoringService<S> {
                     self.unfetchable += 1;
                     (
                         ServeOutcome::Unfetchable {
-                            cause: cause_str(cause).to_owned(),
+                            cause: cause.wire_name().to_owned(),
                         },
                         CacheState::Skipped,
                         false,
@@ -358,19 +479,6 @@ fn verdict_outcome(verdict: &PipelineVerdict) -> ServeOutcome {
             score: *score,
             targets: Vec::new(),
         },
-    }
-}
-
-/// The wire name of a terminal fetch failure.
-fn cause_str(cause: FailureCause) -> &'static str {
-    match cause {
-        FailureCause::BadUrl => "bad_url",
-        FailureCause::NotFound => "not_found",
-        FailureCause::TooManyRedirects => "too_many_redirects",
-        FailureCause::Transient => "transient",
-        FailureCause::Timeout => "timeout",
-        FailureCause::DeadlineExceeded => "deadline_exceeded",
-        FailureCause::CircuitOpen => "circuit_open",
     }
 }
 

@@ -1,9 +1,9 @@
 //! Latency accounting: a fixed-bucket histogram with percentile summaries,
 //! and the service's serializable run report.
 //!
-//! The histogram uses power-of-two upper bounds so the bucket layout is a
-//! compile-time constant — no configuration, no allocation on record, and
-//! identical bucketing on every run. Percentiles are bucket upper bounds
+//! The histogram is a thin façade over [`kyp_obs::Histogram`] pinned to
+//! the power-of-two bucket layout, so the serving layer's percentile
+//! semantics are exactly the observability layer's: bucket upper bounds
 //! (an over-estimate never exceeding 2× the true value), clamped to the
 //! exact maximum observed so no percentile overshoots it.
 
@@ -13,10 +13,9 @@ use crate::queue::QueueCounters;
 use serde::{Deserialize, Serialize};
 
 /// Upper bounds (inclusive) of the histogram's regular buckets, in ms.
-/// Values above the last bound land in the overflow bucket.
-pub const LATENCY_BUCKET_BOUNDS_MS: [u64; 17] = [
-    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
-];
+/// Values above the last bound land in the overflow bucket. Identical to
+/// [`kyp_obs::POW2_BUCKET_BOUNDS`].
+pub const LATENCY_BUCKET_BOUNDS_MS: [u64; 17] = kyp_obs::POW2_BUCKET_BOUNDS;
 
 /// A fixed-bucket latency histogram over virtual milliseconds.
 ///
@@ -34,13 +33,17 @@ pub const LATENCY_BUCKET_BOUNDS_MS: [u64; 17] = [
 /// assert_eq!(h.percentile(0.99), 120); // bucket bound 128, clamped to max
 /// assert_eq!(h.max_ms(), 120);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
-    /// One count per bound in [`LATENCY_BUCKET_BOUNDS_MS`], plus overflow.
-    counts: [u64; LATENCY_BUCKET_BOUNDS_MS.len() + 1],
-    total: u64,
-    sum_ms: u64,
-    max_ms: u64,
+    inner: kyp_obs::Histogram,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            inner: kyp_obs::Histogram::pow2(),
+        }
+    }
 }
 
 impl LatencyHistogram {
@@ -51,33 +54,22 @@ impl LatencyHistogram {
 
     /// Records one observation.
     pub fn record(&mut self, ms: u64) {
-        let idx = LATENCY_BUCKET_BOUNDS_MS
-            .iter()
-            .position(|&bound| ms <= bound)
-            .unwrap_or(LATENCY_BUCKET_BOUNDS_MS.len());
-        self.counts[idx] += 1;
-        self.total += 1;
-        self.sum_ms += ms;
-        self.max_ms = self.max_ms.max(ms);
+        self.inner.record(ms);
     }
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
-        self.total
+        self.inner.count()
     }
 
     /// Largest observation recorded (0 when empty).
     pub fn max_ms(&self) -> u64 {
-        self.max_ms
+        self.inner.max()
     }
 
     /// Mean observation (0.0 when empty).
     pub fn mean_ms(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_ms as f64 / self.total as f64
-        }
+        self.inner.mean()
     }
 
     /// The value at quantile `p` in `(0, 1]`, as the upper bound of the
@@ -85,33 +77,23 @@ impl LatencyHistogram {
     /// exact maximum observed, so no percentile ever exceeds
     /// [`LatencyHistogram::max_ms`]. Returns 0 when empty.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((p * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (idx, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return LATENCY_BUCKET_BOUNDS_MS
-                    .get(idx)
-                    .copied()
-                    .unwrap_or(self.max_ms)
-                    .min(self.max_ms);
-            }
-        }
-        self.max_ms
+        self.inner.percentile(p)
+    }
+
+    /// The underlying observability histogram (for registry export).
+    pub fn as_histogram(&self) -> &kyp_obs::Histogram {
+        &self.inner
     }
 
     /// The standard percentile summary of this histogram.
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
-            count: self.total,
-            mean_ms: self.mean_ms(),
-            p50_ms: self.percentile(0.50),
-            p90_ms: self.percentile(0.90),
-            p99_ms: self.percentile(0.99),
-            max_ms: self.max_ms,
+            count: self.inner.count(),
+            mean_ms: self.inner.mean(),
+            p50_ms: self.inner.percentile(0.50),
+            p90_ms: self.inner.percentile(0.90),
+            p99_ms: self.inner.percentile(0.99),
+            max_ms: self.inner.max(),
         }
     }
 }

@@ -195,6 +195,20 @@ pub enum FailureCause {
 }
 
 impl FailureCause {
+    /// Stable snake_case name used on the wire: scrape reports, scoring
+    /// responses and observability metrics all spell causes this way.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            FailureCause::BadUrl => "bad_url",
+            FailureCause::NotFound => "not_found",
+            FailureCause::TooManyRedirects => "too_many_redirects",
+            FailureCause::Transient => "transient",
+            FailureCause::Timeout => "timeout",
+            FailureCause::DeadlineExceeded => "deadline_exceeded",
+            FailureCause::CircuitOpen => "circuit_open",
+        }
+    }
+
     fn of(error: &VisitError) -> Self {
         match error {
             VisitError::BadUrl(_) => FailureCause::BadUrl,
@@ -307,6 +321,47 @@ impl<'w, W: World> ResilientBrowser<'w, W> {
     /// [`ScrapeFailure`] with the terminal [`FailureCause`] once retries,
     /// the deadline budget, or the host's circuit rule out success.
     pub fn scrape(&mut self, url: &str) -> Result<ScrapedPage, ScrapeFailure> {
+        self.scrape_observed(url, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`ResilientBrowser::scrape`], reporting the scrape span and
+    /// every fetch attempt to `obs`, stamped from the virtual clock. The
+    /// observer only watches; the result is identical to the unobserved
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ResilientBrowser::scrape`].
+    pub fn scrape_observed(
+        &mut self,
+        url: &str,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Result<ScrapedPage, ScrapeFailure> {
+        obs.clock(self.clock.now_ms());
+        obs.scrape_start(url);
+        let result = self.scrape_inner(url, obs);
+        obs.clock(self.clock.now_ms());
+        let outcome = match &result {
+            Ok(page) => kyp_obs::ScrapeObservation::Fetched {
+                attempts: page.attempts,
+                elapsed_ms: page.elapsed_ms,
+                degraded: page.availability.is_degraded(),
+            },
+            Err(failure) => kyp_obs::ScrapeObservation::Failed {
+                cause: failure.cause.wire_name().to_owned(),
+                attempts: failure.attempts,
+                elapsed_ms: failure.elapsed_ms,
+            },
+        };
+        obs.scrape_end(url, &outcome);
+        result
+    }
+
+    fn scrape_inner(
+        &mut self,
+        url: &str,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Result<ScrapedPage, ScrapeFailure> {
         let host = match Url::parse(url) {
             Ok(u) => u.fqdn_str().unwrap_or_else(|| u.host().to_string()),
             Err(e) => {
@@ -343,6 +398,8 @@ impl<'w, W: World> ResilientBrowser<'w, W> {
             match self.browser.try_visit(url) {
                 Ok(outcome) => {
                     self.clock.advance(outcome.cost_ms);
+                    obs.clock(self.clock.now_ms());
+                    obs.fetch_attempt(url, outcome.cost_ms, true);
                     self.breaker.record_success(&host);
                     return Ok(ScrapedPage {
                         visit: outcome.visit,
@@ -353,6 +410,8 @@ impl<'w, W: World> ResilientBrowser<'w, W> {
                 }
                 Err(failure) => {
                     self.clock.advance(failure.cost_ms);
+                    obs.clock(self.clock.now_ms());
+                    obs.fetch_attempt(url, failure.cost_ms, false);
                     if !failure.error.is_retryable() {
                         return fail(
                             FailureCause::of(&failure.error),

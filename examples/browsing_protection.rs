@@ -57,9 +57,7 @@ fn main() {
             }
             PipelineVerdict::Phish { score, candidates } => {
                 warnings += 1;
-                let target = candidates
-                    .first()
-                    .map_or("unknown", |c| c.mld.as_str());
+                let target = candidates.first().map_or("unknown", |c| c.mld.as_str());
                 println!(
                     "  [WARNING]  {url}\n             phishing ({score:.2}), impersonating {target} (truth: {})",
                     if *truly_phish { "phish" } else { "legitimate" }

@@ -11,23 +11,30 @@
 //! $ kyp scan  --model model.json --data data/ --page data/sample_phish.json
 //! $ kyp serve --model model.json --data data/ --requests 1000
 //! ```
+//!
+//! Every subcommand is declared as a [`CommandSpec`]; argument validation
+//! and per-subcommand `--help` come from the shared parser in
+//! [`knowyourphish::cli`], so an unknown or valueless option is a hard
+//! error everywhere.
 
+use knowyourphish::cli::{ArgSpec, CommandSpec, Parsed, ParsedOpts};
 use knowyourphish::core::{
     DetectorConfig, FeatureExtractor, ModelSnapshot, PhishDetector, Pipeline, PipelineVerdict,
     ScrapeReport, TargetIdentifier,
 };
 use knowyourphish::datagen::{CampaignConfig, Corpus};
 use knowyourphish::ml::{metrics, Dataset};
+use knowyourphish::obs::ObsSink;
 use knowyourphish::search::SearchEngine;
 use knowyourphish::serve::{
     generate, ArrivalPattern, BatchPolicy, CacheConfig, ScoringService, ServeConfig, ServeRequest,
     StoredPages, WorkloadConfig,
 };
 use knowyourphish::web::{
-    Browser, DomainRanker, FaultPlan, FlakyWorld, ResilientBrowser, VisitedPage, World,
+    Browser, DomainRanker, FaultPlan, FlakyWorld, ResilientBrowser, SourceAvailability,
+    VisitedPage, World,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fs;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -42,14 +49,220 @@ struct IndexEntry {
     text: String,
 }
 
+const THREADS_ARG: ArgSpec = ArgSpec {
+    name: "threads",
+    value: "<n>",
+    help:
+        "parallel pool size (default: KYP_THREADS or auto); results are bit-identical at any count",
+};
+
+const METRICS_ARG: ArgSpec = ArgSpec {
+    name: "metrics",
+    value: "<path>",
+    help: "write the observability metrics registry as json",
+};
+
+const TRACE_ARG: ArgSpec = ArgSpec {
+    name: "trace",
+    value: "<path>",
+    help: "write the span/event trace as newline-delimited json",
+};
+
+/// Every `kyp` subcommand, with the full set of options it accepts.
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "gen",
+        summary: "synthesise a corpus and scrape it into jsonl bundles",
+        args: &[
+            ArgSpec {
+                name: "out",
+                value: "<dir>",
+                help: "output directory (required)",
+            },
+            ArgSpec {
+                name: "scale",
+                value: "<f>",
+                help: "corpus scale factor (default 0.02)",
+            },
+            ArgSpec {
+                name: "seed",
+                value: "<n>",
+                help: "campaign rng seed",
+            },
+            ArgSpec {
+                name: "fault-rate",
+                value: "<f>",
+                help: "scrape through an unreliable web at this fault rate",
+            },
+            ArgSpec {
+                name: "fault-seed",
+                value: "<n>",
+                help: "fault plan seed (default: the campaign seed)",
+            },
+            THREADS_ARG,
+        ],
+    },
+    CommandSpec {
+        name: "train",
+        summary: "train the detector from the jsonl bundles",
+        args: &[
+            ArgSpec {
+                name: "data",
+                value: "<dir>",
+                help: "`kyp gen` output directory (required)",
+            },
+            ArgSpec {
+                name: "out",
+                value: "<model.json>",
+                help: "model snapshot path (required)",
+            },
+            THREADS_ARG,
+        ],
+    },
+    CommandSpec {
+        name: "eval",
+        summary: "Table VI-style metrics on the held-out test bundles",
+        args: &[
+            ArgSpec {
+                name: "data",
+                value: "<dir>",
+                help: "`kyp gen` output directory (required)",
+            },
+            ArgSpec {
+                name: "model",
+                value: "<model.json>",
+                help: "trained model snapshot (required)",
+            },
+            THREADS_ARG,
+        ],
+    },
+    CommandSpec {
+        name: "scan",
+        summary: "classify one scraped page and identify its target",
+        args: &[
+            ArgSpec {
+                name: "model",
+                value: "<model.json>",
+                help: "trained model snapshot (required)",
+            },
+            ArgSpec {
+                name: "data",
+                value: "<dir>",
+                help: "`kyp gen` output directory (required)",
+            },
+            ArgSpec {
+                name: "page",
+                value: "<page.json>",
+                help: "scraped page to classify (required)",
+            },
+            METRICS_ARG,
+            TRACE_ARG,
+            THREADS_ARG,
+        ],
+    },
+    CommandSpec {
+        name: "serve",
+        summary: "online scoring service over the captured corpus",
+        args: &[
+            ArgSpec {
+                name: "model",
+                value: "<model.json>",
+                help: "trained model snapshot (required)",
+            },
+            ArgSpec {
+                name: "data",
+                value: "<dir>",
+                help: "`kyp gen` output directory (required)",
+            },
+            ArgSpec {
+                name: "requests",
+                value: "<n>",
+                help: "serve a seeded synthetic trace instead of stdin",
+            },
+            ArgSpec {
+                name: "trace-seed",
+                value: "<n>",
+                help: "synthetic trace seed (default 2015)",
+            },
+            ArgSpec {
+                name: "duplicate-rate",
+                value: "<f>",
+                help: "synthetic trace duplicate fraction (default 0.2)",
+            },
+            ArgSpec {
+                name: "arrival-gap-ms",
+                value: "<n>",
+                help: "synthetic trace inter-arrival gap (default 10)",
+            },
+            ArgSpec {
+                name: "queue-capacity",
+                value: "<n>",
+                help: "admission queue capacity (default 64)",
+            },
+            ArgSpec {
+                name: "max-batch",
+                value: "<n>",
+                help: "micro-batch size limit (default 8)",
+            },
+            ArgSpec {
+                name: "max-delay-ms",
+                value: "<n>",
+                help: "micro-batch delay limit (default 25)",
+            },
+            ArgSpec {
+                name: "cache",
+                value: "on|off",
+                help: "verdict cache (default on)",
+            },
+            METRICS_ARG,
+            TRACE_ARG,
+            THREADS_ARG,
+        ],
+    },
+    CommandSpec {
+        name: "lint",
+        summary: "workspace determinism & invariant static analysis",
+        args: &[
+            ArgSpec {
+                name: "root",
+                value: "<dir>",
+                help: "workspace root (default: auto-detected)",
+            },
+            ArgSpec {
+                name: "rules",
+                value: "<D01,..>",
+                help: "comma-separated rule filter",
+            },
+            ArgSpec {
+                name: "json",
+                value: "<path>",
+                help: "also write the report as json",
+            },
+            THREADS_ARG,
+        ],
+    },
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(&args[1..]) {
-        Ok(opts) => opts,
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(spec) = COMMANDS.iter().find(|s| s.name == command.as_str()) else {
+        eprintln!("kyp: unknown command {command:?}\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match spec.parse(&args[1..]) {
+        Ok(Parsed::Help) => {
+            println!("{}", spec.help_text());
+            return ExitCode::SUCCESS;
+        }
+        Ok(Parsed::Opts(opts)) => opts,
         Err(e) => {
             eprintln!("kyp: {e}");
             return ExitCode::FAILURE;
@@ -64,17 +277,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    let result = match command.as_str() {
+    let result = match spec.name {
         "gen" => cmd_gen(&opts),
         "train" => cmd_train(&opts),
         "eval" => cmd_eval(&opts),
         "scan" => cmd_scan(&opts),
         "serve" => cmd_serve(&opts),
         "lint" => cmd_lint(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
@@ -95,14 +304,18 @@ USAGE:
   kyp train --data <dir> --out <model.json>          train the detector
   kyp eval  --data <dir> --model <model.json>        evaluate on the test sets
   kyp scan  --model <model.json> --data <dir> --page <page.json>
-                                                     classify one scraped page
+            [--metrics <path>] [--trace <path>]      classify one scraped page
   kyp serve --model <model.json> --data <dir>        online scoring service
             [--requests <n>] [--trace-seed <n>]      built-in seeded workload...
             [--duplicate-rate <f>] [--arrival-gap-ms <n>]
             [--queue-capacity <n>] [--max-batch <n>] [--max-delay-ms <n>]
             [--cache on|off]                         ...or requests over stdin
+            [--metrics <path>] [--trace <path>]      observability exports
   kyp lint  [--root <dir>] [--rules D01,D02,...]     determinism static analysis
             [--json <path>]                          (see DESIGN.md section 8e)
+
+Run `kyp <command> --help` for the full option list of one command.
+Unknown or valueless options are hard errors in every subcommand.
 
 `kyp serve` speaks newline-delimited json. Without --requests it reads
 one request object per stdin line and writes one response object per
@@ -116,33 +329,37 @@ stdout line (the end-of-run report goes to stderr):
 With --requests <n> it serves a seeded synthetic trace over the corpus
 URLs instead; the same seed always produces the same responses.
 
+--metrics and --trace (scan, serve) export the deterministic
+observability layer: a metrics-registry json file and an NDJSON span
+trace stamped from the virtual clock. Both files are byte-identical at
+any --threads value.
+
 Every command accepts --threads <n> to size the parallel execution pool
 (default: KYP_THREADS or the machine's available parallelism). Results
 are bit-identical at any thread count.";
 
-fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut opts = HashMap::new();
-    let mut iter = args.iter();
-    while let Some(a) = iter.next() {
-        let Some(key) = a.strip_prefix("--") else {
-            return Err(format!(
-                "unexpected argument {a:?} (options take the form --name <value>)"
-            ));
-        };
-        let Some(value) = iter.next() else {
-            return Err(format!(
-                "option --{key} is missing a value (expected --{key} <value>)"
-            ));
-        };
-        opts.insert(key.to_owned(), value.clone());
+/// Writes `contents` to `path`, creating parent directories as needed.
+fn write_creating_dirs(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
     }
-    Ok(opts)
+    fs::write(path, contents).map_err(|e| format!("write {}: {e}", path.display()))
 }
 
-fn opt<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    opts.get(key)
-        .map(String::as_str)
-        .ok_or_else(|| format!("missing required option --{key}"))
+/// Honours `--metrics` / `--trace` by rendering the sink's registry and
+/// tracer to the requested paths.
+fn write_obs_exports(opts: &ParsedOpts, sink: &ObsSink) -> Result<(), String> {
+    if let Some(path) = opts.get("metrics") {
+        write_creating_dirs(Path::new(path), &sink.registry().render_json())?;
+        eprintln!("wrote metrics to {path}");
+    }
+    if let Some(path) = opts.get("trace") {
+        write_creating_dirs(Path::new(path), &sink.tracer().render_ndjson())?;
+        eprintln!("wrote trace to {path}");
+    }
+    Ok(())
 }
 
 /// Scrapes the named URL bundles through a resilient scraper, writing one
@@ -185,21 +402,13 @@ fn scrape_bundles<W: World>(
 }
 
 /// `kyp gen`: synthesise a corpus and write the jsonl scrape bundles.
-fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
-    let out = PathBuf::from(opt(opts, "out")?);
-    let scale: f64 = opts.get("scale").map_or(Ok(0.02), |s| {
-        s.parse().map_err(|_| "invalid --scale".to_owned())
-    })?;
+fn cmd_gen(opts: &ParsedOpts) -> Result<(), String> {
+    let out = PathBuf::from(opts.require("out")?);
+    let scale: f64 = opts.num("scale", 0.02)?;
     let mut config = CampaignConfig::scaled(scale);
-    if let Some(seed) = opts.get("seed") {
-        config.seed = seed.parse().map_err(|_| "invalid --seed".to_owned())?;
-    }
-    let fault_rate: f64 = opts.get("fault-rate").map_or(Ok(0.0), |s| {
-        s.parse().map_err(|_| "invalid --fault-rate".to_owned())
-    })?;
-    let fault_seed: u64 = opts.get("fault-seed").map_or(Ok(config.seed), |s| {
-        s.parse().map_err(|_| "invalid --fault-seed".to_owned())
-    })?;
+    config.seed = opts.num("seed", config.seed)?;
+    let fault_rate: f64 = opts.num("fault-rate", 0.0)?;
+    let fault_seed: u64 = opts.num("fault-seed", config.seed)?;
     fs::create_dir_all(&out).map_err(|e| format!("create {out:?}: {e}"))?;
 
     eprintln!("generating corpus at scale {scale}...");
@@ -312,9 +521,9 @@ fn featurize(
 }
 
 /// `kyp train`: fit the detector from the jsonl bundles.
-fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
-    let data_dir = PathBuf::from(opt(opts, "data")?);
-    let out = PathBuf::from(opt(opts, "out")?);
+fn cmd_train(opts: &ParsedOpts) -> Result<(), String> {
+    let data_dir = PathBuf::from(opts.require("data")?);
+    let out = PathBuf::from(opts.require("out")?);
 
     let ranker = load_ranker(&data_dir)?;
     let extractor = FeatureExtractor::new(ranker.clone());
@@ -339,14 +548,14 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn load_model(opts: &HashMap<String, String>) -> Result<ModelSnapshot, String> {
-    let path = PathBuf::from(opt(opts, "model")?);
+fn load_model(opts: &ParsedOpts) -> Result<ModelSnapshot, String> {
+    let path = PathBuf::from(opts.require("model")?);
     ModelSnapshot::load(&path).map_err(|e| format!("load {path:?}: {e}"))
 }
 
 /// `kyp eval`: Table VI-style metrics on the held-out test bundles.
-fn cmd_eval(opts: &HashMap<String, String>) -> Result<(), String> {
-    let data_dir = PathBuf::from(opt(opts, "data")?);
+fn cmd_eval(opts: &ParsedOpts) -> Result<(), String> {
+    let data_dir = PathBuf::from(opts.require("data")?);
     let bundle = load_model(opts)?;
     let extractor = FeatureExtractor::new(bundle.ranker.clone());
 
@@ -386,10 +595,10 @@ fn load_engine(dir: &Path) -> Result<SearchEngine, String> {
 }
 
 /// `kyp scan`: classify a single scraped page and identify its target.
-fn cmd_scan(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_scan(opts: &ParsedOpts) -> Result<(), String> {
     let bundle = load_model(opts)?;
-    let data_dir = PathBuf::from(opt(opts, "data")?);
-    let page_path = PathBuf::from(opt(opts, "page")?);
+    let data_dir = PathBuf::from(opts.require("data")?);
+    let page_path = PathBuf::from(opts.require("page")?);
     let json = fs::read_to_string(&page_path).map_err(|e| format!("read {page_path:?}: {e}"))?;
     let page: VisitedPage = serde_json::from_str(&json).map_err(|e| e.to_string())?;
 
@@ -400,7 +609,8 @@ fn cmd_scan(opts: &HashMap<String, String>) -> Result<(), String> {
 
     println!("page  : {}", page.landing_url);
     println!("title : {:?}", page.title);
-    match pipeline.classify(&page) {
+    let mut sink = ObsSink::new();
+    match pipeline.classify_bundle(&page, &SourceAvailability::FULL, &mut sink) {
         PipelineVerdict::Legitimate { score } => {
             println!("verdict: legitimate (confidence {score:.3})");
         }
@@ -423,27 +633,14 @@ fn cmd_scan(opts: &HashMap<String, String>) -> Result<(), String> {
             println!("verdict: suspicious (confidence {score:.3}), no target identified");
         }
     }
-    Ok(())
-}
-
-/// Parses an optional numeric option, falling back to `default`.
-fn num_opt<T: std::str::FromStr>(
-    opts: &HashMap<String, String>,
-    key: &str,
-    default: T,
-) -> Result<T, String> {
-    opts.get(key).map_or(Ok(default), |s| {
-        s.parse().map_err(|_| format!("invalid --{key} {s:?}"))
-    })
+    write_obs_exports(opts, &sink)
 }
 
 /// Assembles the serving pipeline and page store from a model snapshot
 /// and a `kyp gen` data directory.
-fn load_serving_stack(
-    opts: &HashMap<String, String>,
-) -> Result<(Pipeline, StoredPages, Vec<String>), String> {
+fn load_serving_stack(opts: &ParsedOpts) -> Result<(Pipeline, StoredPages, Vec<String>), String> {
     let snapshot = load_model(opts)?;
-    let data_dir = PathBuf::from(opt(opts, "data")?);
+    let data_dir = PathBuf::from(opts.require("data")?);
     let engine = load_engine(&data_dir)?;
     let extractor = FeatureExtractor::new(snapshot.ranker.clone());
     let identifier = TargetIdentifier::new(Arc::new(engine));
@@ -468,23 +665,24 @@ fn load_serving_stack(
 /// `kyp serve`: online scoring over the captured corpus — newline-
 /// delimited json requests on stdin (or a seeded synthetic trace with
 /// `--requests`), one response per line on stdout, report on stderr.
-fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_serve(opts: &ParsedOpts) -> Result<(), String> {
     let (pipeline, pages, urls) = load_serving_stack(opts)?;
-    let cache = match opts.get("cache").map(String::as_str) {
+    let cache = match opts.get("cache") {
         None | Some("on") => Some(CacheConfig::default()),
         Some("off") => None,
         Some(other) => return Err(format!("invalid --cache {other:?} (want on or off)")),
     };
     let config = ServeConfig {
-        queue_capacity: num_opt(opts, "queue-capacity", 64)?,
+        queue_capacity: opts.num("queue-capacity", 64)?,
         batch: BatchPolicy {
-            max_batch: num_opt(opts, "max-batch", 8)?,
-            max_delay_ms: num_opt(opts, "max-delay-ms", 25)?,
+            max_batch: opts.num("max-batch", 8)?,
+            max_delay_ms: opts.num("max-delay-ms", 25)?,
         },
         cache,
         ..ServeConfig::default()
     };
     let mut service = ScoringService::new(pipeline, pages, config);
+    let mut sink = ObsSink::new();
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -498,13 +696,13 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
 
     if let Some(requests) = opts.get("requests") {
         let workload = WorkloadConfig {
-            seed: num_opt(opts, "trace-seed", 2015)?,
+            seed: opts.num("trace-seed", 2015)?,
             requests: requests
                 .parse()
                 .map_err(|_| format!("invalid --requests {requests:?}"))?,
-            duplicate_rate: num_opt(opts, "duplicate-rate", 0.2)?,
+            duplicate_rate: opts.num("duplicate-rate", 0.2)?,
             arrival: ArrivalPattern::Steady {
-                gap_ms: num_opt(opts, "arrival-gap-ms", 10)?,
+                gap_ms: opts.num("arrival-gap-ms", 10)?,
             },
             fault_seed: 0,
             fault_rate: 0.0,
@@ -516,7 +714,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             workload.seed,
             workload.duplicate_rate
         );
-        emit(service.run_trace(&trace))?;
+        emit(service.run_trace_observed(&trace, &mut sink))?;
     } else {
         let stdin = std::io::stdin();
         for (i, line) in stdin.lock().lines().enumerate() {
@@ -526,31 +724,31 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             }
             let request: ServeRequest =
                 serde_json::from_str(&line).map_err(|e| format!("stdin line {}: {e}", i + 1))?;
-            emit(service.push(request))?;
+            emit(service.push_observed(request, &mut sink))?;
         }
-        emit(service.finish())?;
+        emit(service.finish_observed(&mut sink))?;
     }
 
     let report = service.report();
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     eprintln!("{json}");
-    Ok(())
+    service.export_metrics(sink.registry_mut());
+    write_obs_exports(opts, &sink)
 }
 
 /// `kyp lint`: run the workspace determinism & invariant static-analysis
 /// pass (DESIGN.md section 8e) and fail on violations.
-fn cmd_lint(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_lint(opts: &ParsedOpts) -> Result<(), String> {
     let rules = opts
         .get("rules")
-        .map(|v| knowyourphish::lint::parse_rule_filter(v))
+        .map(knowyourphish::lint::parse_rule_filter)
         .transpose()?;
-    let root = match opts.get("root") {
-        Some(dir) => PathBuf::from(dir),
-        None => {
-            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
-            knowyourphish::lint::find_workspace_root(&cwd)
-                .ok_or("no workspace root found (pass --root <dir>)")?
-        }
+    let root = if let Some(dir) = opts.get("root") {
+        PathBuf::from(dir)
+    } else {
+        let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+        knowyourphish::lint::find_workspace_root(&cwd)
+            .ok_or("no workspace root found (pass --root <dir>)")?
     };
     let outcome = knowyourphish::lint::run_lint(&root, rules.as_ref())?;
     if let Some(path) = opts.get("json") {
@@ -571,49 +769,58 @@ fn cmd_lint(opts: &HashMap<String, String>) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_opts;
+    use super::COMMANDS;
 
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| (*s).to_string()).collect()
+    #[test]
+    fn every_command_accepts_threads() {
+        for spec in COMMANDS {
+            assert!(
+                spec.args.iter().any(|a| a.name == "threads"),
+                "`kyp {}` is missing --threads",
+                spec.name
+            );
+        }
     }
 
     #[test]
-    fn parses_flag_value_pairs() {
-        let opts = parse_opts(&args(&["--data", "corpus/", "--threads", "4"])).unwrap();
-        assert_eq!(opts.get("data").map(String::as_str), Some("corpus/"));
-        assert_eq!(opts.get("threads").map(String::as_str), Some("4"));
-        assert_eq!(opts.len(), 2);
+    fn command_names_are_unique() {
+        for (i, a) in COMMANDS.iter().enumerate() {
+            for b in &COMMANDS[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
     }
 
     #[test]
-    fn empty_args_parse_to_empty_opts() {
-        assert!(parse_opts(&[]).unwrap().is_empty());
+    fn option_names_are_unique_within_each_command() {
+        for spec in COMMANDS {
+            for (i, a) in spec.args.iter().enumerate() {
+                for b in &spec.args[i + 1..] {
+                    assert_ne!(a.name, b.name, "duplicate option in `kyp {}`", spec.name);
+                }
+            }
+        }
     }
 
     #[test]
-    fn trailing_flag_without_value_is_an_error() {
-        let err = parse_opts(&args(&["--data", "corpus/", "--out"])).unwrap_err();
-        assert!(err.contains("--out"), "{err}");
-        assert!(err.contains("missing a value"), "{err}");
-        assert!(err.contains("--out <value>"), "names the fix: {err}");
+    fn scan_and_serve_export_observability() {
+        for name in ["scan", "serve"] {
+            let spec = COMMANDS.iter().find(|s| s.name == name).unwrap();
+            for needed in ["metrics", "trace"] {
+                assert!(
+                    spec.args.iter().any(|a| a.name == needed),
+                    "`kyp {name}` is missing --{needed}"
+                );
+            }
+        }
     }
 
     #[test]
-    fn stray_positional_argument_is_an_error() {
-        let err = parse_opts(&args(&["corpus/", "--out", "x"])).unwrap_err();
-        assert!(err.contains("corpus/"), "{err}");
-        assert!(err.contains("--name <value>"), "names the form: {err}");
-    }
-
-    #[test]
-    fn single_dash_options_are_rejected() {
-        let err = parse_opts(&args(&["-o", "x"])).unwrap_err();
-        assert!(err.contains("\"-o\""), "{err}");
-    }
-
-    #[test]
-    fn later_duplicate_wins() {
-        let opts = parse_opts(&args(&["--seed", "1", "--seed", "2"])).unwrap();
-        assert_eq!(opts.get("seed").map(String::as_str), Some("2"));
+    fn help_text_renders_for_every_command() {
+        for spec in COMMANDS {
+            let help = spec.help_text();
+            assert!(help.contains(spec.name));
+            assert!(help.contains(spec.summary));
+        }
     }
 }

@@ -26,16 +26,24 @@
 //!   identification, combined pipeline
 //! - [`serve`]: deterministic online scoring service (admission control,
 //!   micro-batching, verdict caching, latency accounting)
+//! - [`obs`]: deterministic observability (metrics registry, virtual-clock
+//!   tracer, pipeline observer hooks)
 //! - [`baselines`]: comparison systems for Table X
 //! - [`lint`]: workspace determinism & invariant static analysis
+//!
+//! The [`cli`] module holds the typed argument parser shared by every
+//! `kyp` subcommand.
+
+pub mod cli;
 
 pub use kyp_baselines as baselines;
 pub use kyp_core as core;
-pub use kyp_lint as lint;
 pub use kyp_datagen as datagen;
 pub use kyp_exec as exec;
 pub use kyp_html as html;
+pub use kyp_lint as lint;
 pub use kyp_ml as ml;
+pub use kyp_obs as obs;
 pub use kyp_search as search;
 pub use kyp_serve as serve;
 pub use kyp_text as text;
