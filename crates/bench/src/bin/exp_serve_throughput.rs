@@ -136,6 +136,14 @@ fn main() {
                     last_report = Some(service.report());
                 }
                 let run_report = last_report.expect("at least one rep ran");
+                if run_report.shed_ratio > 0.5 {
+                    eprintln!(
+                        "[serve] warning: threads={threads} max_batch={max_batch} cache={} \
+                         shed {:.0}% of requests — the configuration, not the load, is the problem",
+                        if cache_on { "on" } else { "off" },
+                        run_report.shed_ratio * 100.0
+                    );
+                }
 
                 let identical = match baseline_lines.get(&max_batch) {
                     None => {
@@ -171,6 +179,7 @@ fn main() {
                     ("pages_per_sec", report::float(pages_per_sec)),
                     ("answered", report::uint(run_report.answered)),
                     ("shed", report::uint(run_report.shed)),
+                    ("shed_ratio", report::float(run_report.shed_ratio)),
                     ("cache_hits", report::uint(run_report.cache.hits)),
                     (
                         "latency",

@@ -1,0 +1,116 @@
+//! The crash schedule: when nodes die and how long they stay down.
+//!
+//! Node mortality reuses the web layer's [`FaultPlan`]: whether incarnation
+//! *k* of node *i* crashes at all is `plan.decide("node{i}", k)` — exactly
+//! the `(seed, key, attempt)` hash that schedules fetch faults — and the
+//! uptime before the crash is a seeded draw over
+//! `[min_uptime_ms, max_uptime_ms)`. Both are pure functions of the plan,
+//! so a crash schedule is reproduced bit-for-bit by its seed, and the
+//! decision for one node never depends on what any other node did.
+
+use kyp_web::{mix, stable_hash, FaultPlan};
+
+/// Seeded description of node crash/recovery behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_cluster::CrashPlan;
+///
+/// let plan = CrashPlan::new(7, 0.5);
+/// // The schedule is a pure function of (seed, node, incarnation):
+/// assert_eq!(plan.crash_after(0, 0), plan.crash_after(0, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    /// Seed and crash probability, reusing the fault-plan machinery —
+    /// `fault_rate` is the per-incarnation probability that a node
+    /// crashes (once its uptime elapses) rather than running forever.
+    pub fault: FaultPlan,
+    /// Shortest uptime before a scheduled crash, virtual ms.
+    pub min_uptime_ms: u64,
+    /// Exclusive upper bound on uptime before a scheduled crash.
+    pub max_uptime_ms: u64,
+    /// How long a crashed node stays down before it restarts. The router
+    /// clamps this above its detection window, so a crash is always
+    /// detected before the node returns — no undetected-crash limbo.
+    pub downtime_ms: u64,
+}
+
+impl CrashPlan {
+    /// A plan crashing each node incarnation with probability
+    /// `crash_rate`, seeded by `seed`.
+    pub fn new(seed: u64, crash_rate: f64) -> Self {
+        CrashPlan {
+            fault: FaultPlan::new(seed, crash_rate),
+            min_uptime_ms: 400,
+            max_uptime_ms: 4_000,
+            downtime_ms: 1_200,
+        }
+    }
+
+    /// The uptime span after which incarnation `incarnation` of node
+    /// `node` crashes, or `None` if that incarnation runs forever.
+    ///
+    /// Pure in `(seed, node, incarnation)`: no clock, no per-call state.
+    pub fn crash_after(&self, node: usize, incarnation: u32) -> Option<u64> {
+        let key = format!("node{node}");
+        self.fault.decide(&key, incarnation)?;
+        let span = self.max_uptime_ms.saturating_sub(self.min_uptime_ms).max(1);
+        let draw = mix(
+            self.fault.seed ^ stable_hash(key.as_bytes()),
+            u64::from(incarnation) | 1 << 33,
+        );
+        Some(self.min_uptime_ms + draw % span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = CrashPlan::new(42, 0.7);
+        let b = CrashPlan::new(42, 0.7);
+        for node in 0..4 {
+            for inc in 0..10 {
+                assert_eq!(a.crash_after(node, inc), b.crash_after(node, inc));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_crashes() {
+        let plan = CrashPlan::new(1, 0.0);
+        for node in 0..4 {
+            for inc in 0..20 {
+                assert_eq!(plan.crash_after(node, inc), None);
+            }
+        }
+    }
+
+    #[test]
+    fn full_rate_always_crashes_within_bounds() {
+        let plan = CrashPlan::new(2, 1.0);
+        for node in 0..4 {
+            for inc in 0..20 {
+                let up = plan.crash_after(node, inc).expect("rate 1.0 crashes");
+                assert!(up >= plan.min_uptime_ms && up < plan.max_uptime_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_draw_independent_schedules() {
+        let plan = CrashPlan::new(3, 1.0);
+        let uptimes: Vec<u64> = (0..8).filter_map(|n| plan.crash_after(n, 0)).collect();
+        let mut distinct = uptimes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() > 1,
+            "eight nodes should not crash in lockstep"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! One scoring node as the router sees it: a wrapped [`ScoringService`]
+//! plus liveness, incarnation and failover bookkeeping.
+//!
+//! The node keeps *two* liveness bits. `alive` is ground truth — whether
+//! the simulated process is running. `router_live` is the router's belief,
+//! which lags reality by the heartbeat detection window: between a crash
+//! and its detection the router keeps dispatching into the void, exactly
+//! as a real fleet does, and those requests sit in `outstanding` until the
+//! missed heartbeats trip failover.
+
+use crate::store::SharedStore;
+use kyp_serve::{ScoringService, ServeResponse};
+use std::collections::BTreeMap;
+
+/// A request the router has handed to a node and not yet seen complete.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    /// The request URL as received.
+    pub url: String,
+    /// Canonical landing key (ring/cache key) — resolved once at arrival.
+    pub landing_key: String,
+    /// The *original* arrival instant; failover re-dispatches keep it so
+    /// end-to-end latency spans every attempt.
+    pub arrival_ms: u64,
+    /// Failover re-dispatches consumed so far.
+    pub retries: u32,
+}
+
+/// One node slot in the cluster.
+#[derive(Debug)]
+pub(crate) struct NodeSlot {
+    /// The wrapped scoring service (its own queue, batcher, cache shard).
+    pub service: ScoringService<SharedStore>,
+    /// Ground truth: is the simulated process up?
+    pub alive: bool,
+    /// The router's belief, trailing `alive` by the detection window.
+    pub router_live: bool,
+    /// Restart count; names the incarnation in the crash schedule.
+    pub incarnation: u32,
+    /// Crashes suffered over the run.
+    pub crashes: u64,
+    /// Responses finalized from this node.
+    pub delivered: u64,
+    /// When the current incarnation came up.
+    pub up_since_ms: u64,
+    /// Scheduled crash instant of the current incarnation, if any.
+    pub crash_at: Option<u64>,
+    /// When the router will have missed enough heartbeats to declare the
+    /// node dead (set at crash time).
+    pub detect_at: Option<u64>,
+    /// When the crashed process restarts (cold), if down.
+    pub recover_at: Option<u64>,
+    /// When the router re-admits the node (first heartbeat heard after
+    /// recovery), if down.
+    pub relive_at: Option<u64>,
+    /// Requests dispatched here and not yet completed, by id. Ordered so
+    /// failover re-dispatches requests in id order, not map order.
+    pub outstanding: BTreeMap<u64, Pending>,
+    /// Responses the service has produced whose completion instant is
+    /// still in the future; a crash before that instant destroys them.
+    pub inflight: Vec<ServeResponse>,
+}
+
+impl NodeSlot {
+    /// A fresh, live node wrapping `service`.
+    pub fn new(service: ScoringService<SharedStore>) -> Self {
+        NodeSlot {
+            service,
+            alive: true,
+            router_live: true,
+            incarnation: 0,
+            crashes: 0,
+            delivered: 0,
+            up_since_ms: 0,
+            crash_at: None,
+            detect_at: None,
+            recover_at: None,
+            relive_at: None,
+            outstanding: BTreeMap::new(),
+            inflight: Vec::new(),
+        }
+    }
+
+    /// The earliest completion instant among in-flight responses.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.inflight.iter().map(|r| r.completed_ms).min()
+    }
+
+    /// Takes every in-flight response completing at or before `now_ms`,
+    /// preserving production order.
+    pub fn take_completions(&mut self, now_ms: u64) -> Vec<ServeResponse> {
+        let mut done = Vec::new();
+        let mut rest = Vec::with_capacity(self.inflight.len());
+        for r in self.inflight.drain(..) {
+            if r.completed_ms <= now_ms {
+                done.push(r);
+            } else {
+                rest.push(r);
+            }
+        }
+        self.inflight = rest;
+        done
+    }
+}

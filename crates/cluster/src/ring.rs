@@ -1,0 +1,172 @@
+//! Consistent-hash placement: which node owns a landing URL's cache shard.
+//!
+//! The ring is the classic construction: every node contributes `vnodes`
+//! virtual tokens, each a stable hash of `(placement seed, node, vnode)`,
+//! and a key is owned by the first token clockwise of the key's own hash.
+//! Virtual tokens smooth the per-node share; the placement seed lets tests
+//! reshuffle placements without touching anything else — the determinism
+//! suite proves verdict bytes are placement-invariant by sweeping it.
+//!
+//! Everything is derived from [`kyp_web::stable_hash`] and
+//! [`kyp_web::mix`]: no `DefaultHasher` (randomized per process), no wall
+//! clock, so a given `(nodes, vnodes, seed)` triple yields one ring,
+//! forever, on every platform.
+
+use kyp_web::{mix, stable_hash};
+
+/// A consistent-hash ring over `nodes` scoring nodes.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_cluster::HashRing;
+///
+/// let ring = HashRing::new(4, 16, 7);
+/// let owner = ring.node_for("paypal.com/login");
+/// assert!(owner < 4);
+/// // The full preference order visits every node exactly once.
+/// let order = ring.successors("paypal.com/login");
+/// assert_eq!(order.len(), 4);
+/// assert_eq!(order[0], owner);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(token, node)` sorted by token; ties broken by node id.
+    tokens: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl HashRing {
+    /// A ring of `nodes` nodes with `vnodes` virtual tokens each (both
+    /// clamped ≥ 1), placed by `placement_seed`.
+    pub fn new(nodes: usize, vnodes: usize, placement_seed: u64) -> Self {
+        let nodes = nodes.max(1);
+        let vnodes = vnodes.max(1);
+        let mut tokens = Vec::with_capacity(nodes * vnodes);
+        for node in 0..nodes {
+            for v in 0..vnodes {
+                let label = format!("node{node}#vn{v}");
+                let token = mix(placement_seed, stable_hash(label.as_bytes()));
+                tokens.push((token, node));
+            }
+        }
+        tokens.sort_unstable();
+        HashRing { tokens, nodes }
+    }
+
+    /// Number of nodes on the ring.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node owning `key`: the first token at or clockwise of the
+    /// key's hash.
+    pub fn node_for(&self, key: &str) -> usize {
+        let h = stable_hash(key.as_bytes());
+        let idx = self.tokens.partition_point(|&(t, _)| t < h);
+        let idx = if idx == self.tokens.len() { 0 } else { idx };
+        // tokens is non-empty by construction (nodes, vnodes ≥ 1).
+        self.tokens.get(idx).map_or(0, |&(_, node)| node)
+    }
+
+    /// Every node in `key`'s preference order: the owner first, then each
+    /// further distinct node in clockwise token order. This is the
+    /// failover order — when the owner sheds or is down, the request
+    /// walks this list.
+    pub fn successors(&self, key: &str) -> Vec<usize> {
+        let h = stable_hash(key.as_bytes());
+        let start = self.tokens.partition_point(|&(t, _)| t < h);
+        let mut seen = vec![false; self.nodes];
+        let mut order = Vec::with_capacity(self.nodes);
+        for i in 0..self.tokens.len() {
+            let idx = (start + i) % self.tokens.len();
+            let Some(&(_, node)) = self.tokens.get(idx) else {
+                break;
+            };
+            if !seen[node] {
+                seen[node] = true;
+                order.push(node);
+                if order.len() == self.nodes {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_ring() {
+        let a = HashRing::new(4, 16, 42);
+        let b = HashRing::new(4, 16, 42);
+        for key in ["a.com/", "b.org/x", "c.net/y/z"] {
+            assert_eq!(a.node_for(key), b.node_for(key));
+            assert_eq!(a.successors(key), b.successors(key));
+        }
+    }
+
+    #[test]
+    fn different_seeds_move_keys() {
+        let a = HashRing::new(8, 16, 1);
+        let b = HashRing::new(8, 16, 2);
+        let moved = (0..200)
+            .filter(|i| {
+                let key = format!("host{i}.example.com/");
+                a.node_for(&key) != b.node_for(&key)
+            })
+            .count();
+        assert!(
+            moved > 50,
+            "placement seed must actually reshuffle: {moved}"
+        );
+    }
+
+    #[test]
+    fn successors_cover_every_node_once() {
+        let ring = HashRing::new(5, 8, 9);
+        for i in 0..50 {
+            let key = format!("k{i}");
+            let order = ring.successors(&key);
+            assert_eq!(order.len(), 5);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+            assert_eq!(order[0], ring.node_for(&key));
+        }
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let ring = HashRing::new(1, 16, 3);
+        for i in 0..20 {
+            assert_eq!(ring.node_for(&format!("k{i}")), 0);
+        }
+        assert_eq!(ring.successors("k"), vec![0]);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = HashRing::new(4, 32, 11);
+        let mut counts = [0u32; 4];
+        for i in 0..2000 {
+            counts[ring.node_for(&format!("host{i}.example.com/"))] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                (200..=900).contains(&c),
+                "node {node} owns {c} of 2000 keys — ring badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sizes_clamp() {
+        let ring = HashRing::new(0, 0, 0);
+        assert_eq!(ring.nodes(), 1);
+        assert_eq!(ring.node_for("anything"), 0);
+    }
+}

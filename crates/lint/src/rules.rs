@@ -79,6 +79,7 @@ pub const OUTPUT_AFFECTING: &[&str] = &[
     "datagen",
     "baselines",
     "obs",
+    "cluster",
 ];
 
 /// The full rule table, in report order.
@@ -120,8 +121,8 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "P01",
         severity: Severity::Error,
-        scope: Scope::Only(&["core", "serve", "obs"]),
-        summary: "no unwrap()/expect() in non-test library code of core/serve/obs",
+        scope: Scope::Only(&["core", "serve", "obs", "cluster"]),
+        summary: "no unwrap()/expect() in non-test library code of core/serve/obs/cluster",
     },
     Rule {
         id: "A00",

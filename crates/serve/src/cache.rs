@@ -175,6 +175,17 @@ impl<V: Clone> VerdictCache<V> {
         self.counters.insertions += 1;
     }
 
+    /// Drops every entry, keeping the lifetime counters.
+    ///
+    /// This is the cold-cache restart seam: a crashed node loses its
+    /// cache shard but not its accounting, so post-recovery reports still
+    /// describe the whole run. The recency sequence keeps advancing across
+    /// the clear — entry lifetimes never alias between incarnations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.recency.clear();
+    }
+
     fn bump_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -212,6 +223,38 @@ mod tests {
         // Re-insert restarts the clock.
         c.insert("a".into(), 2, 200);
         assert_eq!(c.get("a", 299), Some(2));
+    }
+
+    #[test]
+    fn entry_expiring_exactly_at_now_is_a_miss() {
+        // The TTL boundary is half-open: an entry is fresh on
+        // [insert, insert + ttl) and stale the instant now == expires_at.
+        let mut c = cache(4, 100);
+        c.insert("a".into(), 1, 0);
+        assert_eq!(c.get("a", 100), None, "now_ms == expires_at_ms is stale");
+        let k = c.counters();
+        assert_eq!((k.expirations, k.misses, k.hits), (1, 1, 0));
+        // Degenerate ttl of 0: stale at the very instant of insertion.
+        let mut z = cache(4, 0);
+        z.insert("b".into(), 2, 7);
+        assert_eq!(z.get("b", 7), None, "zero ttl expires immediately");
+        assert_eq!(z.counters().expirations, 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let mut c = cache(4, 1_000);
+        c.insert("a".into(), 1, 0);
+        c.insert("b".into(), 2, 0);
+        assert_eq!(c.get("a", 1), Some(1));
+        let before = c.counters();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.counters(), before, "lifetime accounting survives");
+        // The cold cache misses, then refills normally.
+        assert_eq!(c.get("a", 2), None);
+        c.insert("a".into(), 9, 2);
+        assert_eq!(c.get("a", 3), Some(9));
     }
 
     #[test]

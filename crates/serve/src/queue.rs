@@ -71,11 +71,17 @@ impl<T> AdmissionQueue<T> {
     }
 
     /// The oldest queued item, if any.
+    ///
+    /// A pure read: no counter moves. Only [`AdmissionQueue::offer`]
+    /// touches `admitted`/`shed`/`high_water`.
     pub fn front(&self) -> Option<&T> {
         self.items.front()
     }
 
     /// The item at position `idx` from the front (0 = oldest), if any.
+    ///
+    /// Like [`AdmissionQueue::front`], a pure read — counters never move
+    /// on peeks, however often the batcher probes the queue.
     pub fn peek(&self, idx: usize) -> Option<&T> {
         self.items.get(idx)
     }
@@ -98,6 +104,12 @@ impl<T> AdmissionQueue<T> {
     }
 
     /// Removes and returns up to `n` items from the front, in FIFO order.
+    ///
+    /// `take_batch(0)` is a guaranteed no-op: it returns an empty vector
+    /// and leaves the queue — depth, order and counters — untouched.
+    /// Draining any `n` moves no counters either (`admitted`, `shed` and
+    /// `high_water` are admission-side accounting only), so callers may
+    /// probe and drain freely without perturbing the report.
     pub fn take_batch(&mut self, n: usize) -> Vec<T> {
         let k = n.min(self.items.len());
         self.items.drain(..k).collect()
@@ -143,6 +155,47 @@ mod tests {
         let _ = q.take_batch(6);
         q.offer(9).unwrap();
         assert_eq!(q.counters().high_water, 6);
+    }
+
+    #[test]
+    fn take_batch_zero_is_a_noop() {
+        let mut q = AdmissionQueue::new(4);
+        for i in 0..3 {
+            q.offer(i).unwrap();
+        }
+        let before = q.counters();
+        assert_eq!(q.take_batch(0), Vec::<i32>::new());
+        assert_eq!(q.len(), 3, "depth untouched");
+        assert_eq!(q.front(), Some(&0), "order untouched");
+        assert_eq!(q.counters(), before, "counters untouched");
+        // Still a no-op on an empty queue.
+        let mut empty: AdmissionQueue<i32> = AdmissionQueue::new(4);
+        assert!(empty.take_batch(0).is_empty());
+        assert_eq!(empty.counters(), QueueCounters::default());
+    }
+
+    #[test]
+    fn reads_never_move_counters() {
+        let mut q = AdmissionQueue::new(4);
+        for i in 0..3 {
+            q.offer(i).unwrap();
+        }
+        let before = q.counters();
+        // Peeks at every position (including out of range), front, len,
+        // emptiness — all pure reads.
+        for idx in 0..10 {
+            let _ = q.peek(idx);
+        }
+        assert_eq!(q.peek(1), Some(&1));
+        assert_eq!(q.peek(99), None);
+        let _ = q.front();
+        let _ = q.len();
+        let _ = q.is_empty();
+        assert_eq!(q.counters(), before);
+        // Draining (any n) is also counter-neutral: admission-side
+        // accounting only moves on offer().
+        let _ = q.take_batch(2);
+        assert_eq!(q.counters(), before);
     }
 
     #[test]

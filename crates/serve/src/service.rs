@@ -194,6 +194,83 @@ impl<S: PageSource> ScoringService<S> {
         out
     }
 
+    /// The next virtual instant a batch flush falls due, or `None` while
+    /// the queue is empty.
+    ///
+    /// This is the scheduling seam an external event loop (the cluster
+    /// router) uses to interleave this service's flushes with its own
+    /// events instead of calling [`ScoringService::finish`] blind.
+    pub fn next_due(&self) -> Option<u64> {
+        self.batcher.due_at(&self.queue, self.busy_until_ms)
+    }
+
+    /// Advances the service's virtual clock to `now_ms` without feeding an
+    /// arrival: executes every batch flush due at or before `now_ms`, in
+    /// due order, and returns the responses.
+    ///
+    /// Note that a flush *starting* at or before `now_ms` may *complete*
+    /// after it (completion = flush + overhead + per-request cost); the
+    /// caller sees those completions in the returned responses' timestamps
+    /// and decides how to sequence them against its own events.
+    pub fn advance_to(&mut self, now_ms: u64) -> Vec<ServeResponse> {
+        self.advance_to_observed(now_ms, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Like [`ScoringService::advance_to`], reporting events to `obs`.
+    pub fn advance_to_observed(
+        &mut self,
+        now_ms: u64,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Vec<ServeResponse> {
+        let mut out = Vec::new();
+        while let Some(due) = self.batcher.due_at(&self.queue, self.busy_until_ms) {
+            if due > now_ms {
+                break;
+            }
+            self.flush_at(due, &mut out, obs);
+        }
+        out
+    }
+
+    /// Removes and returns every queued (admitted, not yet flushed)
+    /// request, in FIFO order. Queue counters do not move — draining is
+    /// not shedding; the caller owns what happens to the requests next.
+    ///
+    /// This is the crash seam: when a simulated node dies, the router
+    /// drains nothing (the queue contents are simply lost with the node)
+    /// but an orderly shutdown hands the backlog back for re-dispatch.
+    pub fn drain_queue(&mut self) -> Vec<ServeRequest> {
+        let n = self.queue.len();
+        self.queue.take_batch(n)
+    }
+
+    /// Restarts the service cold after a simulated crash: the queue, the
+    /// verdict-cache entries and the fetch memo are dropped and the scorer
+    /// is immediately free, but every lifetime counter — admission, cache,
+    /// batch, latency, answered/unfetchable/degraded — survives, so the
+    /// end-of-run [`ServeReport`] still accounts for the whole lifetime
+    /// across incarnations. The virtual clock is not rewound: arrivals
+    /// after the restart continue the same monotone timeline.
+    pub fn restart(&mut self) {
+        let n = self.queue.len();
+        let _ = self.queue.take_batch(n);
+        if let Some(cache) = self.cache.as_mut() {
+            cache.clear();
+        }
+        self.page_store.clear();
+        self.busy_until_ms = 0;
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admission-queue capacity in force.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
     /// Drains the queue, flushing every remaining batch in due order, and
     /// returns the responses.
     pub fn finish(&mut self) -> Vec<ServeResponse> {
@@ -247,10 +324,17 @@ impl<S: PageSource> ScoringService<S> {
         } else {
             0.0
         };
+        let requests = queue.admitted + queue.shed;
+        let shed_ratio = if requests > 0 {
+            queue.shed as f64 / requests as f64
+        } else {
+            0.0
+        };
         ServeReport {
-            requests: queue.admitted + queue.shed,
+            requests,
             answered: self.answered,
             shed: queue.shed,
+            shed_ratio,
             unfetchable: self.unfetchable,
             degraded: self.degraded,
             cache_enabled: self.cache.is_some(),
@@ -718,6 +802,120 @@ mod tests {
         svc.run_trace(&trace);
         assert!(svc.page_store.len() <= 4);
         assert_eq!(svc.report().answered, 64);
+    }
+
+    #[test]
+    fn advance_to_flushes_only_due_batches() {
+        let mut svc = service(false);
+        let (_, urls) = store(20);
+        // Two arrivals at t=0; max_batch is 8 so the pair waits for the
+        // 25 ms deadline of the oldest request.
+        for (i, url) in urls.iter().take(2).enumerate() {
+            let out = svc.push(ServeRequest {
+                id: i as u64,
+                url: url.clone(),
+                arrival_ms: 0,
+            });
+            assert!(out.is_empty());
+        }
+        assert_eq!(svc.next_due(), Some(25));
+        assert!(svc.advance_to(24).is_empty(), "not due yet");
+        assert_eq!(svc.queue_len(), 2);
+        let out = svc.advance_to(25);
+        assert_eq!(out.len(), 2, "deadline flush fires at 25");
+        assert!(out.iter().all(|r| r.completed_ms > 25));
+        assert_eq!(svc.next_due(), None);
+        assert_eq!(svc.queue_len(), 0);
+    }
+
+    #[test]
+    fn drain_queue_returns_backlog_without_shedding() {
+        let mut svc = service(false);
+        let (_, urls) = store(20);
+        for (i, url) in urls.iter().take(3).enumerate() {
+            let _ = svc.push(ServeRequest {
+                id: i as u64,
+                url: url.clone(),
+                arrival_ms: 0,
+            });
+        }
+        let before = svc.report().queue;
+        let drained = svc.drain_queue();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].id, 0, "FIFO order");
+        assert!(svc.queue_len() == 0);
+        assert_eq!(svc.report().queue, before, "draining is not shedding");
+        assert!(svc.drain_queue().is_empty(), "second drain is a no-op");
+    }
+
+    #[test]
+    fn restart_clears_state_but_keeps_lifetime_counters() {
+        let mut svc = service(true);
+        let trace = trace(40, 0.5);
+        let _ = svc.run_trace(&trace);
+        let before = svc.report();
+        assert!(before.answered > 0 && before.cache.hits > 0);
+        // Leave a backlog queued, then crash.
+        let (_, urls) = store(20);
+        let _ = svc.push(ServeRequest {
+            id: 999,
+            url: urls[0].clone(),
+            arrival_ms: 1_000_000,
+        });
+        svc.restart();
+        assert_eq!(svc.queue_len(), 0, "backlog lost with the node");
+        assert!(svc.page_store.is_empty(), "fetch memo is cold");
+        let after = svc.report();
+        assert_eq!(after.answered, before.answered, "accounting survives");
+        assert_eq!(after.cache, before.cache, "cache counters survive");
+        // The cold cache misses on a key it used to hold.
+        let out = svc.run_trace(&[ServeRequest {
+            id: 1_000,
+            url: urls[0].clone(),
+            arrival_ms: 2_000_000,
+        }]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cache, CacheState::Miss, "restart emptied the cache");
+    }
+
+    #[test]
+    fn report_shed_ratio_matches_counts() {
+        let mut svc = service(true);
+        assert!(svc.report().shed_ratio.abs() < f64::EPSILON, "no requests");
+        let trace = trace(100, 0.3);
+        let _ = svc.run_trace(&trace);
+        let report = svc.report();
+        assert_eq!(report.shed, 0);
+        assert!(report.shed_ratio.abs() < f64::EPSILON);
+        // An overloaded service reports the exact ratio.
+        let (_, urls) = store(20);
+        let bursty = generate(
+            &WorkloadConfig {
+                requests: 120,
+                duplicate_rate: 0.2,
+                arrival: ArrivalPattern::Bursty {
+                    burst: 40,
+                    burst_gap_ms: 0,
+                    idle_gap_ms: 5,
+                },
+                ..WorkloadConfig::default()
+            },
+            &urls,
+        );
+        let (pages, _) = store(20);
+        let mut tight = ScoringService::new(
+            pipeline(),
+            pages,
+            ServeConfig {
+                queue_capacity: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let _ = tight.run_trace(&bursty);
+        let r = tight.report();
+        assert!(r.shed > 0);
+        let expected = r.shed as f64 / r.requests as f64;
+        assert!((r.shed_ratio - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -124,6 +124,11 @@ pub struct ServeReport {
     pub answered: u64,
     /// Requests rejected by admission control.
     pub shed: u64,
+    /// `shed / requests` in `[0, 1]` (0.0 when no requests arrived) — the
+    /// first number to read in an overload report. Sustained ratios above
+    /// 0.5 mean the configuration, not the load, is the problem.
+    #[serde(default)]
+    pub shed_ratio: f64,
     /// Requests whose page could not be fetched.
     pub unfetchable: u64,
     /// Answered requests served from a degraded (partial) capture.

@@ -86,6 +86,21 @@ impl FaultPlan {
             ..FaultPlan::new(seed, fault_rate)
         }
     }
+
+    /// The fault this plan injects on attempt `attempt` of `key`, if any.
+    ///
+    /// A pure function of `(seed, key, attempt)` — no clock, no interior
+    /// state — so any layer that names its trials can reuse one plan as a
+    /// deterministic failure schedule: [`FlakyWorld`] keys by URL and
+    /// fetch attempt, `kyp-cluster` keys by node id and incarnation.
+    pub fn decide(&self, key: &str, attempt: u32) -> Option<FaultKind> {
+        let h = mix(self.seed ^ stable_hash(key.as_bytes()), u64::from(attempt));
+        if unit_f64(h) >= self.fault_rate {
+            return None;
+        }
+        let idx = (mix(h, 0x9E37_79B9_7F4A_7C15) % self.kinds.len() as u64) as usize;
+        Some(self.kinds[idx])
+    }
 }
 
 /// A [`WebWorld`] wrapper that injects the faults of a [`FaultPlan`].
@@ -145,12 +160,7 @@ impl<'w> FlakyWorld<'w> {
 
     /// The fault injected on attempt `attempt` of `url`, if any.
     fn decide(&self, key: &str, attempt: u32) -> Option<FaultKind> {
-        let h = mix(self.plan.seed ^ fnv1a(key.as_bytes()), u64::from(attempt));
-        if unit_f64(h) >= self.plan.fault_rate {
-            return None;
-        }
-        let idx = (mix(h, 0x9E37_79B9_7F4A_7C15) % self.plan.kinds.len() as u64) as usize;
-        Some(self.plan.kinds[idx])
+        self.plan.decide(key, attempt)
     }
 }
 
@@ -173,7 +183,7 @@ impl World for FlakyWorld<'_> {
             return clean(truth);
         };
         let h = mix(
-            self.plan.seed ^ fnv1a(key.as_bytes()),
+            self.plan.seed ^ stable_hash(key.as_bytes()),
             u64::from(attempt) | 1 << 32,
         );
         match (fault, truth) {
@@ -253,8 +263,11 @@ fn garble(html: &str, h: u64) -> String {
     format!("{}{}{}", &html[..start], junk, &html[end..])
 }
 
-/// FNV-1a over bytes; stable, dependency-free.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over bytes: a stable, dependency-free, platform-independent
+/// hash. This is the name-to-u64 primitive every deterministic layer
+/// shares — fault schedules here, hash-ring placement in `kyp-cluster` —
+/// so placements and fault decisions never vary across builds or runs.
+pub fn stable_hash(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -264,8 +277,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// SplitMix64 finalizer over `a ⊕ golden·b` — the per-decision hash,
-/// shared with the retry policy's deterministic jitter.
-pub(crate) fn mix(a: u64, b: u64) -> u64 {
+/// shared with the retry policy's deterministic jitter and the cluster
+/// layer's seeded draws (uptime spans, virtual-node tokens).
+pub fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

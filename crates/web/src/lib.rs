@@ -67,7 +67,7 @@ mod world;
 
 pub use browser::{Browser, VisitError, VisitFailure, VisitOutcome};
 pub use clock::VirtualClock;
-pub use fault::{FaultKind, FaultPlan, FlakyWorld};
+pub use fault::{mix, stable_hash, FaultKind, FaultPlan, FlakyWorld};
 pub use ranking::{DomainRanker, UNRANKED};
 pub use scraper::{
     BreakerState, CircuitBreaker, FailureCause, ResilientBrowser, RetryPolicy, ScrapeFailure,

@@ -556,6 +556,52 @@ mod tests {
     }
 
     #[test]
+    fn breaker_half_opens_exactly_at_expiry() {
+        let mut b = CircuitBreaker::new(1, 1_000);
+        b.record_failure("h.com", 500); // trips: open until 1_500
+        assert_eq!(b.state("h.com", 1_499), BreakerState::Open);
+        assert!(!b.allow("h.com", 1_499), "one tick before expiry");
+        // The boundary is inclusive: now == open_until_ms half-opens.
+        assert_eq!(b.state("h.com", 1_500), BreakerState::HalfOpen);
+        assert!(b.allow("h.com", 1_500));
+    }
+
+    #[test]
+    fn breaker_probe_success_closes_and_resets_failures() {
+        let mut b = CircuitBreaker::new(2, 1_000);
+        b.record_failure("h.com", 0);
+        b.record_failure("h.com", 10); // trips: open until 1_010
+        assert!(b.allow("h.com", 1_010), "cooldown over, probe allowed");
+        assert_eq!(b.state("h.com", 1_010), BreakerState::HalfOpen);
+        b.record_success("h.com");
+        assert_eq!(b.state("h.com", 1_010), BreakerState::Closed);
+        // Success reset the failure streak: one new failure is below the
+        // threshold again, so the circuit stays closed.
+        b.record_failure("h.com", 1_020);
+        assert_eq!(b.state("h.com", 1_021), BreakerState::Closed);
+        assert_eq!(b.trips(), 1, "only the original trip counted");
+    }
+
+    #[test]
+    fn breaker_probe_failure_reopens_with_a_fresh_window() {
+        let mut b = CircuitBreaker::new(1, 1_000);
+        b.record_failure("h.com", 0); // open until 1_000
+        assert!(b.allow("h.com", 2_500), "probe long after expiry");
+        assert_eq!(b.state("h.com", 2_500), BreakerState::HalfOpen);
+        // The failed probe re-opens with a cooldown anchored at the probe
+        // failure instant (2_500), not at the stale original window.
+        b.record_failure("h.com", 2_500);
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.state("h.com", 3_000), BreakerState::Open);
+        assert!(
+            !b.allow("h.com", 3_499),
+            "old window (1_000) must not apply; fresh one ends at 3_500"
+        );
+        assert_eq!(b.state("h.com", 3_500), BreakerState::HalfOpen);
+        assert!(b.allow("h.com", 3_500));
+    }
+
+    #[test]
     fn deadline_budget_bounds_timeout_retries() {
         let w = world();
         let mut plan = FaultPlan::only(9, 1.0, &[FaultKind::Timeout]);

@@ -18,6 +18,7 @@
 //! error everywhere.
 
 use knowyourphish::cli::{ArgSpec, CommandSpec, Parsed, ParsedOpts};
+use knowyourphish::cluster::{verdict_stream, ClusterConfig, ClusterService, CrashPlan};
 use knowyourphish::core::{
     DetectorConfig, FeatureExtractor, ModelSnapshot, PhishDetector, Pipeline, PipelineVerdict,
     ScrapeReport, TargetIdentifier,
@@ -220,6 +221,74 @@ const COMMANDS: &[CommandSpec] = &[
         ],
     },
     CommandSpec {
+        name: "cluster",
+        summary: "deterministic multi-node serving simulation over the corpus",
+        args: &[
+            ArgSpec {
+                name: "model",
+                value: "<model.json>",
+                help: "trained model snapshot (required)",
+            },
+            ArgSpec {
+                name: "data",
+                value: "<dir>",
+                help: "`kyp gen` output directory (required)",
+            },
+            ArgSpec {
+                name: "shards",
+                value: "<n>",
+                help: "scoring nodes / cache shards (default 4)",
+            },
+            ArgSpec {
+                name: "replicas",
+                value: "<n>",
+                help: "replica fan-out for hot URLs (default 1)",
+            },
+            ArgSpec {
+                name: "crash-rate",
+                value: "<f>",
+                help: "per-incarnation node crash probability (default 0)",
+            },
+            ArgSpec {
+                name: "crash-seed",
+                value: "<n>",
+                help: "crash schedule seed (default 2015)",
+            },
+            ArgSpec {
+                name: "requests",
+                value: "<n>",
+                help: "synthetic trace length (default 500)",
+            },
+            ArgSpec {
+                name: "trace-seed",
+                value: "<n>",
+                help: "synthetic trace seed (default 2015)",
+            },
+            ArgSpec {
+                name: "duplicate-rate",
+                value: "<f>",
+                help: "synthetic trace duplicate fraction (default 0.2)",
+            },
+            ArgSpec {
+                name: "arrival-gap-ms",
+                value: "<n>",
+                help: "synthetic trace inter-arrival gap (default 10)",
+            },
+            ArgSpec {
+                name: "queue-capacity",
+                value: "<n>",
+                help: "per-node admission queue capacity (default 64)",
+            },
+            ArgSpec {
+                name: "verdicts",
+                value: "<path>",
+                help: "write the id-sorted verdict stream (the placement-invariant bytes)",
+            },
+            METRICS_ARG,
+            THREADS_ARG,
+        ],
+    },
+    CommandSpec {
         name: "lint",
         summary: "workspace determinism & invariant static analysis",
         args: &[
@@ -283,6 +352,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&opts),
         "scan" => cmd_scan(&opts),
         "serve" => cmd_serve(&opts),
+        "cluster" => cmd_cluster(&opts),
         "lint" => cmd_lint(&opts),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
@@ -311,6 +381,12 @@ USAGE:
             [--queue-capacity <n>] [--max-batch <n>] [--max-delay-ms <n>]
             [--cache on|off]                         ...or requests over stdin
             [--metrics <path>] [--trace <path>]      observability exports
+  kyp cluster --model <model.json> --data <dir>      multi-node serving simulation
+            [--shards <n>] [--replicas <n>]          cache shards + hot fan-out
+            [--crash-rate <f>] [--crash-seed <n>]    seeded crash/recovery schedule
+            [--requests <n>] [--trace-seed <n>]      seeded synthetic workload
+            [--duplicate-rate <f>] [--arrival-gap-ms <n>] [--queue-capacity <n>]
+            [--verdicts <path>] [--metrics <path>]   invariant bytes + cluster.* metrics
   kyp lint  [--root <dir>] [--rules D01,D02,...]     determinism static analysis
             [--json <path>]                          (see DESIGN.md section 8e)
 
@@ -328,6 +404,13 @@ stdout line (the end-of-run report goes to stderr):
 
 With --requests <n> it serves a seeded synthetic trace over the corpus
 URLs instead; the same seed always produces the same responses.
+
+`kyp cluster` replays the same kind of trace through a simulated fleet:
+N scoring nodes behind a consistent-hash router, with per-node
+backpressure, seeded crash/recovery and heartbeat-driven failover. Its
+--verdicts file (the id-sorted verdict stream) is byte-identical at any
+--shards, --replicas, --threads or --crash-rate value — CI compares the
+files with `cmp`.
 
 --metrics and --trace (scan, serve) export the deterministic
 observability layer: a metrics-registry json file and an NDJSON span
@@ -734,6 +817,71 @@ fn cmd_serve(opts: &ParsedOpts) -> Result<(), String> {
     eprintln!("{json}");
     service.export_metrics(sink.registry_mut());
     write_obs_exports(opts, &sink)
+}
+
+/// `kyp cluster`: replay a seeded synthetic trace through a simulated
+/// multi-node scoring fleet — responses on stdout, report on stderr, the
+/// id-sorted (placement-invariant) verdict stream to `--verdicts`.
+fn cmd_cluster(opts: &ParsedOpts) -> Result<(), String> {
+    let (pipeline, pages, urls) = load_serving_stack(opts)?;
+    let crash_rate: f64 = opts.num("crash-rate", 0.0)?;
+    let crash_seed: u64 = opts.num("crash-seed", 2015)?;
+    let config = ClusterConfig {
+        shards: opts.num("shards", 4)?,
+        replicas: opts.num("replicas", 1)?,
+        node: ServeConfig {
+            queue_capacity: opts.num("queue-capacity", 64)?,
+            cache: Some(CacheConfig::default()),
+            ..ServeConfig::default()
+        },
+        crash: (crash_rate > 0.0).then(|| CrashPlan::new(crash_seed, crash_rate)),
+        ..ClusterConfig::default()
+    };
+    let workload = WorkloadConfig {
+        seed: opts.num("trace-seed", 2015)?,
+        requests: opts.num("requests", 500)?,
+        duplicate_rate: opts.num("duplicate-rate", 0.2)?,
+        arrival: ArrivalPattern::Steady {
+            gap_ms: opts.num("arrival-gap-ms", 10)?,
+        },
+        fault_seed: 0,
+        fault_rate: 0.0,
+    };
+    let trace = generate(&workload, &urls);
+    eprintln!(
+        "simulating {} requests over {} nodes (replicas {}, crash rate {})...",
+        trace.len(),
+        config.shards,
+        config.replicas,
+        crash_rate
+    );
+    let mut cluster = ClusterService::new(pipeline, pages, config);
+    let responses = cluster.run_trace(&trace);
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for response in &responses {
+        let line = serde_json::to_string(response).map_err(|e| e.to_string())?;
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    }
+
+    if let Some(path) = opts.get("verdicts") {
+        let mut stream = verdict_stream(&responses).join("\n");
+        stream.push('\n');
+        write_creating_dirs(Path::new(path), &stream)?;
+        eprintln!("wrote id-sorted verdict stream to {path}");
+    }
+
+    let report = cluster.report();
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    eprintln!("{json}");
+    if let Some(path) = opts.get("metrics") {
+        let mut registry = knowyourphish::obs::MetricsRegistry::new();
+        cluster.export_metrics(&mut registry);
+        write_creating_dirs(Path::new(path), &registry.render_json())?;
+        eprintln!("wrote metrics to {path}");
+    }
+    Ok(())
 }
 
 /// `kyp lint`: run the workspace determinism & invariant static-analysis

@@ -26,6 +26,8 @@
 //!   identification, combined pipeline
 //! - [`serve`]: deterministic online scoring service (admission control,
 //!   micro-batching, verdict caching, latency accounting)
+//! - [`cluster`]: deterministic multi-node serving simulation (consistent
+//!   hashing, crash/recovery, failover, per-node backpressure)
 //! - [`obs`]: deterministic observability (metrics registry, virtual-clock
 //!   tracer, pipeline observer hooks)
 //! - [`baselines`]: comparison systems for Table X
@@ -37,6 +39,7 @@
 pub mod cli;
 
 pub use kyp_baselines as baselines;
+pub use kyp_cluster as cluster;
 pub use kyp_core as core;
 pub use kyp_datagen as datagen;
 pub use kyp_exec as exec;
