@@ -8,7 +8,7 @@
 
 use crate::BaselineDetector;
 use kyp_search::SearchEngine;
-use kyp_text::tfidf::Corpus as TfIdfCorpus;
+use kyp_text::tfidf::{Corpus as TfIdfCorpus, PreparedCorpus};
 use kyp_web::VisitedPage;
 use std::sync::Arc;
 
@@ -33,7 +33,11 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct Cantina {
     engine: Arc<SearchEngine>,
-    df: TfIdfCorpus,
+    /// IDF table compiled once at construction: Cantina weighs every
+    /// classified page against the same frozen corpus, so the logarithms
+    /// are precomputed instead of re-derived per page (bit-identical
+    /// scores, see [`kyp_text::tfidf::Corpus::prepare`]).
+    df: PreparedCorpus,
     signature_len: usize,
     top_hits: usize,
 }
@@ -44,7 +48,7 @@ impl Cantina {
     pub fn new(engine: Arc<SearchEngine>, df: TfIdfCorpus) -> Self {
         Cantina {
             engine,
-            df,
+            df: df.prepare(),
             signature_len: 5,
             top_hits: 10,
         }

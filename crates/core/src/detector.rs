@@ -2,8 +2,9 @@
 //! over the 212-feature vector, with the paper's discrimination threshold
 //! of 0.7 favouring the legitimate class.
 
-use kyp_ml::{Dataset, GbmParams, GradientBoosting};
+use kyp_ml::{Dataset, FlatModel, GbmParams, GradientBoosting};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Configuration of [`PhishDetector`].
 #[derive(Debug, Clone)]
@@ -45,6 +46,12 @@ impl Default for DetectorConfig {
 pub struct PhishDetector {
     model: GradientBoosting,
     threshold: f64,
+    /// Flat inference tables compiled lazily from `model`; never
+    /// serialized (the boxed ensemble is the interchange form) and
+    /// bit-identical to it, so cloning or round-tripping a detector
+    /// only resets this cache.
+    #[serde(skip)]
+    compiled: OnceLock<FlatModel>,
 }
 
 impl PhishDetector {
@@ -58,12 +65,42 @@ impl PhishDetector {
         PhishDetector {
             model: GradientBoosting::fit(data, &config.gbm),
             threshold: config.threshold,
+            compiled: OnceLock::new(),
         }
     }
 
+    /// The compiled flat-inference twin of the model, built on first use.
+    fn flat(&self) -> &FlatModel {
+        self.compiled.get_or_init(|| self.model.compile())
+    }
+
+    /// Eagerly compiles the flat inference tables (normally built lazily
+    /// on the first score). Call after loading a snapshot so the first
+    /// request does not pay the compilation cost.
+    pub fn warm(&self) {
+        let _ = self.flat();
+    }
+
     /// The phishing confidence of a feature vector, in `[0, 1]`.
+    ///
+    /// Scored through the compiled [`FlatModel`]; bit-identical to the
+    /// boxed ensemble walk (see [`Self::score_reference`]).
     pub fn score(&self, features: &[f64]) -> f64 {
+        self.flat().predict_proba(features)
+    }
+
+    /// The phishing confidence computed through the original boxed-enum
+    /// tree walk. Reference implementation for equivalence tests and
+    /// before/after benchmarks; production paths use [`Self::score`].
+    pub fn score_reference(&self, features: &[f64]) -> f64 {
         self.model.predict_proba(features)
+    }
+
+    /// Confidence scores for a batch of feature vectors, walked
+    /// batch-major through the compiled model. Element `i` is
+    /// bit-identical to `score(&rows[i])`.
+    pub fn score_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<f64> {
+        self.flat().predict_batch(rows)
     }
 
     /// Class prediction at the configured threshold.
@@ -94,7 +131,11 @@ impl PhishDetector {
     /// Reassembles a detector from a deserialised model and threshold
     /// (model persistence for deployment, e.g. shipping with an add-on).
     pub fn from_parts(model: GradientBoosting, threshold: f64) -> Self {
-        PhishDetector { model, threshold }
+        PhishDetector {
+            model,
+            threshold,
+            compiled: OnceLock::new(),
+        }
     }
 
     /// Calibrates the discrimination threshold on held-out data: picks the
@@ -213,6 +254,30 @@ mod tests {
     fn calibrate_requires_data() {
         let mut det = PhishDetector::train(&toy_train(), &DetectorConfig::default());
         det.calibrate_threshold(&Dataset::new(2), 0.01);
+    }
+
+    #[test]
+    fn flat_path_matches_reference_bits() {
+        let det = PhishDetector::train(&toy_train(), &DetectorConfig::default());
+        let probes = [[0.9, 3.0], [0.1, 3.0], [0.42, 5.0], [-2.0, 100.0]];
+        for p in &probes {
+            assert_eq!(det.score(p).to_bits(), det.score_reference(p).to_bits());
+        }
+        let batch = det.score_batch(&probes);
+        for (p, got) in probes.iter().zip(&batch) {
+            assert_eq!(got.to_bits(), det.score_reference(p).to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_is_idempotent() {
+        let det = PhishDetector::train(&toy_train(), &DetectorConfig::default());
+        det.warm();
+        det.warm();
+        assert_eq!(
+            det.score(&[0.9, 3.0]).to_bits(),
+            det.score_reference(&[0.9, 3.0]).to_bits()
+        );
     }
 
     #[test]

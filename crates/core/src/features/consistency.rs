@@ -25,11 +25,23 @@ fn distance(a: &TermDistribution, b: &TermDistribution, metric: ConsistencyMetri
 /// Pushes the 66 f2 features: pairwise distances for all pairs `(i, j)`
 /// with `i < j` over [`DataSources::f2_distributions`]. Pairs involving an
 /// empty distribution yield 0 (the paper's null features).
+///
+/// Each distribution takes part in 11 pairs, so the hot path first builds
+/// a [`kyp_text::KeyedDistribution`] view per source — integer-keyed term
+/// order plus cached `sqrt` mass — and walks those. Bit-identical to
+/// pairing the distributions directly.
 pub(crate) fn push_f2(sources: &DataSources, metric: ConsistencyMetric, out: &mut Vec<f64>) {
-    let dists = sources.f2_distributions();
-    for i in 0..dists.len() {
-        for j in i + 1..dists.len() {
-            out.push(distance(dists[i], dists[j], metric));
+    let keyed = sources.f2_distributions().map(TermDistribution::keyed);
+    for i in 0..keyed.len() {
+        for j in i + 1..keyed.len() {
+            let (a, b) = (&keyed[i], &keyed[j]);
+            out.push(
+                match metric {
+                    ConsistencyMetric::Hellinger => a.hellinger_squared(b),
+                    ConsistencyMetric::Jaccard => a.jaccard_distance(b),
+                }
+                .unwrap_or(0.0),
+            );
         }
     }
 }

@@ -34,7 +34,12 @@ pub(crate) fn push_f3(page: &VisitedPage, sources: &DataSources, out: &mut Vec<f
         .map(canonical_mld)
         .unwrap_or_default();
 
-    for mld in [&start_mld, &land_mld] {
+    // Both rows are pure functions of the mld, so when starting and
+    // landing mld coincide (no cross-domain redirect) the landing row is
+    // the starting row, not a recomputation.
+    let same_mld = start_mld == land_mld;
+
+    let binary_row = |mld: &String| -> [f64; 6] {
         let binary_sources = [
             &sources.text,
             &sources.title,
@@ -43,12 +48,17 @@ pub(crate) fn push_f3(page: &VisitedPage, sources: &DataSources, out: &mut Vec<f
             &sources.intlink,
             &sources.extlink,
         ];
-        for dist in binary_sources {
-            let present = !mld.is_empty() && dist.contains(mld);
-            out.push(f64::from(present));
-        }
+        binary_sources.map(|dist| f64::from(!mld.is_empty() && dist.contains(mld)))
+    };
+    let start_binary = binary_row(&start_mld);
+    out.extend(start_binary);
+    if same_mld {
+        out.extend(start_binary);
+    } else {
+        out.extend(binary_row(&land_mld));
     }
-    for mld in [&start_mld, &land_mld] {
+
+    let mass_row = |mld: &String| -> [f64; 5] {
         let mass_sources = [
             &sources.title,
             &sources.intlog,
@@ -56,14 +66,20 @@ pub(crate) fn push_f3(page: &VisitedPage, sources: &DataSources, out: &mut Vec<f
             &sources.intlink,
             &sources.extlink,
         ];
-        for dist in mass_sources {
-            let mass = if mld.is_empty() {
+        mass_sources.map(|dist| {
+            if mld.is_empty() {
                 0.0
             } else {
                 dist.substring_mass_of(mld)
-            };
-            out.push(mass);
-        }
+            }
+        })
+    };
+    let start_mass = mass_row(&start_mld);
+    out.extend(start_mass);
+    if same_mld {
+        out.extend(start_mass);
+    } else {
+        out.extend(mass_row(&land_mld));
     }
 }
 

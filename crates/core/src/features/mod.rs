@@ -20,8 +20,33 @@ mod rdn_usage;
 mod url_stats;
 
 use crate::DataSources;
+use kyp_url::Url;
 use kyp_web::ocr::OcrConfig;
 use kyp_web::{DomainRanker, VisitedPage};
+
+/// The four control-split link sets, computed once per page and shared by
+/// the f1 and f4 features — the split predicate walks the redirection
+/// chain per link, so recomputing it per family is measurable on the hot
+/// path.
+pub(crate) struct LinkSplits<'a> {
+    pub intlog: Vec<&'a Url>,
+    pub extlog: Vec<&'a Url>,
+    pub intlink: Vec<&'a Url>,
+    pub extlink: Vec<&'a Url>,
+}
+
+impl<'a> LinkSplits<'a> {
+    pub(crate) fn of(page: &'a VisitedPage) -> Self {
+        let (intlog, extlog) = page.logged_split();
+        let (intlink, extlink) = page.href_split();
+        Self {
+            intlog,
+            extlog,
+            intlink,
+            extlink,
+        }
+    }
+}
 
 /// Total number of features (the paper's 212).
 pub const FEATURE_COUNT: usize = 212;
@@ -197,17 +222,40 @@ impl FeatureExtractor {
 
     /// Extracts the feature vector from a page.
     pub fn extract(&self, page: &VisitedPage) -> Vec<f64> {
-        let sources = DataSources::from_page(page);
-        self.extract_with_sources(page, &sources)
+        self.extract_in(page, &mut kyp_text::TermScratch::new())
     }
 
-    /// Extracts feature vectors for a batch of pages, fanning the per-page
-    /// work out over the default [`kyp_exec`] pool.
+    /// Extracts the feature vector from a page, reusing `scratch`'s
+    /// buffers for term extraction. Identical output to
+    /// [`FeatureExtractor::extract`]; the batch path threads one scratch
+    /// through a whole chunk of pages.
+    pub fn extract_in(&self, page: &VisitedPage, scratch: &mut kyp_text::TermScratch) -> Vec<f64> {
+        let splits = LinkSplits::of(page);
+        let sources = DataSources::from_page_with_splits(page, &splits, scratch);
+        self.extract_observed_with(page, &sources, &splits, &mut kyp_obs::NoopObserver)
+    }
+
+    /// Pages per worker chunk in [`FeatureExtractor::extract_batch`]:
+    /// large enough to amortise per-chunk scratch setup, small enough to
+    /// balance work across the pool.
+    const BATCH_CHUNK: usize = 32;
+
+    /// Extracts feature vectors for a batch of pages, fanning chunks of
+    /// pages out over the default [`kyp_exec`] pool. Each worker carries
+    /// one [`kyp_text::TermScratch`] across its whole chunk, so the term
+    /// extraction buffers are reused instead of reallocated per page.
     ///
     /// Returns one vector per page in input order; element `i` is exactly
     /// `extract(&pages[i])` whatever the thread count.
     pub fn extract_batch(&self, pages: &[VisitedPage]) -> Vec<Vec<f64>> {
-        kyp_exec::pool().par_map(pages, |page| self.extract(page))
+        let chunks = kyp_exec::pool().par_chunks(pages, Self::BATCH_CHUNK, |_, chunk| {
+            let mut scratch = kyp_text::TermScratch::new();
+            chunk
+                .iter()
+                .map(|page| self.extract_in(page, &mut scratch))
+                .collect::<Vec<_>>()
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// Extracts a complete, finite feature vector from a *partially*
@@ -242,9 +290,22 @@ impl FeatureExtractor {
         sources: &DataSources,
         obs: &mut dyn kyp_obs::PipelineObserver,
     ) -> Vec<f64> {
+        self.extract_observed_with(page, sources, &LinkSplits::of(page), obs)
+    }
+
+    /// Innermost extraction: sources *and* link splits already computed.
+    /// The batch hot path computes one [`LinkSplits`] per page and shares
+    /// it between [`DataSources`] and the f1/f4 features.
+    fn extract_observed_with(
+        &self,
+        page: &VisitedPage,
+        sources: &DataSources,
+        splits: &LinkSplits<'_>,
+        obs: &mut dyn kyp_obs::PipelineObserver,
+    ) -> Vec<f64> {
         use kyp_obs::FeatureFamily;
         let mut out = Vec::with_capacity(self.feature_count());
-        url_stats::push_f1(page, &self.ranker, &mut out);
+        url_stats::push_f1(page, splits, &self.ranker, &mut out);
         obs.feature_family(FeatureFamily::F1Url, out.len());
         let f2_start = out.len();
         if self.config.extended_distributions {
@@ -263,7 +324,7 @@ impl FeatureExtractor {
         mld_usage::push_f3(page, sources, &mut out);
         obs.feature_family(FeatureFamily::F3MldUsage, out.len() - f3_start);
         let f4_start = out.len();
-        rdn_usage::push_f4(page, &mut out);
+        rdn_usage::push_f4(page, splits, &mut out);
         obs.feature_family(FeatureFamily::F4RdnUsage, out.len() - f4_start);
         let f5_start = out.len();
         content::push_f5(page, sources, &mut out);

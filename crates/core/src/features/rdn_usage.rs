@@ -6,40 +6,46 @@
 //! statistics; DESIGN.md documents the motivated itemisation implemented
 //! here. Legitimate pages use more internal RDNs and fewer redirections
 //! than phishing pages.
+//!
+//! All statistics compare URLs with [`Url::same_rdn`] rather than
+//! materialising an RDN string per URL. The equivalence classes match the
+//! string grouping exactly: domain RDNs compare label-wise (joining with
+//! dots is injective over dot-free labels), IP hosts compare by address,
+//! and a domain RDN can never collide with an IPv4 dotted-decimal string
+//! because multi-label public suffixes are alphabetic.
 
 use kyp_url::Url;
 use kyp_web::VisitedPage;
-use std::collections::BTreeMap;
 
-fn rdn_of(url: &Url) -> String {
-    url.rdn().unwrap_or_else(|| url.host().to_string())
-}
-
-fn distinct_rdns<'a>(urls: impl Iterator<Item = &'a Url>) -> Vec<String> {
-    let mut out: Vec<String> = Vec::new();
+/// Count of RDN equivalence classes in `urls`, without allocating.
+fn distinct_rdns<'a>(urls: impl Iterator<Item = &'a Url>) -> usize {
+    let mut reps: Vec<&Url> = Vec::new();
     for u in urls {
-        let r = rdn_of(u);
-        if !out.contains(&r) {
-            out.push(r);
+        if !reps.iter().any(|r| r.same_rdn(u)) {
+            reps.push(u);
         }
     }
-    out
+    reps.len()
 }
 
-pub(crate) fn push_f4(page: &VisitedPage, out: &mut Vec<f64>) {
-    let (intlog, extlog) = page.logged_split();
-    let (intlink, extlink) = page.href_split();
-    let landing_rdn = rdn_of(&page.landing_url);
+pub(crate) fn push_f4(
+    page: &VisitedPage,
+    splits: &crate::features::LinkSplits<'_>,
+    out: &mut Vec<f64>,
+) {
+    let (intlog, extlog) = (&splits.intlog, &splits.extlog);
+    let (intlink, extlink) = (&splits.intlink, &splits.extlink);
+    let landing = &page.landing_url;
 
     // 1. redirection chain length
     out.push(page.redirection_chain.len() as f64);
     // 2. distinct RDNs in the chain
-    out.push(distinct_rdns(page.redirection_chain.iter()).len() as f64);
+    out.push(distinct_rdns(page.redirection_chain.iter()) as f64);
     // 3. starting RDN == landing RDN
-    out.push(f64::from(rdn_of(&page.starting_url) == landing_rdn));
+    out.push(f64::from(page.starting_url.same_rdn(landing)));
     // 4./5. distinct RDNs in logged / HREF links
-    out.push(distinct_rdns(page.logged_links.iter()).len() as f64);
-    out.push(distinct_rdns(page.href_links.iter()).len() as f64);
+    out.push(distinct_rdns(page.logged_links.iter()) as f64);
+    out.push(distinct_rdns(page.href_links.iter()) as f64);
     // 6./7. internal ratio of logged / HREF links
     let ratio = |int: usize, ext: usize| {
         let total = int + ext;
@@ -52,35 +58,35 @@ pub(crate) fn push_f4(page: &VisitedPage, out: &mut Vec<f64>) {
     out.push(ratio(intlog.len(), extlog.len()));
     out.push(ratio(intlink.len(), extlink.len()));
     // 8./9. distinct external RDNs in logged / HREF links
-    out.push(distinct_rdns(extlog.iter().copied()).len() as f64);
-    out.push(distinct_rdns(extlink.iter().copied()).len() as f64);
+    out.push(distinct_rdns(extlog.iter().copied()) as f64);
+    out.push(distinct_rdns(extlink.iter().copied()) as f64);
     // 10./11. landing RDN referenced by logged / HREF links
     out.push(f64::from(
-        page.logged_links.iter().any(|u| rdn_of(u) == landing_rdn),
+        page.logged_links.iter().any(|u| u.same_rdn(landing)),
     ));
     out.push(f64::from(
-        page.href_links.iter().any(|u| rdn_of(u) == landing_rdn),
+        page.href_links.iter().any(|u| u.same_rdn(landing)),
     ));
     // 12. distinct RDNs across chain + logged + HREF
-    out.push(
-        distinct_rdns(
-            page.redirection_chain
-                .iter()
-                .chain(&page.logged_links)
-                .chain(&page.href_links),
-        )
-        .len() as f64,
-    );
+    out.push(distinct_rdns(
+        page.redirection_chain
+            .iter()
+            .chain(&page.logged_links)
+            .chain(&page.href_links),
+    ) as f64);
     // 13. largest share of any single *external* RDN over all links —
-    // phish point heavily at one target domain.
-    // Ordered map (kyp-lint D01): `values()` below iterates, and feature
-    // extraction must be independent of hash order.
-    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    for u in extlog.iter().chain(extlink.iter()) {
-        *counts.entry(rdn_of(u)).or_insert(0) += 1;
+    // phish point heavily at one target domain. Grouping by a
+    // representative URL per class keeps the count deterministic without
+    // building RDN strings.
+    let mut counts: Vec<(&Url, usize)> = Vec::new();
+    for u in extlog.iter().copied().chain(extlink.iter().copied()) {
+        match counts.iter_mut().find(|(r, _)| r.same_rdn(u)) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((u, 1)),
+        }
     }
     let total_links = page.logged_links.len() + page.href_links.len();
-    let max_ext = counts.values().copied().max().unwrap_or(0);
+    let max_ext = counts.iter().map(|&(_, c)| c).max().unwrap_or(0);
     out.push(if total_links == 0 {
         0.0
     } else {
@@ -115,7 +121,7 @@ mod tests {
 
     fn f4_of(page: &VisitedPage) -> Vec<f64> {
         let mut out = Vec::new();
-        push_f4(page, &mut out);
+        push_f4(page, &crate::features::LinkSplits::of(page), &mut out);
         out
     }
 
@@ -176,5 +182,20 @@ mod tests {
         assert_eq!(out[3], 0.0);
         assert_eq!(out[5], 0.0);
         assert_eq!(out[12], 0.0);
+    }
+
+    #[test]
+    fn distinct_rdns_groups_subdomains_and_ips() {
+        let u = |s: &str| Url::parse(s).unwrap();
+        let urls = [
+            u("http://a.example.com/x"),
+            u("http://b.example.com/y"),
+            u("http://other.org/"),
+            u("http://10.0.0.1/a"),
+            u("http://10.0.0.1/b"),
+            u("http://10.0.0.2/c"),
+        ];
+        // example.com, other.org, 10.0.0.1, 10.0.0.2 → 4 classes.
+        assert_eq!(distinct_rdns(urls.iter()), 4);
     }
 }

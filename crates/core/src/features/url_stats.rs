@@ -6,7 +6,7 @@
 //! split by control (internal/external logged and HREF links; 84
 //! features), plus the https ratio (feature 1) per link set (4 features).
 
-use kyp_text::extract_terms;
+use kyp_text::term_count;
 use kyp_url::Url;
 use kyp_web::{DomainRanker, VisitedPage};
 
@@ -22,57 +22,83 @@ const AGG_STATS: [&str; 7] = [
     "alexa_rank",
 ];
 
-/// The nine statistics of a single URL (Table IV order).
-fn single_url_stats(url: &Url, ranker: &DomainRanker) -> [f64; 9] {
-    let free = url.free_url();
+/// The nine statistics of a single URL (Table IV order). `rdn_buf` is a
+/// reusable scratch string for the ranker lookup key.
+fn single_url_stats(url: &Url, ranker: &DomainRanker, rdn_buf: &mut String) -> [f64; 9] {
     [
         f64::from(url.is_https()),
-        free.dot_count() as f64,
+        url.free_dot_count() as f64,
         url.level_domain_count() as f64,
         url.len() as f64,
         url.fqdn_len() as f64,
         url.mld_len() as f64,
-        extract_terms(url.as_str()).len() as f64,
-        url.mld().map_or(0.0, |m| extract_terms(m).len() as f64),
-        rank_of(url, ranker),
+        term_count(url.as_str()) as f64,
+        url.mld().map_or(0.0, |m| term_count(m) as f64),
+        rank_of(url, ranker, rdn_buf),
     ]
 }
 
 /// Features 3–9 of one URL (the aggregatable subset).
-fn agg_stats(url: &Url, ranker: &DomainRanker) -> [f64; 7] {
-    let s = single_url_stats(url, ranker);
+fn agg_stats(url: &Url, ranker: &DomainRanker, rdn_buf: &mut String) -> [f64; 7] {
+    let s = single_url_stats(url, ranker, rdn_buf);
     [s[2], s[3], s[4], s[5], s[6], s[7], s[8]]
 }
 
-fn rank_of(url: &Url, ranker: &DomainRanker) -> f64 {
-    match url.rdn() {
-        Some(rdn) => f64::from(ranker.rank(&rdn)),
-        None => f64::from(kyp_web::UNRANKED),
+/// Alexa rank of the URL's RDN; the dotted lookup key is rebuilt into
+/// `buf` so the hot path performs no per-URL allocation.
+fn rank_of(url: &Url, ranker: &DomainRanker, buf: &mut String) -> f64 {
+    let labels = url.rdn_labels();
+    if labels.is_empty() {
+        return f64::from(kyp_web::UNRANKED);
     }
+    buf.clear();
+    for (i, label) in labels.iter().enumerate() {
+        if i > 0 {
+            buf.push('.');
+        }
+        buf.push_str(label);
+    }
+    f64::from(ranker.rank(buf))
 }
 
 /// Pushes all 106 f1 features.
-pub(crate) fn push_f1(page: &VisitedPage, ranker: &DomainRanker, out: &mut Vec<f64>) {
-    out.extend(single_url_stats(&page.starting_url, ranker));
-    out.extend(single_url_stats(&page.landing_url, ranker));
+pub(crate) fn push_f1(
+    page: &VisitedPage,
+    splits: &crate::features::LinkSplits<'_>,
+    ranker: &DomainRanker,
+    out: &mut Vec<f64>,
+) {
+    let mut rdn_buf = String::new();
+    let start_stats = single_url_stats(&page.starting_url, ranker, &mut rdn_buf);
+    out.extend(start_stats);
+    // Equal URLs yield equal statistics (pure function of the URL), so a
+    // page that lands where it started reuses the starting row.
+    if page.starting_url == page.landing_url {
+        out.extend(start_stats);
+    } else {
+        out.extend(single_url_stats(&page.landing_url, ranker, &mut rdn_buf));
+    }
 
-    let (intlog, extlog) = page.logged_split();
-    let (intlink, extlink) = page.href_split();
-    for set in [&intlog, &extlog, &intlink, &extlink] {
-        push_link_set(set, ranker, out);
+    for set in [
+        &splits.intlog,
+        &splits.extlog,
+        &splits.intlink,
+        &splits.extlink,
+    ] {
+        push_link_set(set, ranker, &mut rdn_buf, out);
     }
 }
 
 /// 22 features for one link set: https ratio + (mean, median, std) of the
 /// seven aggregatable statistics. Empty sets yield zeros (null features).
-fn push_link_set(urls: &[&Url], ranker: &DomainRanker, out: &mut Vec<f64>) {
+fn push_link_set(urls: &[&Url], ranker: &DomainRanker, rdn_buf: &mut String, out: &mut Vec<f64>) {
     if urls.is_empty() {
         out.extend(std::iter::repeat_n(0.0, 1 + AGG_STATS.len() * 3));
         return;
     }
     let https = urls.iter().filter(|u| u.is_https()).count() as f64 / urls.len() as f64;
     out.push(https);
-    let per_url: Vec<[f64; 7]> = urls.iter().map(|u| agg_stats(u, ranker)).collect();
+    let per_url: Vec<[f64; 7]> = urls.iter().map(|u| agg_stats(u, ranker, rdn_buf)).collect();
     let mut column = Vec::with_capacity(urls.len());
     for stat in 0..AGG_STATS.len() {
         column.clear();
@@ -142,7 +168,7 @@ mod tests {
     fn single_url_stats_values() {
         let ranker = DomainRanker::from_ranked(["amazon.co.uk"]);
         let u = url("https://www.amazon.co.uk/ap/signin?_encoding=UTF8");
-        let s = single_url_stats(&u, &ranker);
+        let s = single_url_stats(&u, &ranker, &mut String::new());
         assert_eq!(s[0], 1.0); // https
         assert_eq!(s[1], 0.0); // no dots in FreeURL parts
         assert_eq!(s[2], 4.0); // www.amazon.co.uk → 4 level domains
@@ -160,7 +186,7 @@ mod tests {
         let ranker = DomainRanker::new();
         // Subdomain "paypal.com.secure" contributes 2 dots to FreeURL.
         let u = url("http://paypal.com.secure.badhost.tk/a.php");
-        let s = single_url_stats(&u, &ranker);
+        let s = single_url_stats(&u, &ranker, &mut String::new());
         assert_eq!(s[1], 3.0);
         assert_eq!(s[2], 5.0); // 5 level domains
     }
@@ -169,7 +195,7 @@ mod tests {
     fn unranked_domain_gets_default() {
         let ranker = DomainRanker::new();
         let u = url("http://nowhere.example.xyz/");
-        let s = single_url_stats(&u, &ranker);
+        let s = single_url_stats(&u, &ranker, &mut String::new());
         assert_eq!(s[8], f64::from(kyp_web::UNRANKED));
     }
 
@@ -177,7 +203,7 @@ mod tests {
     fn ip_url_stats_are_null() {
         let ranker = DomainRanker::new();
         let u = url("http://10.0.0.1/login");
-        let s = single_url_stats(&u, &ranker);
+        let s = single_url_stats(&u, &ranker, &mut String::new());
         assert_eq!(s[2], 0.0); // no level domains
         assert_eq!(s[4], 0.0); // no fqdn length
         assert_eq!(s[5], 0.0); // no mld
@@ -187,7 +213,12 @@ mod tests {
     #[test]
     fn f1_produces_106_features() {
         let mut out = Vec::new();
-        push_f1(&phish(), &DomainRanker::new(), &mut out);
+        push_f1(
+            &phish(),
+            &crate::features::LinkSplits::of(&phish()),
+            &DomainRanker::new(),
+            &mut out,
+        );
         assert_eq!(out.len(), 106);
         let mut names = Vec::new();
         push_names(&mut names);
@@ -200,7 +231,12 @@ mod tests {
         p.logged_links.clear();
         p.href_links.clear();
         let mut out = Vec::new();
-        push_f1(&p, &DomainRanker::new(), &mut out);
+        push_f1(
+            &p,
+            &crate::features::LinkSplits::of(&p),
+            &DomainRanker::new(),
+            &mut out,
+        );
         // The four link-set blocks (positions 18..106) must all be zero.
         assert!(out[18..].iter().all(|&v| v == 0.0));
     }
@@ -220,7 +256,12 @@ mod tests {
     fn https_ratio_reflects_links() {
         let p = phish();
         let mut out = Vec::new();
-        push_f1(&p, &DomainRanker::new(), &mut out);
+        push_f1(
+            &p,
+            &crate::features::LinkSplits::of(&p),
+            &DomainRanker::new(),
+            &mut out,
+        );
         // extlog set = the two https paypal.com resources → ratio 1.0.
         let extlog_https = out[18 + 22];
         assert_eq!(extlog_https, 1.0);

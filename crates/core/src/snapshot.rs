@@ -147,7 +147,13 @@ impl ModelSnapshot {
                 expected: MODEL_SNAPSHOT_VERSION,
             });
         }
-        serde_json::from_value(value).map_err(|e| SnapshotError::Malformed(e.to_string()))
+        let snapshot: Self =
+            serde_json::from_value(value).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        // Compile the flat inference tables eagerly: every consumer of a
+        // loaded snapshot (eval, scan, serve, cluster) is about to score
+        // with it, and the first request should not pay the compilation.
+        snapshot.detector.warm();
+        Ok(snapshot)
     }
 
     /// Writes the snapshot to `path` as json.
@@ -200,6 +206,31 @@ mod tests {
                 back.detector.score(&row).to_bits(),
                 "scores must be bit-identical after a round trip"
             );
+        }
+    }
+
+    #[test]
+    fn roundtrip_then_compile_matches_original_flat_walk() {
+        // The serialized form carries only the boxed ensemble; a loaded
+        // snapshot recompiles its flat tables, and the recompiled walk
+        // must be bit-identical to the original detector's — both the
+        // flat path and the boxed reference path.
+        let snap = snapshot();
+        let back = ModelSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
+        let probes = [[1.0, 0.0], [0.0, 1.0], [0.3, 0.7], [2.5, -1.5]];
+        for p in &probes {
+            assert_eq!(
+                snap.detector.score(p).to_bits(),
+                back.detector.score(p).to_bits()
+            );
+            assert_eq!(
+                back.detector.score(p).to_bits(),
+                back.detector.score_reference(p).to_bits()
+            );
+        }
+        let batch = back.detector.score_batch(&probes);
+        for (p, got) in probes.iter().zip(&batch) {
+            assert_eq!(got.to_bits(), snap.detector.score(p).to_bits());
         }
     }
 

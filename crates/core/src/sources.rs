@@ -1,4 +1,4 @@
-use kyp_text::TermDistribution;
+use kyp_text::{TermDistribution, TermScratch};
 use kyp_url::Url;
 use kyp_web::{SourceAvailability, VisitedPage};
 
@@ -42,32 +42,76 @@ pub struct DataSources {
 impl DataSources {
     /// Computes every distribution from a scraped page.
     pub fn from_page(page: &VisitedPage) -> Self {
-        let (intlog_urls, extlog_urls) = page.logged_split();
-        let (intlink_urls, extlink_urls) = page.href_split();
+        Self::from_page_in(page, &mut TermScratch::new())
+    }
 
-        let free = |urls: &[&Url]| {
-            TermDistribution::from_texts(urls.iter().map(|u| u.free_url().joined()))
+    /// Computes every distribution from a scraped page, reusing
+    /// `scratch`'s buffers for the term extraction. Identical output to
+    /// [`Self::from_page`]; meant for batch loops, where one scratch
+    /// serves thousands of pages without reallocating.
+    pub fn from_page_in(page: &VisitedPage, scratch: &mut TermScratch) -> Self {
+        Self::from_page_with_splits(page, &crate::features::LinkSplits::of(page), scratch)
+    }
+
+    /// [`Self::from_page_in`] with the control-split link sets already
+    /// computed — the extraction hot path computes them once per page and
+    /// shares them with the f1/f4 features.
+    pub(crate) fn from_page_with_splits(
+        page: &VisitedPage,
+        splits: &crate::features::LinkSplits<'_>,
+        scratch: &mut TermScratch,
+    ) -> Self {
+        let (intlog_urls, extlog_urls) = (&splits.intlog, &splits.extlog);
+        let (intlink_urls, extlink_urls) = (&splits.intlink, &splits.extlink);
+
+        // URL-derived distributions extract terms straight from the URLs'
+        // borrowed pieces: the joined FreeURL / dotted RDN strings would
+        // only add separators that term extraction splits on anyway.
+        let free = |urls: &[&Url], scratch: &mut TermScratch| {
+            TermDistribution::from_texts_in(urls.iter().flat_map(|u| u.free_parts()), scratch)
         };
-        let rdns =
-            |urls: &[&Url]| TermDistribution::from_texts(urls.iter().filter_map(|u| u.rdn()));
+        let rdns = |urls: &[&Url], scratch: &mut TermScratch| {
+            TermDistribution::from_texts_in(urls.iter().flat_map(|u| u.rdn_labels()), scratch)
+        };
 
-        let mut intrdn = rdns(&intlink_urls);
-        intrdn.merge(&rdns(&intlog_urls));
+        let mut intrdn = rdns(intlink_urls, scratch);
+        intrdn.merge(&rdns(intlog_urls, scratch));
+
+        // Pages that land where they started (no cross-host redirect)
+        // share the starting URL's distributions: equal URLs extract
+        // equal distributions, so cloning is bit-identical and skips a
+        // second extraction + sort.
+        let start = TermDistribution::from_texts_in(page.starting_url.free_parts(), scratch);
+        let startrdn = TermDistribution::from_texts_in(page.starting_url.rdn_labels(), scratch);
+        let same_url = page.starting_url == page.landing_url;
+        let land = if same_url {
+            start.clone()
+        } else {
+            TermDistribution::from_texts_in(page.landing_url.free_parts(), scratch)
+        };
+        let landrdn = if same_url {
+            startrdn.clone()
+        } else {
+            TermDistribution::from_texts_in(page.landing_url.rdn_labels(), scratch)
+        };
 
         DataSources {
-            text: TermDistribution::from_text(&page.text),
-            title: TermDistribution::from_text(&page.title),
-            copyright: TermDistribution::from_text(page.copyright.as_deref().unwrap_or("")),
-            start: TermDistribution::from_text(&page.starting_url.free_url().joined()),
-            land: TermDistribution::from_text(&page.landing_url.free_url().joined()),
-            intlog: free(&intlog_urls),
-            intlink: free(&intlink_urls),
-            startrdn: TermDistribution::from_text(&page.starting_url.rdn().unwrap_or_default()),
-            landrdn: TermDistribution::from_text(&page.landing_url.rdn().unwrap_or_default()),
+            text: TermDistribution::from_text_in(&page.text, scratch),
+            title: TermDistribution::from_text_in(&page.title, scratch),
+            copyright: TermDistribution::from_text_in(
+                page.copyright.as_deref().unwrap_or(""),
+                scratch,
+            ),
+            start,
+            land,
+            intlog: free(intlog_urls, scratch),
+            intlink: free(intlink_urls, scratch),
+            startrdn,
+            landrdn,
             intrdn,
-            extrdn: rdns(&extlog_urls),
-            extlog: free(&extlog_urls),
-            extlink: free(&extlink_urls),
+            extrdn: rdns(extlog_urls, scratch),
+            extlog: free(extlog_urls, scratch),
+            extlink: free(extlink_urls, scratch),
         }
     }
 
@@ -222,6 +266,19 @@ mod tests {
         let s = DataSources::from_page(&page());
         assert_eq!(s.f2_distributions().len(), 12);
         assert_eq!(DataSources::f2_names().len(), 12);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_construction() {
+        let mut scratch = kyp_text::TermScratch::new();
+        let p = page();
+        // Reuse the same scratch repeatedly; every pass must equal the
+        // allocate-fresh path.
+        for _ in 0..3 {
+            let a = DataSources::from_page_in(&p, &mut scratch);
+            let b = DataSources::from_page(&p);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Batch-scoped scratch memory for the HTML hot path.
+//!
+//! A [`ParseArena`] owns the buffers [`Document::parse_in`] needs while
+//! walking a token stream — the body-text and title accumulators plus a
+//! tag-name [`Interner`]. Between pages the buffers are *reset, not
+//! freed*: a single arena carried through a batch loop amortises every
+//! per-page allocation down to the strings the final [`Document`] must
+//! own.
+//!
+//! [`Document`]: crate::Document
+//! [`Document::parse_in`]: crate::Document::parse_in
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_html::{Document, ParseArena};
+//!
+//! let mut arena = ParseArena::new();
+//! for html in ["<title>A</title>", "<title>B</title>"] {
+//!     let doc = Document::parse_in(html, &mut arena);
+//!     assert_eq!(doc, Document::parse(html)); // identical output
+//! }
+//! ```
+
+/// An interned string handle: a dense `u32` that compares in one
+/// instruction instead of a byte-wise string compare.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that issued
+/// them. The well-known tag names in [`sym`] are seeded at construction
+/// in a fixed order, so their symbols are stable constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub(crate) u32);
+
+/// Symbols of the tag names [`Document::parse_in`] dispatches on, stable
+/// because [`Interner::new`] seeds them in this exact order.
+///
+/// [`Document::parse_in`]: crate::Document::parse_in
+pub(crate) mod sym {
+    use super::Sym;
+
+    pub(crate) const HEAD: Sym = Sym(0);
+    pub(crate) const TITLE: Sym = Sym(1);
+    pub(crate) const A: Sym = Sym(2);
+    pub(crate) const AREA: Sym = Sym(3);
+    pub(crate) const IMG: Sym = Sym(4);
+    pub(crate) const SCRIPT: Sym = Sym(5);
+    pub(crate) const EMBED: Sym = Sym(6);
+    pub(crate) const SOURCE: Sym = Sym(7);
+    pub(crate) const AUDIO: Sym = Sym(8);
+    pub(crate) const VIDEO: Sym = Sym(9);
+    pub(crate) const LINK: Sym = Sym(10);
+    pub(crate) const IFRAME: Sym = Sym(11);
+    pub(crate) const FRAME: Sym = Sym(12);
+    pub(crate) const INPUT: Sym = Sym(13);
+    pub(crate) const TEXTAREA: Sym = Sym(14);
+    pub(crate) const SELECT: Sym = Sym(15);
+
+    /// Seeding order for [`super::Interner::new`]; index == symbol value.
+    pub(crate) const SEED: &[&str] = &[
+        "head", "title", "a", "area", "img", "script", "embed", "source", "audio", "video", "link",
+        "iframe", "frame", "input", "textarea", "select",
+    ];
+}
+
+/// A string interner over a sorted probe table — deliberately *not* a
+/// hash map, so lookup order can never leak into output (kyp-lint D01).
+///
+/// Interning the same string twice returns the same [`Sym`]. The table
+/// survives page resets (it is a batch-scoped cache: symbol values are
+/// only ever compared against the seeded constants, so accumulated
+/// entries cannot affect output).
+#[derive(Debug, Clone)]
+pub struct Interner {
+    /// Symbol-indexed storage: `strings[sym.0]` is the interned text.
+    strings: Vec<String>,
+    /// Indices into `strings`, sorted by the string they point at.
+    index: Vec<u32>,
+}
+
+impl Interner {
+    /// Creates an interner pre-seeded with the well-known tag names.
+    pub fn new() -> Self {
+        let mut interner = Interner {
+            strings: Vec::with_capacity(sym::SEED.len() * 2),
+            index: Vec::with_capacity(sym::SEED.len() * 2),
+        };
+        for name in sym::SEED {
+            interner.intern(name);
+        }
+        interner
+    }
+
+    /// Returns the symbol for `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        match self
+            .index
+            .binary_search_by(|&i| self.strings[i as usize].as_str().cmp(s))
+        {
+            Ok(pos) => Sym(self.index[pos]),
+            Err(pos) => {
+                let id = u32::try_from(self.strings.len()).unwrap_or(u32::MAX);
+                self.strings.push(s.to_owned());
+                self.index.insert(pos, id);
+                Sym(id)
+            }
+        }
+    }
+
+    /// The text behind a symbol issued by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.strings.get(sym.0 as usize).map_or("", String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned (never true: the well-known tag
+    /// seed is always present).
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reusable scratch for [`Document::parse_in`]: text accumulators and the
+/// tag-name interner, reset between pages but never shrunk.
+///
+/// [`Document::parse_in`]: crate::Document::parse_in
+#[derive(Debug, Clone)]
+pub struct ParseArena {
+    /// Body-text accumulator (space-joined trimmed text runs).
+    pub(crate) text: String,
+    /// Title accumulator.
+    pub(crate) title: String,
+    /// Batch-scoped tag-name interner.
+    pub(crate) interner: Interner,
+}
+
+impl ParseArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ParseArena {
+            text: String::new(),
+            title: String::new(),
+            interner: Interner::new(),
+        }
+    }
+
+    /// Clears the per-page buffers, keeping their capacity (and the
+    /// interner's accumulated table) for the next page.
+    pub(crate) fn page_reset(&mut self) {
+        self.text.clear();
+        self.title.clear();
+    }
+}
+
+impl Default for ParseArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_symbols_match_constants() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("head"), sym::HEAD);
+        assert_eq!(i.intern("title"), sym::TITLE);
+        assert_eq!(i.intern("select"), sym::SELECT);
+        assert_eq!(i.resolve(sym::IFRAME), "iframe");
+        assert_eq!(sym::SEED.len(), i.len());
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("custom-tag");
+        let b = i.intern("custom-tag");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "custom-tag");
+        let c = i.intern("another");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unknown_symbol_resolves_empty() {
+        let i = Interner::new();
+        assert_eq!(i.resolve(Sym(9999)), "");
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn page_reset_keeps_interner() {
+        let mut arena = ParseArena::new();
+        arena.text.push_str("body");
+        arena.title.push('t');
+        let custom = arena.interner.intern("marquee");
+        arena.page_reset();
+        assert!(arena.text.is_empty());
+        assert!(arena.title.is_empty());
+        // The interner table is batch-scoped: still warm after the reset.
+        assert_eq!(arena.interner.intern("marquee"), custom);
+    }
+}

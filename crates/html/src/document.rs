@@ -1,4 +1,6 @@
-use crate::tokenizer::{Token, Tokenizer};
+use crate::arena::{sym, ParseArena};
+use crate::tokenizer::{find_ascii_ci, Token, Tokenizer};
+use std::borrow::Cow;
 
 /// The data sources extracted from a page's HTML (paper Section II-C).
 ///
@@ -22,77 +24,93 @@ impl Document {
     /// means all text outside `<head>` counts as body text, and broken
     /// markup degrades to text.
     pub fn parse(html: &str) -> Self {
+        Self::parse_in(html, &mut ParseArena::new())
+    }
+
+    /// Parses HTML source reusing `arena`'s buffers. Identical output to
+    /// [`Self::parse`]; meant for batch loops, where one arena carried
+    /// across thousands of pages amortises the per-page text-assembly
+    /// and tag-dispatch allocations.
+    pub fn parse_in(html: &str, arena: &mut ParseArena) -> Self {
+        arena.page_reset();
         let mut doc = Document::default();
         let mut in_title = false;
         let mut in_head = false;
-        let mut text_parts: Vec<String> = Vec::new();
 
         for token in Tokenizer::new(html) {
             match token {
-                Token::StartTag { name, attrs, .. } => match name.as_str() {
-                    "head" => in_head = true,
-                    "title" => in_title = true,
-                    "a" | "area" => {
-                        if let Some(href) = attr(&attrs, "href") {
-                            if !href.is_empty() && !href.starts_with('#') {
-                                doc.href_links.push(href.to_owned());
+                Token::StartTag { name, attrs, .. } => {
+                    // One interner probe per tag; dispatch on the symbol.
+                    match arena.interner.intern(&name) {
+                        sym::HEAD => in_head = true,
+                        sym::TITLE => in_title = true,
+                        sym::A | sym::AREA => {
+                            if let Some(href) = attr(&attrs, "href") {
+                                if !href.is_empty() && !href.starts_with('#') {
+                                    doc.href_links.push(href.to_owned());
+                                }
                             }
                         }
-                    }
-                    "img" => {
-                        doc.image_count += 1;
-                        if let Some(src) = attr(&attrs, "src") {
-                            if !src.is_empty() {
-                                doc.resource_links.push(src.to_owned());
+                        sym::IMG => {
+                            doc.image_count += 1;
+                            if let Some(src) = attr(&attrs, "src") {
+                                if !src.is_empty() {
+                                    doc.resource_links.push(src.to_owned());
+                                }
                             }
                         }
-                    }
-                    "script" | "embed" | "source" | "audio" | "video" => {
-                        if let Some(src) = attr(&attrs, "src") {
-                            if !src.is_empty() {
-                                doc.resource_links.push(src.to_owned());
+                        sym::SCRIPT | sym::EMBED | sym::SOURCE | sym::AUDIO | sym::VIDEO => {
+                            if let Some(src) = attr(&attrs, "src") {
+                                if !src.is_empty() {
+                                    doc.resource_links.push(src.to_owned());
+                                }
                             }
                         }
-                    }
-                    "link" => {
-                        if let Some(href) = attr(&attrs, "href") {
-                            if !href.is_empty() {
-                                doc.resource_links.push(href.to_owned());
+                        sym::LINK => {
+                            if let Some(href) = attr(&attrs, "href") {
+                                if !href.is_empty() {
+                                    doc.resource_links.push(href.to_owned());
+                                }
                             }
                         }
-                    }
-                    "iframe" | "frame" => {
-                        doc.iframe_count += 1;
-                        if let Some(src) = attr(&attrs, "src") {
-                            if !src.is_empty() {
-                                doc.resource_links.push(src.to_owned());
+                        sym::IFRAME | sym::FRAME => {
+                            doc.iframe_count += 1;
+                            if let Some(src) = attr(&attrs, "src") {
+                                if !src.is_empty() {
+                                    doc.resource_links.push(src.to_owned());
+                                }
                             }
                         }
-                    }
-                    "input" | "textarea" | "select" => {
-                        // Only fields that collect user data count
-                        // (phishing pages exist to harvest input).
-                        let non_data = attr(&attrs, "type").is_some_and(|t| {
-                            matches!(t, "hidden" | "submit" | "button" | "reset" | "image")
-                        });
-                        if !non_data {
-                            doc.input_count += 1;
+                        sym::INPUT | sym::TEXTAREA | sym::SELECT => {
+                            // Only fields that collect user data count
+                            // (phishing pages exist to harvest input).
+                            let non_data = attr(&attrs, "type").is_some_and(|t| {
+                                matches!(t, "hidden" | "submit" | "button" | "reset" | "image")
+                            });
+                            if !non_data {
+                                doc.input_count += 1;
+                            }
                         }
+                        _ => {}
                     }
-                    _ => {}
-                },
-                Token::EndTag { name } => match name.as_str() {
-                    "head" => in_head = false,
-                    "title" => in_title = false,
+                }
+                Token::EndTag { name } => match arena.interner.intern(&name) {
+                    sym::HEAD => in_head = false,
+                    sym::TITLE => in_title = false,
                     _ => {}
                 },
                 Token::Text(t) => {
                     if in_title {
-                        doc.title.push_str(&t);
+                        arena.title.push_str(&t);
                     } else if !in_head {
+                        // Assemble body text directly in the arena buffer
+                        // (what `Vec<String>` + `join(" ")` used to build).
                         let trimmed = t.trim();
                         if !trimmed.is_empty() {
-                            text_parts.push(trimmed.to_owned());
+                            if !arena.text.is_empty() {
+                                arena.text.push(' ');
+                            }
+                            arena.text.push_str(trimmed);
                         }
                     }
                 }
@@ -100,8 +118,8 @@ impl Document {
             }
         }
 
-        doc.text = text_parts.join(" ");
-        doc.title = String::from(doc.title.trim());
+        doc.text.clone_from(&arena.text);
+        doc.title = String::from(arena.title.trim());
         doc.copyright = find_copyright(&doc.text);
         doc
     }
@@ -148,11 +166,11 @@ impl Document {
     }
 }
 
-fn attr<'a>(attrs: &'a [(String, String)], name: &str) -> Option<&'a str> {
+fn attr<'t>(attrs: &'t [(Cow<'_, str>, Cow<'_, str>)], name: &str) -> Option<&'t str> {
     attrs
         .iter()
-        .find(|(n, _)| n == name)
-        .map(|(_, v)| v.as_str())
+        .find(|(n, _)| n.as_ref() == name)
+        .map(|(_, v)| v.as_ref())
 }
 
 /// Finds the copyright notice inside rendered text: the sentence-ish
@@ -171,16 +189,6 @@ fn find_copyright(text: &str) -> Option<String> {
     let notice = text[start..end].trim();
     let notice: String = notice.chars().take(200).collect();
     (!notice.is_empty()).then_some(notice)
-}
-
-/// Byte offset of the first ASCII-case-insensitive occurrence of `pat`.
-fn find_ascii_ci(haystack: &str, pat: &str) -> Option<usize> {
-    let h = haystack.as_bytes();
-    let p = pat.as_bytes();
-    if p.is_empty() || p.len() > h.len() {
-        return None;
-    }
-    (0..=h.len() - p.len()).find(|&i| h[i..i + p.len()].eq_ignore_ascii_case(p))
 }
 
 #[cfg(test)]
@@ -219,6 +227,24 @@ mod tests {
         assert!(doc.text().contains("Access your account securely."));
         assert!(!doc.text().contains("stylesheet"));
         assert!(!doc.text().contains("lib.js"));
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_parse() {
+        // One arena across many pages (and many reuses of the same page)
+        // must produce exactly what the allocate-fresh path produces.
+        let mut arena = ParseArena::new();
+        let pages = [
+            PAGE,
+            "<title>A</title><body>text &amp; more</body>",
+            "",
+            "<P>UPPER <MARQUEE>legacy</MARQUEE></P>",
+        ];
+        for _ in 0..3 {
+            for html in pages {
+                assert_eq!(Document::parse_in(html, &mut arena), Document::parse(html));
+            }
+        }
     }
 
     #[test]

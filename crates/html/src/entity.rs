@@ -1,6 +1,8 @@
 //! Minimal HTML entity decoding — the named entities our generators emit
 //! plus numeric character references.
 
+use std::borrow::Cow;
+
 /// Decodes HTML entities in `input`.
 ///
 /// Handles the common named entities (`&amp;`, `&lt;`, `&gt;`, `&quot;`,
@@ -8,15 +10,40 @@
 /// `&eacute;`) and numeric references (`&#233;`, `&#x00E9;`). Unknown
 /// entities are passed through verbatim.
 ///
+/// Returns [`Cow::Borrowed`] when nothing decodes — the overwhelmingly
+/// common case for real page text — so the hot tokenizer path allocates
+/// only on inputs that actually contain entities.
+///
 /// # Examples
 ///
 /// ```
 /// assert_eq!(kyp_html::decode_entities("caf&eacute; &copy; 2015"), "café © 2015");
 /// assert_eq!(kyp_html::decode_entities("1 &lt; 2 &amp;&amp; 3 &gt; 2"), "1 < 2 && 3 > 2");
+/// // Entity-free text is passed through without allocating.
+/// assert!(matches!(
+///     kyp_html::decode_entities("plain text"),
+///     std::borrow::Cow::Borrowed(_)
+/// ));
 /// ```
-pub fn decode_entities(input: &str) -> String {
+pub fn decode_entities(input: &str) -> Cow<'_, str> {
+    // Find the first entity that actually decodes; everything up to it is
+    // borrowed untouched. Inputs with no decodable entity never allocate.
+    let mut search = 0;
+    let (first_char, first_pos, first_len) = loop {
+        let Some(rel) = input[search..].find('&') else {
+            return Cow::Borrowed(input);
+        };
+        let pos = search + rel;
+        if let Some((c, consumed)) = decode_one(&input[pos..]) {
+            break (c, pos, consumed);
+        }
+        search = pos + 1;
+    };
+
     let mut out = String::with_capacity(input.len());
-    let mut rest = input;
+    out.push_str(&input[..first_pos]);
+    out.push(first_char);
+    let mut rest = &input[first_pos + first_len..];
     while let Some(pos) = rest.find('&') {
         out.push_str(&rest[..pos]);
         rest = &rest[pos..];
@@ -29,7 +56,7 @@ pub fn decode_entities(input: &str) -> String {
         }
     }
     out.push_str(rest);
-    out
+    Cow::Owned(out)
 }
 
 /// Tries to decode a single entity at the start of `s` (which begins with
@@ -112,6 +139,17 @@ mod tests {
     fn no_entities_is_identity() {
         assert_eq!(decode_entities("plain text"), "plain text");
         assert_eq!(decode_entities(""), "");
+    }
+
+    #[test]
+    fn entity_free_input_is_borrowed() {
+        // Zero-allocation pass-through, even with undecodable ampersands.
+        for s in ["plain", "", "fish & chips", "&bogus;", "a & b & c"] {
+            assert!(matches!(decode_entities(s), Cow::Borrowed(_)), "{s:?}");
+        }
+        // A decodable entity forces an owned copy.
+        assert!(matches!(decode_entities("a &amp; b"), Cow::Owned(_)));
+        assert!(matches!(decode_entities("&#65;"), Cow::Owned(_)));
     }
 
     #[test]

@@ -36,11 +36,13 @@
 //! assert_eq!(doc.image_count(), 1);
 //! ```
 
+mod arena;
 mod builder;
 mod document;
 mod entity;
 mod tokenizer;
 
+pub use arena::{Interner, ParseArena, Sym};
 pub use builder::PageBuilder;
 pub use document::Document;
 pub use entity::decode_entities;

@@ -4,29 +4,40 @@
 //! text runs. Comments and doctypes are skipped; the contents of `script`
 //! and `style` elements are consumed as raw text and emitted as
 //! [`Token::RawText`] so they never pollute the rendered-text extraction.
+//!
+//! Tokens *borrow* from the input wherever the source bytes can be used
+//! verbatim — already-lowercase tag names, entity-free text runs, raw
+//! script/style content — and only fall back to owned strings when
+//! normalisation (lowercasing, entity decoding) actually changes bytes.
+//! On realistic pages that makes tokenization allocation-free outside
+//! the attribute vector itself.
+
+use std::borrow::Cow;
 
 /// One token of the HTML input.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Token {
+pub enum Token<'a> {
     /// `<name attr="value" ...>`; `self_closing` is true for `<br/>`.
     StartTag {
-        /// Lowercased tag name.
-        name: String,
+        /// Lowercased tag name (borrowed when already lowercase).
+        name: Cow<'a, str>,
         /// Attribute name/value pairs, names lowercased, values
-        /// entity-decoded.
-        attrs: Vec<(String, String)>,
+        /// entity-decoded; both borrow the input when unchanged by
+        /// normalisation.
+        attrs: Vec<(Cow<'a, str>, Cow<'a, str>)>,
         /// Whether the tag ended with `/>`.
         self_closing: bool,
     },
     /// `</name>` with the name lowercased.
     EndTag {
-        /// Lowercased tag name.
-        name: String,
+        /// Lowercased tag name (borrowed when already lowercase).
+        name: Cow<'a, str>,
     },
-    /// A run of document text, entity-decoded.
-    Text(String),
-    /// The raw contents of a `<script>` or `<style>` element.
-    RawText(String),
+    /// A run of document text, entity-decoded (borrowed when entity-free).
+    Text(Cow<'a, str>),
+    /// The raw contents of a `<script>` or `<style>` element, always a
+    /// direct slice of the input.
+    RawText(&'a str),
 }
 
 /// Streaming tokenizer over an HTML string.
@@ -48,6 +59,28 @@ pub struct Tokenizer<'a> {
     pending_raw: Option<&'static str>,
 }
 
+/// Lowercases `s`, borrowing it unchanged when it already is lowercase —
+/// the common case for real markup, where tag and attribute names arrive
+/// lowercase and need no allocation.
+fn lower(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+/// Byte offset of the first ASCII-case-insensitive occurrence of `pat` in
+/// `haystack`, without allocating a lowercased copy of either.
+pub(crate) fn find_ascii_ci(haystack: &str, pat: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let p = pat.as_bytes();
+    if p.is_empty() || p.len() > h.len() {
+        return None;
+    }
+    (0..=h.len() - p.len()).find(|&i| h[i..i + p.len()].eq_ignore_ascii_case(p))
+}
+
 impl<'a> Tokenizer<'a> {
     /// Creates a tokenizer over `input`.
     pub fn new(input: &'a str) -> Self {
@@ -62,20 +95,19 @@ impl<'a> Tokenizer<'a> {
         &self.input[self.pos..]
     }
 
-    fn take_raw_text(&mut self, close: &str) -> Token {
+    fn take_raw_text(&mut self, close: &str) -> Token<'a> {
         let rest = self.rest();
-        let lower = rest.to_ascii_lowercase();
-        if let Some(idx) = lower.find(close) {
+        if let Some(idx) = find_ascii_ci(rest, close) {
             let content = &rest[..idx];
             self.pos += idx;
-            Token::RawText(content.to_owned())
+            Token::RawText(content)
         } else {
             self.pos = self.input.len();
-            Token::RawText(rest.to_owned())
+            Token::RawText(rest)
         }
     }
 
-    fn take_tag(&mut self) -> Option<Token> {
+    fn take_tag(&mut self) -> Option<Token<'a>> {
         // self.rest() starts with '<'.
         let rest = self.rest();
         let bytes = rest.as_bytes();
@@ -102,7 +134,7 @@ impl<'a> Tokenizer<'a> {
             Some(c) if c.is_ascii_alphabetic() => {}
             _ => {
                 self.pos += 1;
-                return Some(Token::Text("<".to_owned()));
+                return Some(Token::Text(Cow::Borrowed(&rest[..1])));
             }
         }
         // An unterminated tag at end of input is the signature of a
@@ -119,7 +151,7 @@ impl<'a> Tokenizer<'a> {
         let name_end = chars
             .find(|(_, c)| !c.is_ascii_alphanumeric())
             .map_or(inner.len(), |(i, _)| i);
-        let name = inner[..name_end].to_ascii_lowercase();
+        let name = lower(&inner[..name_end]);
         if closing {
             return Some(Token::EndTag { name });
         }
@@ -139,13 +171,13 @@ impl<'a> Tokenizer<'a> {
     }
 }
 
-impl Iterator for Tokenizer<'_> {
-    type Item = Token;
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Token<'a>;
 
-    fn next(&mut self) -> Option<Token> {
+    fn next(&mut self) -> Option<Token<'a>> {
         if let Some(close) = self.pending_raw.take() {
             let tok = self.take_raw_text(close);
-            if let Token::RawText(ref t) = tok {
+            if let Token::RawText(t) = tok {
                 if t.is_empty() {
                     return self.next();
                 }
@@ -166,7 +198,7 @@ impl Iterator for Tokenizer<'_> {
     }
 }
 
-fn parse_attrs(input: &str) -> Vec<(String, String)> {
+fn parse_attrs(input: &str) -> Vec<(Cow<'_, str>, Cow<'_, str>)> {
     let b = input.as_bytes();
     let mut attrs = Vec::new();
     let mut i = 0;
@@ -184,13 +216,13 @@ fn parse_attrs(input: &str) -> Vec<(String, String)> {
         while i < n && b[i] != b'=' && !b[i].is_ascii_whitespace() {
             i += 1;
         }
-        let name = input[name_start..i].to_ascii_lowercase();
+        let name = lower(&input[name_start..i]);
         // Skip whitespace before a possible '='.
         let mut j = i;
         while j < n && b[j].is_ascii_whitespace() {
             j += 1;
         }
-        let mut value = String::new();
+        let mut value = Cow::Borrowed("");
         if j < n && b[j] == b'=' {
             j += 1;
             while j < n && b[j].is_ascii_whitespace() {
@@ -227,8 +259,15 @@ fn parse_attrs(input: &str) -> Vec<(String, String)> {
 mod tests {
     use super::*;
 
-    fn tokens(html: &str) -> Vec<Token> {
+    fn tokens(html: &str) -> Vec<Token<'_>> {
         Tokenizer::new(html).collect()
+    }
+
+    fn owned(attrs: &[(Cow<'_, str>, Cow<'_, str>)]) -> Vec<(String, String)> {
+        attrs
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -255,8 +294,8 @@ mod tests {
             Token::StartTag { name, attrs, .. } => {
                 assert_eq!(name, "a");
                 assert_eq!(
-                    attrs,
-                    &vec![
+                    owned(attrs),
+                    vec![
                         ("href".to_string(), "https://x.com/a".to_string()),
                         ("class".to_string(), "link".to_string()),
                         ("id".to_string(), "z".to_string()),
@@ -265,6 +304,28 @@ mod tests {
             }
             t => panic!("unexpected token {t:?}"),
         }
+    }
+
+    #[test]
+    fn lowercase_input_tokenizes_borrowed() {
+        // The hot path: already-normalised markup borrows everything.
+        let toks = tokens(r#"<a href="/x">go &amp; stop</a><script>raw</script>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert!(matches!(name, Cow::Borrowed(_)));
+                assert!(matches!(attrs[0].0, Cow::Borrowed(_)));
+                assert!(matches!(attrs[0].1, Cow::Borrowed(_)));
+            }
+            t => panic!("unexpected token {t:?}"),
+        }
+        // Entity-bearing text is owned; entity-free text is borrowed.
+        assert!(matches!(&toks[1], Token::Text(Cow::Owned(_))));
+        match &toks[2] {
+            Token::EndTag { name } => assert!(matches!(name, Cow::Borrowed(_))),
+            t => panic!("unexpected token {t:?}"),
+        }
+        let plain = tokens("<p>plain</p>");
+        assert!(matches!(&plain[1], Token::Text(Cow::Borrowed(_))));
     }
 
     #[test]
@@ -301,6 +362,13 @@ mod tests {
     }
 
     #[test]
+    fn raw_text_close_tag_is_case_insensitive() {
+        let toks = tokens("<script>x = 1;</SCRIPT>after");
+        assert!(matches!(&toks[1], Token::RawText(t) if t.contains("x = 1")));
+        assert_eq!(*toks.last().unwrap(), Token::Text("after".into()));
+    }
+
+    #[test]
     fn entities_decoded_in_text() {
         let toks = tokens("<p>a &amp; b</p>");
         assert_eq!(toks[1], Token::Text("a & b".into()));
@@ -312,7 +380,7 @@ mod tests {
         let text: String = toks
             .iter()
             .filter_map(|t| match t {
-                Token::Text(s) => Some(s.as_str()),
+                Token::Text(s) => Some(s.as_ref()),
                 _ => None,
             })
             .collect();
@@ -338,7 +406,7 @@ mod tests {
             Token::StartTag { name, attrs, .. } => {
                 assert_eq!(name, "a");
                 assert_eq!(
-                    attrs[0],
+                    owned(attrs)[0],
                     ("href".to_string(), "https://x.com/a".to_string())
                 );
             }
@@ -392,6 +460,15 @@ mod tests {
         let toks = tokens("<DIV CLASS=\"x\"></DIV>");
         assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "div"));
         assert!(matches!(&toks[1], Token::EndTag { name } if name == "div"));
+    }
+
+    #[test]
+    fn find_ascii_ci_offsets() {
+        assert_eq!(find_ascii_ci("abcDEF", "def"), Some(3));
+        assert_eq!(find_ascii_ci("abc", "z"), None);
+        assert_eq!(find_ascii_ci("abc", ""), None);
+        assert_eq!(find_ascii_ci("ab", "abc"), None);
+        assert_eq!(find_ascii_ci("</SCRIPT>", "</script"), Some(0));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! | D03 | no raw `thread::spawn`/`scope` outside `crates/exec` |
 //! | D04 | no entropy-seeded RNG anywhere |
 //! | D05 | no `unsafe` outside `crates/exec` |
-//! | P01 | no `unwrap()`/`expect()` in `core`/`serve` library code |
+//! | P01 | no `unwrap()`/`expect()` in hot-path library code (`core`/`serve`/`obs`/`cluster`/`ml`/`html`) |
 //! | A00 | every allow annotation carries a justification |
 //!
 //! A finding is suppressed by an inline escape hatch on the same or the

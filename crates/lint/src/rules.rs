@@ -5,8 +5,9 @@
 //! architectural contract of DESIGN.md §8e: all output-affecting crates
 //! must be order-deterministic (D01), wall clocks live only in `bench`
 //! (D02), raw threads only in `exec` (D03), entropy-seeded randomness
-//! nowhere (D04), `unsafe` only in `exec` (D05), and the hot `core`/`serve`
-//! library paths must not panic on `Option`/`Result` (P01).
+//! nowhere (D04), `unsafe` only in `exec` (D05), and the hot library
+//! paths — `core`/`serve`/`obs`/`cluster` plus the `ml`/`html` inference
+//! and parsing kernels — must not panic on `Option`/`Result` (P01).
 
 /// How bad a finding is. Every shipped rule is an error today; the
 /// severity channel exists so future advisory rules can ride the same
@@ -121,8 +122,9 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "P01",
         severity: Severity::Error,
-        scope: Scope::Only(&["core", "serve", "obs", "cluster"]),
-        summary: "no unwrap()/expect() in non-test library code of core/serve/obs/cluster",
+        scope: Scope::Only(&["core", "serve", "obs", "cluster", "ml", "html"]),
+        summary: "no unwrap()/expect() in non-test library code of \
+                  core/serve/obs/cluster/ml/html",
     },
     Rule {
         id: "A00",
@@ -157,5 +159,8 @@ mod tests {
         assert!(!rule_by_id("D02").unwrap().scope.applies_to("bench"));
         assert!(rule_by_id("D04").unwrap().scope.applies_to("lint"));
         assert!(!rule_by_id("P01").unwrap().scope.applies_to("text"));
+        // The hot-path kernels (flat model, parse arena) are in scope.
+        assert!(rule_by_id("P01").unwrap().scope.applies_to("ml"));
+        assert!(rule_by_id("P01").unwrap().scope.applies_to("html"));
     }
 }

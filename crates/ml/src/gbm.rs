@@ -205,11 +205,35 @@ impl GradientBoosting {
 
     /// Confidence scores for every row of a dataset.
     ///
-    /// Rows are scored in parallel on the default [`kyp_exec`] pool; the
-    /// result is identical to mapping [`GradientBoosting::predict_proba`]
+    /// The ensemble is compiled to a [`crate::FlatModel`] once, then rows
+    /// are scored in parallel on the default [`kyp_exec`] pool; the result
+    /// is bit-identical to mapping [`GradientBoosting::predict_proba`]
     /// over the rows serially.
     pub fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
-        kyp_exec::pool().par_map_index(data.len(), |i| self.predict_proba(data.row(i)))
+        let flat = self.compile();
+        kyp_exec::pool().par_map_index(data.len(), |i| flat.predict_proba(data.row(i)))
+    }
+
+    /// Compiles the ensemble into a [`crate::FlatModel`] for
+    /// cache-friendly inference. Scoring through the compiled model is
+    /// bit-identical to [`GradientBoosting::predict_proba`].
+    pub fn compile(&self) -> crate::FlatModel {
+        crate::FlatModel::compile(self)
+    }
+
+    /// The fitted trees, in boosting order (for compilation).
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// The prior log-odds every score starts from (for compilation).
+    pub(crate) fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// The shrinkage applied to each tree (for compilation).
+    pub(crate) fn learning_rate(&self) -> f64 {
+        self.learning_rate
     }
 
     /// Number of fitted trees.
@@ -242,7 +266,7 @@ impl GradientBoosting {
 }
 
 #[inline]
-fn sigmoid(x: f64) -> f64 {
+pub(crate) fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 

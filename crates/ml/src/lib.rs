@@ -36,6 +36,7 @@
 //! ```
 
 mod dataset;
+mod flat;
 mod gbm;
 mod logreg;
 mod tree;
@@ -44,6 +45,7 @@ pub mod cv;
 pub mod metrics;
 
 pub use dataset::Dataset;
+pub use flat::FlatModel;
 pub use gbm::{GbmParams, GradientBoosting};
 pub use logreg::{hash_feature, SparseLogisticRegression};
 pub use tree::RegressionTree;

@@ -39,7 +39,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Split {
         feature: usize,
         /// Raw-value threshold: `x <= threshold` goes left.
@@ -359,6 +359,11 @@ impl RegressionTree {
     /// Number of nodes in the tree.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The tree's nodes, for compilation into a flat layout.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Adds each split's gain to `importance[feature]`.

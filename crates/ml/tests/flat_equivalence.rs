@@ -1,0 +1,167 @@
+//! Property tests: the compiled [`FlatModel`] must be a bit-identical
+//! drop-in for the boxed-enum tree walk, for *any* fitted ensemble.
+//!
+//! Random datasets (seeded, deterministic) are fitted with varied
+//! hyper-parameters; every row of every model must score to the same
+//! `f64::to_bits` through `FlatModel::predict_batch`,
+//! `FlatModel::predict_proba` and the reference
+//! `GradientBoosting::predict_proba`.
+
+use kyp_ml::{Dataset, GbmParams, GradientBoosting};
+
+/// SplitMix64: a tiny deterministic generator for test data.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A random dataset with a learnable (noisy linear) labeling and a few
+/// adversarial columns: a constant, a duplicated feature, and ties.
+fn random_dataset(rng: &mut SplitMix, rows: usize, features: usize) -> Dataset {
+    let mut d = Dataset::new(features);
+    let mut row = vec![0.0; features];
+    for _ in 0..rows {
+        for (f, v) in row.iter_mut().enumerate() {
+            *v = match f % 4 {
+                0 => rng.next_f64(),
+                1 => (rng.next_u64() % 5) as f64, // heavy ties
+                2 => 7.25,                        // constant column
+                _ => rng.next_f64() * 100.0 - 50.0,
+            };
+        }
+        let signal: f64 = row.iter().step_by(4).sum();
+        let label = signal + rng.next_f64() * 0.5 > 0.5 * (features as f64 / 4.0).ceil();
+        d.push_row(&row, label);
+    }
+    // Guarantee both classes.
+    d.push_row(&vec![0.0; features], false);
+    d.push_row(&vec![1.0; features], true);
+    d
+}
+
+#[test]
+fn flat_model_is_bit_identical_on_random_ensembles() {
+    let mut rng = SplitMix(0x6b79_705f_666c_6174); // "kyp_flat"
+    let configs = [
+        (
+            60,
+            4,
+            GbmParams {
+                n_trees: 12,
+                max_depth: 2,
+                ..GbmParams::default()
+            },
+        ),
+        (
+            200,
+            8,
+            GbmParams {
+                n_trees: 25,
+                max_depth: 5,
+                subsample: 0.6,
+                ..GbmParams::default()
+            },
+        ),
+        (
+            120,
+            3,
+            GbmParams {
+                n_trees: 8,
+                max_depth: 0,
+                ..GbmParams::default()
+            },
+        ),
+        (
+            300,
+            12,
+            GbmParams {
+                n_trees: 40,
+                colsample: 0.5,
+                seed: 9,
+                ..GbmParams::default()
+            },
+        ),
+    ];
+    for (round, (rows, features, params)) in configs.into_iter().enumerate() {
+        let data = random_dataset(&mut rng, rows, features);
+        let model = GradientBoosting::fit(&data, &params);
+        let flat = model.compile();
+        assert_eq!(flat.n_trees(), model.n_trees(), "round {round}");
+
+        let all_rows: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i).to_vec()).collect();
+        let batch = flat.predict_batch(&all_rows);
+        assert_eq!(batch.len(), all_rows.len());
+        for (i, row) in all_rows.iter().enumerate() {
+            let reference = model.predict_proba(row);
+            assert_eq!(
+                flat.predict_proba(row).to_bits(),
+                reference.to_bits(),
+                "round {round} row {i}: pointwise flat walk diverged"
+            );
+            assert_eq!(
+                batch[i].to_bits(),
+                reference.to_bits(),
+                "round {round} row {i}: batch-major walk diverged"
+            );
+            assert_eq!(
+                flat.decision_function(row).to_bits(),
+                model.decision_function(row).to_bits(),
+                "round {round} row {i}: raw score diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn flat_model_matches_on_out_of_distribution_probes() {
+    // Probes far outside the training range exercise every extreme path
+    // of the threshold comparisons.
+    let mut rng = SplitMix(7);
+    let data = random_dataset(&mut rng, 150, 6);
+    let model = GradientBoosting::fit(
+        &data,
+        &GbmParams {
+            n_trees: 20,
+            ..GbmParams::default()
+        },
+    );
+    let flat = model.compile();
+    let probes: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            (0..6)
+                .map(|f| ((i * 7 + f) as f64 - 200.0) * 13.7)
+                .collect()
+        })
+        .collect();
+    let batch = flat.predict_batch(&probes);
+    for (i, p) in probes.iter().enumerate() {
+        assert_eq!(batch[i].to_bits(), model.predict_proba(p).to_bits(), "{i}");
+    }
+}
+
+#[test]
+fn predict_dataset_routes_through_flat_identically() {
+    let mut rng = SplitMix(99);
+    let data = random_dataset(&mut rng, 250, 5);
+    let model = GradientBoosting::fit(&data, &GbmParams::default());
+    let scores = model.predict_dataset(&data);
+    for (i, s) in scores.iter().enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            model.predict_proba(data.row(i)).to_bits(),
+            "{i}"
+        );
+    }
+}

@@ -1,12 +1,18 @@
-use crate::extract_terms;
+use crate::{canonicalize_char, MIN_TERM_LEN};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// A term distribution `D_S`: the terms of a data source with their
 /// relative frequencies (Section III-B).
 ///
 /// The distribution is stored as raw counts so distributions can be merged
-/// cheaply; probabilities are derived on demand.
+/// cheaply; probabilities are derived on demand. Internally the distinct
+/// terms live concatenated in one `String` with a `(start, end, count)`
+/// span table sorted by term — building a distribution costs two
+/// allocations however many terms it holds, lookups are a binary search
+/// over contiguous memory, and the pairwise distances walk two sorted
+/// tables in lockstep — the layout behind the hot-path consistency
+/// features. The JSON form is unchanged from the original tree-backed
+/// representation (`counts` as a sorted object).
 ///
 /// # Examples
 ///
@@ -18,10 +24,169 @@ use std::collections::BTreeMap;
 /// assert_eq!(d.probability("pal"), 1.0 / 3.0);
 /// assert_eq!(d.probability("bank"), 0.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TermDistribution {
-    counts: BTreeMap<String, u32>,
+    /// Distinct terms in lexicographic order, concatenated back to back.
+    terms: String,
+    /// `(start, end, count)` per distinct term, in term order. The
+    /// representation is canonical (offsets follow from the sorted terms),
+    /// so derived equality matches logical equality.
+    spans: Vec<(u32, u32, u32)>,
     total: u32,
+}
+
+/// Appends one distinct term to a `(terms, spans)` table under
+/// construction.
+#[inline]
+fn push_entry(terms: &mut String, spans: &mut Vec<(u32, u32, u32)>, term: &str, count: u32) {
+    let start = terms.len() as u32;
+    terms.push_str(term);
+    spans.push((start, terms.len() as u32, count));
+}
+
+/// Reusable buffers for allocation-light distribution building.
+///
+/// [`TermDistribution::from_text_in`] canonicalises the input into one
+/// growable byte buffer, records term *spans* instead of owned strings,
+/// sorts the spans, and emits the distribution in two allocations. The
+/// buffers are retained (not freed) across calls, so a batch loop that
+/// processes thousands of pages reuses the same backing storage
+/// throughout.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_text::{TermDistribution, TermScratch};
+///
+/// let mut scratch = TermScratch::new();
+/// let a = TermDistribution::from_text_in("pay pal pay", &mut scratch);
+/// let b = TermDistribution::from_text("pay pal pay");
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Default)]
+pub struct TermScratch {
+    /// Canonicalised letters of all kept terms, concatenated.
+    buf: String,
+    /// `(start, end)` byte spans of terms inside `buf`.
+    spans: Vec<(u32, u32)>,
+    /// Sort workspace: `(prefix key, start, end)` per span.
+    keyed: Vec<(u64, u32, u32)>,
+}
+
+/// The first eight bytes of a term packed big-endian into a `u64`,
+/// zero-padded on the right. Terms are canonical (`[a-z]+`, no zero
+/// bytes), so comparing keys equals comparing the first eight bytes
+/// lexicographically, with a shorter term sorting before its extensions —
+/// exactly the prefix of full lexicographic order. Two distinct terms
+/// share a key only when both are at least eight bytes long and agree on
+/// the first eight, so a tie-break on the bytes past the prefix restores
+/// the total order.
+#[inline]
+fn prefix_key(bytes: &[u8]) -> u64 {
+    let mut packed = [0u8; 8];
+    let n = bytes.len().min(8);
+    packed[..n].copy_from_slice(&bytes[..n]);
+    u64::from_be_bytes(packed)
+}
+
+impl TermScratch {
+    /// Creates an empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the recorded terms, keeping the allocations.
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.spans.clear();
+    }
+
+    /// Ends the term starting at `start`: records its span when long
+    /// enough, discards it otherwise. Returns the next term's start.
+    #[inline]
+    fn flush_span(&mut self, start: usize) -> usize {
+        if self.buf.len() - start >= MIN_TERM_LEN {
+            self.spans.push((start as u32, self.buf.len() as u32));
+        } else {
+            self.buf.truncate(start);
+        }
+        self.buf.len()
+    }
+
+    /// Canonicalises `text` and records its term spans.
+    ///
+    /// ASCII bytes — the overwhelming majority in page text and URLs —
+    /// are classified directly; only multi-byte characters go through
+    /// [`canonicalize_char`]'s full table, matching its ASCII fast path
+    /// exactly.
+    fn push_text(&mut self, text: &str) {
+        let mut start = self.buf.len();
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            let letter = if b.is_ascii() {
+                i += 1;
+                if b.is_ascii_lowercase() {
+                    Some(b as char)
+                } else if b.is_ascii_uppercase() {
+                    Some(b.to_ascii_lowercase() as char)
+                } else {
+                    None
+                }
+            } else {
+                let Some(c) = text[i..].chars().next() else {
+                    break;
+                };
+                i += c.len_utf8();
+                canonicalize_char(c)
+            };
+            if let Some(l) = letter {
+                self.buf.push(l);
+            } else {
+                start = self.flush_span(start);
+            }
+        }
+        self.flush_span(start);
+    }
+
+    /// Sorts the recorded spans and run-length-encodes them into a
+    /// distribution — two allocations however many terms were pushed.
+    ///
+    /// Spans are sorted by their [`prefix_key`] with a byte tie-break
+    /// past the prefix — the same total order as comparing whole terms,
+    /// with almost every comparison a single integer compare.
+    fn build(&mut self) -> TermDistribution {
+        let bytes = self.buf.as_bytes();
+        self.keyed.clear();
+        self.keyed.extend(
+            self.spans
+                .iter()
+                .map(|&(s, e)| (prefix_key(&bytes[s as usize..e as usize]), s, e)),
+        );
+        self.keyed.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| {
+                let ta = &bytes[(a.1 + 8).min(a.2) as usize..a.2 as usize];
+                let tb = &bytes[(b.1 + 8).min(b.2) as usize..b.2 as usize];
+                ta.cmp(tb)
+            })
+        });
+        let buf = self.buf.as_str();
+        let mut terms = String::with_capacity(self.buf.len());
+        let mut spans: Vec<(u32, u32, u32)> = Vec::with_capacity(self.keyed.len());
+        for &(_, s, e) in &self.keyed {
+            let term = &buf[s as usize..e as usize];
+            match spans.last_mut() {
+                Some(last) if terms[last.0 as usize..last.1 as usize] == *term => last.2 += 1,
+                _ => push_entry(&mut terms, &mut spans, term, 1),
+            }
+        }
+        TermDistribution {
+            terms,
+            spans,
+            total: self.spans.len() as u32,
+        }
+    }
 }
 
 impl TermDistribution {
@@ -33,7 +198,16 @@ impl TermDistribution {
     /// Builds a distribution from raw text using the paper's term
     /// extraction rules.
     pub fn from_text(text: &str) -> Self {
-        Self::from_terms(extract_terms(text))
+        let mut scratch = TermScratch::new();
+        Self::from_text_in(text, &mut scratch)
+    }
+
+    /// Builds a distribution from raw text, reusing `scratch`'s buffers.
+    /// Identical output to [`Self::from_text`]; meant for batch loops.
+    pub fn from_text_in(text: &str, scratch: &mut TermScratch) -> Self {
+        scratch.reset();
+        scratch.push_text(text);
+        scratch.build()
     }
 
     /// Builds a distribution from several texts (e.g. the FreeURL parts of
@@ -43,11 +217,22 @@ impl TermDistribution {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut dist = Self::new();
+        let mut scratch = TermScratch::new();
+        Self::from_texts_in(texts, &mut scratch)
+    }
+
+    /// Builds a distribution from several texts, reusing `scratch`'s
+    /// buffers. Identical output to [`Self::from_texts`].
+    pub fn from_texts_in<I, S>(texts: I, scratch: &mut TermScratch) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        scratch.reset();
         for t in texts {
-            dist.add_text(t.as_ref());
+            scratch.push_text(t.as_ref());
         }
-        dist
+        scratch.build()
     }
 
     /// Builds a distribution from already-extracted terms.
@@ -56,18 +241,46 @@ impl TermDistribution {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut dist = Self::new();
-        for t in terms {
-            dist.add_term(t.into());
+        let mut all: Vec<String> = terms.into_iter().map(Into::into).collect();
+        debug_assert!(
+            all.iter()
+                .all(|term| term.len() >= MIN_TERM_LEN
+                    && term.chars().all(|c| c.is_ascii_lowercase())),
+            "terms are not canonical"
+        );
+        let total = all.len() as u32;
+        all.sort_unstable();
+        let mut terms = String::new();
+        let mut spans: Vec<(u32, u32, u32)> = Vec::new();
+        for term in &all {
+            match spans.last_mut() {
+                Some(last) if terms[last.0 as usize..last.1 as usize] == **term => last.2 += 1,
+                _ => push_entry(&mut terms, &mut spans, term, 1),
+            }
         }
-        dist
+        TermDistribution {
+            terms,
+            spans,
+            total,
+        }
+    }
+
+    /// The `i`-th distinct term (term order).
+    #[inline]
+    fn term_at(&self, i: usize) -> &str {
+        let (s, e, _) = self.spans[i];
+        &self.terms[s as usize..e as usize]
+    }
+
+    /// Raw count of the `i`-th distinct term.
+    #[inline]
+    fn count_at(&self, i: usize) -> u32 {
+        self.spans[i].2
     }
 
     /// Adds the terms of `text` to the distribution.
     pub fn add_text(&mut self, text: &str) {
-        for t in extract_terms(text) {
-            self.add_term(t);
-        }
+        self.merge(&Self::from_text(text));
     }
 
     /// Adds one occurrence of an (already canonical) term.
@@ -76,21 +289,86 @@ impl TermDistribution {
             term.len() >= crate::MIN_TERM_LEN && term.chars().all(|c| c.is_ascii_lowercase()),
             "term {term:?} is not canonical"
         );
-        *self.counts.entry(term).or_insert(0) += 1;
+        match self
+            .spans
+            .binary_search_by(|&(s, e, _)| self.terms[s as usize..e as usize].cmp(&term))
+        {
+            Ok(i) => self.spans[i].2 += 1,
+            Err(i) => {
+                // Insert the term's bytes where the displaced span started
+                // (or at the end), shifting the following offsets.
+                let at = self
+                    .spans
+                    .get(i)
+                    .map_or(self.terms.len(), |&(s, _, _)| s as usize);
+                self.terms.insert_str(at, &term);
+                let len = term.len() as u32;
+                for span in &mut self.spans[i..] {
+                    span.0 += len;
+                    span.1 += len;
+                }
+                self.spans
+                    .insert(i, (at as u32, (at + term.len()) as u32, 1));
+            }
+        }
         self.total += 1;
     }
 
-    /// Merges another distribution into this one.
+    /// Merges another distribution into this one (one pass over both
+    /// sorted count tables).
     pub fn merge(&mut self, other: &TermDistribution) {
-        for (t, c) in &other.counts {
-            *self.counts.entry(t.clone()).or_insert(0) += c;
+        if other.spans.is_empty() {
+            self.total += other.total;
+            return;
         }
+        let mut terms = String::with_capacity(self.terms.len() + other.terms.len());
+        let mut spans = Vec::with_capacity(self.spans.len() + other.spans.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.spans.len() && j < other.spans.len() {
+            let (a, b) = (self.term_at(i), other.term_at(j));
+            match a.cmp(b) {
+                std::cmp::Ordering::Less => {
+                    push_entry(&mut terms, &mut spans, a, self.count_at(i));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    push_entry(&mut terms, &mut spans, b, other.count_at(j));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    push_entry(
+                        &mut terms,
+                        &mut spans,
+                        a,
+                        self.count_at(i) + other.count_at(j),
+                    );
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for k in i..self.spans.len() {
+            push_entry(&mut terms, &mut spans, self.term_at(k), self.count_at(k));
+        }
+        for k in j..other.spans.len() {
+            push_entry(&mut terms, &mut spans, other.term_at(k), other.count_at(k));
+        }
+        self.terms = terms;
+        self.spans = spans;
         self.total += other.total;
+    }
+
+    /// Index of `term` in the sorted span table, if present.
+    #[inline]
+    fn find(&self, term: &str) -> Option<usize> {
+        self.spans
+            .binary_search_by(|&(s, e, _)| self.terms[s as usize..e as usize].cmp(term))
+            .ok()
     }
 
     /// Number of *distinct* terms.
     pub fn distinct_len(&self) -> usize {
-        self.counts.len()
+        self.spans.len()
     }
 
     /// Total number of term occurrences.
@@ -109,31 +387,33 @@ impl TermDistribution {
         if self.total == 0 {
             return 0.0;
         }
-        f64::from(self.counts.get(term).copied().unwrap_or(0)) / f64::from(self.total)
+        f64::from(self.find(term).map_or(0, |i| self.count_at(i))) / f64::from(self.total)
     }
 
     /// Raw occurrence count of a term.
     pub fn count(&self, term: &str) -> u32 {
-        self.counts.get(term).copied().unwrap_or(0)
+        self.find(term).map_or(0, |i| self.count_at(i))
     }
 
     /// `true` when the term occurs at least once.
     pub fn contains(&self, term: &str) -> bool {
-        self.counts.contains_key(term)
+        self.find(term).is_some()
     }
 
     /// Iterates over `(term, probability)` pairs in lexicographic term
     /// order (deterministic, so float accumulations are reproducible).
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
         let total = f64::from(self.total.max(1));
-        self.counts
+        self.spans
             .iter()
-            .map(move |(t, c)| (t.as_str(), f64::from(*c) / total))
+            .map(move |&(s, e, c)| (&self.terms[s as usize..e as usize], f64::from(c) / total))
     }
 
     /// Iterates over the distinct terms.
     pub fn terms(&self) -> impl Iterator<Item = &str> + '_ {
-        self.counts.keys().map(String::as_str)
+        self.spans
+            .iter()
+            .map(|&(s, e, _)| &self.terms[s as usize..e as usize])
     }
 
     /// The squared Hellinger distance between two distributions
@@ -147,21 +427,48 @@ impl TermDistribution {
     /// Returns `None` when either distribution is empty — the paper treats
     /// comparisons with empty sources as *null features* rather than
     /// extreme distances.
+    ///
+    /// Both sorted count tables are walked in lockstep, but the float
+    /// accumulation order is exactly the original two-pass order (all of
+    /// `self`'s terms, then the terms only in `other`), so the result is
+    /// bit-identical to the tree-backed implementation.
     pub fn hellinger_squared(&self, other: &TermDistribution) -> Option<f64> {
         if self.is_empty() || other.is_empty() {
             return None;
         }
+        let p_total = f64::from(self.total.max(1));
+        let q_total = f64::from(other.total);
         let mut sum = 0.0;
-        for (t, p) in self.iter() {
-            let q = other.probability(t);
+        // Pass 1: every term of `self` in sorted order; `other`'s matching
+        // count is found by advancing a merge cursor instead of a lookup.
+        let mut j = 0;
+        for i in 0..self.spans.len() {
+            let t = self.term_at(i);
+            let p = f64::from(self.count_at(i)) / p_total;
+            while j < other.spans.len() && other.term_at(j) < t {
+                j += 1;
+            }
+            let q = if j < other.spans.len() && other.term_at(j) == t {
+                f64::from(other.count_at(j)) / q_total
+            } else {
+                0.0
+            };
             let d = p.sqrt() - q.sqrt();
             sum += d * d;
         }
-        // Terms only in `other`: P(x) = 0 so the contribution is Q(x).
-        for (t, q) in other.iter() {
-            if !self.contains(t) {
-                sum += q;
+        // Pass 2: terms only in `other` — P(x) = 0 so the contribution is
+        // Q(x) — again found by a merge cursor over `self`.
+        let q_total = f64::from(other.total.max(1));
+        let mut i = 0;
+        for j in 0..other.spans.len() {
+            let t = other.term_at(j);
+            while i < self.spans.len() && self.term_at(i) < t {
+                i += 1;
             }
+            if i < self.spans.len() && self.term_at(i) == t {
+                continue;
+            }
+            sum += f64::from(other.count_at(j)) / q_total;
         }
         Some((sum / 2.0).clamp(0.0, 1.0))
     }
@@ -180,10 +487,18 @@ impl TermDistribution {
         if self.is_empty() || other.is_empty() {
             return None;
         }
+        // Intersection size via a merge walk over both sorted tables.
         let mut intersection = 0usize;
-        for t in self.terms() {
-            if other.contains(t) {
-                intersection += 1;
+        let (mut i, mut j) = (0, 0);
+        while i < self.spans.len() && j < other.spans.len() {
+            match self.term_at(i).cmp(other.term_at(j)) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    intersection += 1;
+                    i += 1;
+                    j += 1;
+                }
             }
         }
         let union = self.distinct_len() + other.distinct_len() - intersection;
@@ -199,6 +514,217 @@ impl TermDistribution {
             .map(|(_, p)| p)
             .sum()
     }
+
+    /// A prefix-keyed view for repeated pairwise distances: see
+    /// [`KeyedDistribution`]. Build it once per distribution when taking
+    /// many distances (the f2 features take 11 per distribution).
+    pub fn keyed(&self) -> KeyedDistribution<'_> {
+        let total = f64::from(self.total.max(1));
+        let all = self.terms.as_bytes();
+        let entries = self
+            .spans
+            .iter()
+            .map(|&(s, e, c)| {
+                let bytes = &all[s as usize..e as usize];
+                let p = f64::from(c) / total;
+                KeyedEntry {
+                    key: prefix_key(bytes),
+                    tail: &bytes[bytes.len().min(8)..],
+                    prob: p,
+                    sqrt_prob: p.sqrt(),
+                }
+            })
+            .collect();
+        KeyedDistribution {
+            entries,
+            empty: self.is_empty(),
+        }
+    }
+}
+
+/// One distinct term of a [`KeyedDistribution`].
+#[derive(Debug, Clone, Copy)]
+struct KeyedEntry<'a> {
+    /// [`prefix_key`] of the term.
+    key: u64,
+    /// Term bytes past the eight-byte prefix (usually empty).
+    tail: &'a [u8],
+    /// `count / total`, exactly as the unkeyed methods compute it.
+    prob: f64,
+    /// `prob.sqrt()`, cached so each pairwise distance doesn't recompute
+    /// it.
+    sqrt_prob: f64,
+}
+
+impl KeyedEntry<'_> {
+    /// Lexicographic term order via `(key, tail)` — see [`prefix_key`].
+    #[inline]
+    fn cmp_term(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| self.tail.cmp(other.tail))
+    }
+}
+
+/// A prefix-keyed borrow of a [`TermDistribution`] that makes repeated
+/// pairwise distances cheap.
+///
+/// Term order is encoded as `(u64 prefix key, tail bytes)` so the
+/// lockstep walks compare integers instead of strings, and each term's
+/// probability and its square root are computed once instead of once per
+/// pair. The distances are **bit-identical** to
+/// [`TermDistribution::hellinger_squared`] and
+/// [`TermDistribution::jaccard_distance`]: the accumulation order and
+/// every floating-point operand are unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_text::TermDistribution;
+///
+/// let a = TermDistribution::from_text("pay pal pay");
+/// let b = TermDistribution::from_text("pay bank");
+/// let (ka, kb) = (a.keyed(), b.keyed());
+/// assert_eq!(ka.hellinger_squared(&kb), a.hellinger_squared(&b));
+/// ```
+#[derive(Debug)]
+pub struct KeyedDistribution<'a> {
+    /// Distinct terms in lexicographic order.
+    entries: Vec<KeyedEntry<'a>>,
+    /// Whether the source distribution was empty (null-feature marker).
+    empty: bool,
+}
+
+impl KeyedDistribution<'_> {
+    /// The squared Hellinger distance; bit-identical to
+    /// [`TermDistribution::hellinger_squared`] on the source
+    /// distributions.
+    pub fn hellinger_squared(&self, other: &KeyedDistribution<'_>) -> Option<f64> {
+        if self.empty || other.empty {
+            return None;
+        }
+        let mut sum = 0.0;
+        // Pass 1: every term of `self` in sorted order, with `other`'s
+        // matching mass found by a merge cursor (one comparison per
+        // cursor position).
+        let mut j = 0;
+        for e in &self.entries {
+            let mut sq = 0.0;
+            while j < other.entries.len() {
+                match other.entries[j].cmp_term(e) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        sq = other.entries[j].sqrt_prob;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            let d = e.sqrt_prob - sq;
+            sum += d * d;
+        }
+        // Pass 2: terms only in `other` contribute their probability.
+        let mut i = 0;
+        for e in &other.entries {
+            let mut shared = false;
+            while i < self.entries.len() {
+                match self.entries[i].cmp_term(e) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Equal => {
+                        shared = true;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            if !shared {
+                sum += e.prob;
+            }
+        }
+        Some((sum / 2.0).clamp(0.0, 1.0))
+    }
+
+    /// Jaccard distance over term sets; bit-identical to
+    /// [`TermDistribution::jaccard_distance`] on the source
+    /// distributions.
+    pub fn jaccard_distance(&self, other: &KeyedDistribution<'_>) -> Option<f64> {
+        if self.empty || other.empty {
+            return None;
+        }
+        let mut intersection = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].cmp_term(&other.entries[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    intersection += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = self.entries.len() + other.entries.len() - intersection;
+        Some(1.0 - intersection as f64 / union as f64)
+    }
+}
+
+// Hand-written (de)serialization: `counts` must keep its original JSON
+// shape — an object with sorted member names — even though the backing
+// store is now a sorted vector rather than a tree. The vector is already
+// in member order, so serialization is a direct copy.
+impl Serialize for TermDistribution {
+    fn to_json_value(&self) -> serde::Value {
+        let members: serde::Object = self
+            .spans
+            .iter()
+            .map(|&(s, e, c)| {
+                (
+                    self.terms[s as usize..e as usize].to_string(),
+                    c.to_json_value(),
+                )
+            })
+            .collect();
+        serde::Value::Object(vec![
+            ("counts".to_string(), serde::Value::Object(members)),
+            ("total".to_string(), self.total.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for TermDistribution {
+    fn from_json_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for TermDistribution"))?;
+        let members = serde::obj_get(fields, "counts")
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("TermDistribution.counts: expected object"))?;
+        let mut counts = Vec::with_capacity(members.len());
+        for (t, v) in members {
+            counts.push((
+                t.clone(),
+                u32::from_json_value(v).map_err(|e| {
+                    serde::Error::custom(format!("TermDistribution.counts[{t:?}]: {e}"))
+                })?,
+            ));
+        }
+        // Tolerate out-of-order members from hand-edited fixtures; the
+        // invariant is a sorted table.
+        counts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let total = u32::from_json_value(serde::obj_get(fields, "total"))
+            .map_err(|e| serde::Error::custom(format!("TermDistribution.total: {e}")))?;
+        let mut terms = String::new();
+        let mut spans = Vec::with_capacity(counts.len());
+        for (t, c) in &counts {
+            push_entry(&mut terms, &mut spans, t, *c);
+        }
+        Ok(TermDistribution {
+            terms,
+            spans,
+            total,
+        })
+    }
 }
 
 impl FromIterator<String> for TermDistribution {
@@ -209,9 +735,7 @@ impl FromIterator<String> for TermDistribution {
 
 impl Extend<String> for TermDistribution {
     fn extend<I: IntoIterator<Item = String>>(&mut self, iter: I) {
-        for t in iter {
-            self.add_term(t);
-        }
+        self.merge(&Self::from_terms(iter));
     }
 }
 
@@ -258,6 +782,40 @@ mod tests {
     }
 
     #[test]
+    fn hellinger_matches_naive_lookup_implementation() {
+        // The merge-walk must reproduce the original two-pass
+        // "iterate + probability() lookup" accumulation bit for bit.
+        let pairs = [
+            ("one two three three", "two three four"),
+            ("alpha beta", "gamma delta"),
+            ("pay pal paypal bank pay", "pay bank banking online pal"),
+            ("aaa bbb ccc", "aaa bbb ccc"),
+            ("zzz yyy xxx www", "aaa zzz mmm"),
+        ];
+        for (x, y) in pairs {
+            let a = dist(x);
+            let b = dist(y);
+            let mut sum = 0.0;
+            for (t, p) in a.iter() {
+                let q = b.probability(t);
+                let d = p.sqrt() - q.sqrt();
+                sum += d * d;
+            }
+            for (t, q) in b.iter() {
+                if !a.contains(t) {
+                    sum += q;
+                }
+            }
+            let naive = (sum / 2.0).clamp(0.0, 1.0);
+            assert_eq!(
+                a.hellinger_squared(&b).unwrap().to_bits(),
+                naive.to_bits(),
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
     fn empty_distribution_yields_null_feature() {
         let a = dist("alpha beta");
         let empty = TermDistribution::new();
@@ -274,6 +832,9 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count("beta"), 2);
         assert_eq!(a.total_count(), 4);
+        assert_eq!(a.distinct_len(), 3);
+        let terms: Vec<&str> = a.terms().collect();
+        assert_eq!(terms, ["alpha", "beta", "gamma"], "stays sorted");
     }
 
     #[test]
@@ -329,5 +890,123 @@ mod tests {
         assert_eq!(d.probability("beta"), 0.0);
         assert!(!d.contains("beta"));
         assert!(d.contains("alpha"));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_construction() {
+        let mut scratch = TermScratch::new();
+        let texts = [
+            "Café Zürich: sign-in 24/7!",
+            "pay pal paypal",
+            "",
+            "abc abc abc xyz",
+        ];
+        for t in texts {
+            assert_eq!(
+                TermDistribution::from_text_in(t, &mut scratch),
+                TermDistribution::from_text(t),
+                "{t:?}"
+            );
+        }
+        let multi = TermDistribution::from_texts_in(texts, &mut scratch);
+        assert_eq!(multi, TermDistribution::from_texts(texts));
+    }
+
+    #[test]
+    fn from_terms_equals_incremental_add_term() {
+        let terms = ["pay", "pal", "pay", "bank", "abc"];
+        let bulk = TermDistribution::from_terms(terms.iter().copied().map(String::from));
+        let mut inc = TermDistribution::new();
+        for t in terms {
+            inc.add_term(t.to_string());
+        }
+        assert_eq!(bulk, inc);
+    }
+
+    #[test]
+    fn prefix_key_order_matches_lexicographic() {
+        // Shorter terms sort before their extensions; ties past eight
+        // bytes fall to the tail compare.
+        let terms = [
+            "abc",
+            "abcd",
+            "abcdefgh",
+            "abcdefghi",
+            "abcdefghz",
+            "zzz",
+            "paypal",
+        ];
+        let mut by_key: Vec<&str> = terms.to_vec();
+        by_key.sort_unstable_by(|a, b| {
+            let (ab, bb) = (a.as_bytes(), b.as_bytes());
+            prefix_key(ab)
+                .cmp(&prefix_key(bb))
+                .then_with(|| ab[ab.len().min(8)..].cmp(&bb[bb.len().min(8)..]))
+        });
+        let mut lex: Vec<&str> = terms.to_vec();
+        lex.sort_unstable();
+        assert_eq!(by_key, lex);
+    }
+
+    #[test]
+    fn keyed_distances_match_unkeyed_bitwise() {
+        let pairs = [
+            ("one two three three", "two three four"),
+            ("alpha beta", "gamma delta"),
+            ("pay pal paypal bank pay", "pay bank banking online pal"),
+            // Long terms sharing an eight-byte prefix exercise the tail
+            // tie-break.
+            (
+                "longprefixalpha longprefixbeta longprefix",
+                "longprefixalpha longprefixgamma",
+            ),
+            ("aaa bbb ccc", "aaa bbb ccc"),
+            ("zzz yyy xxx www", "aaa zzz mmm"),
+            ("Café Zürich sign-in", "cafe zurich login"),
+        ];
+        for (x, y) in pairs {
+            let (a, b) = (dist(x), dist(y));
+            let (ka, kb) = (a.keyed(), b.keyed());
+            assert_eq!(
+                ka.hellinger_squared(&kb).map(f64::to_bits),
+                a.hellinger_squared(&b).map(f64::to_bits),
+                "hellinger {x:?} vs {y:?}"
+            );
+            assert_eq!(
+                kb.hellinger_squared(&ka).map(f64::to_bits),
+                b.hellinger_squared(&a).map(f64::to_bits),
+                "hellinger (swapped) {x:?} vs {y:?}"
+            );
+            assert_eq!(
+                ka.jaccard_distance(&kb).map(f64::to_bits),
+                a.jaccard_distance(&b).map(f64::to_bits),
+                "jaccard {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_empty_distribution_is_null() {
+        let full = dist("alpha beta");
+        let a = full.keyed();
+        let nothing = TermDistribution::new();
+        let empty = nothing.keyed();
+        assert_eq!(a.hellinger_squared(&empty), None);
+        assert_eq!(empty.hellinger_squared(&a), None);
+        assert_eq!(empty.jaccard_distance(&a), None);
+    }
+
+    #[test]
+    fn serde_preserves_map_shape_and_roundtrips() {
+        let d = dist("pay pal pay bank");
+        let json = serde_json::to_string(&d).unwrap();
+        // The original tree-backed form: an object keyed by sorted terms.
+        assert_eq!(json, r#"{"counts":{"bank":1,"pal":1,"pay":2},"total":4}"#);
+        let back: TermDistribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        // Out-of-order members still deserialize to the sorted invariant.
+        let reordered: TermDistribution =
+            serde_json::from_str(r#"{"counts":{"pay":2,"bank":1,"pal":1},"total":4}"#).unwrap();
+        assert_eq!(reordered, d);
     }
 }

@@ -35,7 +35,7 @@ mod distribution;
 pub mod tfidf;
 
 pub use canonical::canonicalize_char;
-pub use distribution::TermDistribution;
+pub use distribution::{KeyedDistribution, TermDistribution, TermScratch};
 
 /// Minimum length of a term (paper: "throw away any substring whose length
 /// is less than 3").
@@ -73,6 +73,51 @@ pub fn extract_terms(input: &str) -> Vec<String> {
         terms.push(current);
     }
     terms
+}
+
+/// Counts the terms of a string per Section III-B without allocating:
+/// equivalent to `extract_terms(input).len()` but with no `String` or
+/// `Vec` construction. Used by hot-path features that only need the
+/// count (e.g. the f1 URL statistics).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(kyp_text::term_count("secure-login2.example"), 3);
+/// assert_eq!(kyp_text::term_count("a-b-c"), 0);
+/// ```
+pub fn term_count(input: &str) -> usize {
+    let bytes = input.as_bytes();
+    let mut count = 0;
+    let mut len = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // ASCII bytes — the whole alphabet of URLs — are classified
+        // directly; multi-byte characters take canonicalize_char's table.
+        let is_letter = if b.is_ascii() {
+            i += 1;
+            b.is_ascii_alphabetic()
+        } else {
+            let Some(c) = input[i..].chars().next() else {
+                break;
+            };
+            i += c.len_utf8();
+            canonicalize_char(c).is_some()
+        };
+        if is_letter {
+            len += 1;
+        } else {
+            if len >= MIN_TERM_LEN {
+                count += 1;
+            }
+            len = 0;
+        }
+    }
+    if len >= MIN_TERM_LEN {
+        count += 1;
+    }
+    count
 }
 
 /// Extracts the *distinct* terms of a string, preserving first-appearance
@@ -127,6 +172,24 @@ mod tests {
     #[test]
     fn duplicates_preserved() {
         assert_eq!(extract_terms("pay pay pal"), ["pay", "pay", "pal"]);
+    }
+
+    #[test]
+    fn term_count_matches_extract_terms_len() {
+        let cases = [
+            "www.amazon.co.uk/ap/signin?_encoding=UTF8",
+            "a ab abc abcd",
+            "CAFÉ müller",
+            "dl4a",
+            "",
+            "123 456 !!",
+            "pay pay pal",
+            "theinstantexchange",
+            "straße βeta",
+        ];
+        for c in cases {
+            assert_eq!(term_count(c), extract_terms(c).len(), "{c:?}");
+        }
     }
 
     #[test]

@@ -93,6 +93,93 @@ impl Corpus {
         scored.truncate(k);
         scored
     }
+
+    /// Precomputes every term's IDF into a flat sorted table for batch
+    /// scoring. The prepared view returns bit-identical scores to the
+    /// corpus it came from: each IDF is evaluated once by the same
+    /// formula instead of re-deriving the logarithm per document.
+    pub fn prepare(&self) -> PreparedCorpus {
+        PreparedCorpus {
+            idf: self
+                .doc_freq
+                .keys()
+                .map(|t| (t.clone(), self.idf(t)))
+                .collect(),
+            default_idf: self.idf(""),
+        }
+    }
+}
+
+/// An immutable IDF table compiled from a [`Corpus`] by
+/// [`Corpus::prepare`]: the batch-scoring view used when many documents
+/// are weighted against the same frozen corpus (e.g. the Cantina
+/// baseline classifying a crawl).
+///
+/// Every score is **bit-identical** to the corresponding [`Corpus`]
+/// method — the logarithms are just computed once per distinct term at
+/// preparation time instead of once per document term.
+///
+/// # Examples
+///
+/// ```
+/// use kyp_text::tfidf::Corpus;
+///
+/// let mut corpus = Corpus::new();
+/// corpus.add_document("the bank of america bank");
+/// corpus.add_document("the grocery store");
+/// let prepared = corpus.prepare();
+/// let doc = "bank of america online banking";
+/// assert_eq!(prepared.top_terms(doc, 2), corpus.top_terms(doc, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedCorpus {
+    /// `(term, idf)` sorted by term (inherited from the corpus tree).
+    idf: Vec<(String, f64)>,
+    /// The IDF shared by all unseen terms (`df = 0`).
+    default_idf: f64,
+}
+
+impl PreparedCorpus {
+    /// Smoothed inverse document frequency of a term; same value as
+    /// [`Corpus::idf`] on the source corpus.
+    pub fn idf(&self, term: &str) -> f64 {
+        self.idf
+            .binary_search_by(|(t, _)| t.as_str().cmp(term))
+            .map_or(self.default_idf, |i| self.idf[i].1)
+    }
+
+    /// TF-IDF scores of a document's terms, in deterministic
+    /// (term-sorted) order; same values as [`Corpus::tfidf`].
+    pub fn tfidf(&self, text: &str) -> BTreeMap<String, f64> {
+        let terms = extract_terms(text);
+        let total = terms.len() as f64;
+        if total == 0.0 {
+            return BTreeMap::new();
+        }
+        let mut tf: BTreeMap<String, f64> = BTreeMap::new();
+        for t in terms {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        tf.into_iter()
+            .map(|(t, c)| {
+                let idf = self.idf(&t);
+                (t, c / total * idf)
+            })
+            .collect()
+    }
+
+    /// The `k` highest-TF-IDF terms of a document, best first; ties
+    /// broken alphabetically. Same ranking as [`Corpus::top_terms`].
+    pub fn top_terms(&self, text: &str, k: usize) -> Vec<(String, f64)> {
+        let mut scored: Vec<(String, f64)> = self.tfidf(text).into_iter().collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +226,36 @@ mod tests {
         c2.add_document("term");
         c2.add_document("other");
         assert!((c.idf("term") - c2.idf("term")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepared_corpus_is_bit_identical_to_source() {
+        let mut c = Corpus::new();
+        for _ in 0..30 {
+            c.add_document("the and for with login page");
+        }
+        c.add_document("paypal account verification");
+        c.add_document("bank of america online banking");
+        let p = c.prepare();
+        let docs = [
+            "paypal login page paypal verification",
+            "bank of america online banking",
+            "unseen terms entirely",
+            "",
+        ];
+        for d in docs {
+            for term in ["paypal", "login", "the", "unseen", ""] {
+                assert_eq!(p.idf(term).to_bits(), c.idf(term).to_bits(), "{term:?}");
+            }
+            let a = c.tfidf(d);
+            let b = p.tfidf(d);
+            assert_eq!(a.len(), b.len(), "{d:?}");
+            for ((ta, va), (tb, vb)) in a.iter().zip(&b) {
+                assert_eq!(ta, tb);
+                assert_eq!(va.to_bits(), vb.to_bits(), "{d:?} term {ta}");
+            }
+            assert_eq!(c.top_terms(d, 3), p.top_terms(d, 3), "{d:?}");
+        }
     }
 
     #[test]

@@ -101,9 +101,33 @@ impl Fqdn {
     /// The registered domain name: `mld.ps`, or the suffix itself when no
     /// mld exists.
     pub fn rdn(&self) -> String {
+        self.rdn_labels().join(".")
+    }
+
+    /// The labels of the RDN in natural order — [`Fqdn::rdn`] without the
+    /// joining allocation, e.g. `["amazon", "co", "uk"]`.
+    pub fn rdn_labels(&self) -> &[String] {
         let n = self.labels.len();
         let start = n.saturating_sub(self.suffix_labels + 1);
-        self.labels[start..].join(".")
+        &self.labels[start..]
+    }
+
+    /// `true` when `rdn` equals [`Fqdn::rdn`], compared without building
+    /// the dotted string.
+    pub fn rdn_matches(&self, rdn: &str) -> bool {
+        let mut segments = rdn.split('.');
+        let mut labels = self.rdn_labels().iter();
+        loop {
+            match (segments.next(), labels.next()) {
+                (Some(s), Some(l)) => {
+                    if s != l {
+                        return false;
+                    }
+                }
+                (None, None) => return true,
+                _ => return false,
+            }
+        }
     }
 
     /// Subdomain labels — everything the owner controls freely, i.e. all

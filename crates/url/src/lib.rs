@@ -310,14 +310,74 @@ impl Url {
         }
     }
 
+    /// The FreeURL text as borrowed pieces: every subdomain label, then
+    /// the path, then the query.
+    ///
+    /// Term extraction over these pieces yields exactly the terms of
+    /// `free_url().joined()` — the joining `.`/`/`/`?` characters are
+    /// term separators anyway — without allocating the intermediate
+    /// strings. Empty pieces contribute nothing.
+    pub fn free_parts(&self) -> impl Iterator<Item = &str> {
+        let subdomains = self.fqdn().map_or(&[][..], fqdn::Fqdn::subdomains);
+        subdomains
+            .iter()
+            .map(String::as_str)
+            .chain(std::iter::once(self.path.as_str()))
+            .chain(self.query.as_deref())
+    }
+
+    /// Dots across the FreeURL parts without building them
+    /// (`free_url().dot_count()`): subdomain labels contain no dots, so
+    /// the subdomain contribution is the joining dots between labels.
+    pub fn free_dot_count(&self) -> usize {
+        let subdomain_labels = self.fqdn().map_or(0, |f| f.subdomains().len());
+        subdomain_labels.saturating_sub(1)
+            + self.path.matches('.').count()
+            + self.query.as_deref().map_or(0, |q| q.matches('.').count())
+    }
+
+    /// The labels of the RDN (`rdn()` without the joining allocation);
+    /// empty for IP-literal hosts.
+    pub fn rdn_labels(&self) -> &[String] {
+        self.fqdn().map_or(&[][..], fqdn::Fqdn::rdn_labels)
+    }
+
+    /// `true` when `rdn` matches this URL's RDN string — for IP-literal
+    /// hosts, the canonical dotted-decimal host — compared without
+    /// allocating either.
+    pub fn rdn_matches(&self, rdn: &str) -> bool {
+        match &self.host {
+            Host::Domain(f) => f.rdn_matches(rdn),
+            Host::Ipv4(octets) => {
+                let mut segments = rdn.split('.');
+                for expected in octets {
+                    let Some(seg) = segments.next() else {
+                        return false;
+                    };
+                    // Canonical decimal form only: no empty segments, no
+                    // leading zeros, value in range.
+                    if seg.is_empty() || (seg.len() > 1 && seg.starts_with('0')) {
+                        return false;
+                    }
+                    if seg.parse::<u8>() != Ok(*expected) {
+                        return false;
+                    }
+                }
+                segments.next().is_none()
+            }
+        }
+    }
+
     /// `true` when both URLs share the same registered domain name.
     ///
     /// This is the internal/external link split of Section III-A: a URL is
     /// *internal* to a page when its RDN is one of the RDNs the page owner
     /// controls.
     pub fn same_rdn(&self, other: &Url) -> bool {
-        match (self.rdn(), other.rdn()) {
-            (Some(a), Some(b)) => a == b,
+        match (self.fqdn(), other.fqdn()) {
+            // Label-wise comparison equals dotted-string comparison:
+            // labels are non-empty and dot-free, so joining is injective.
+            (Some(a), Some(b)) => a.rdn_labels() == b.rdn_labels(),
             // Two identical IP hosts count as the same origin.
             (None, None) => self.host == other.host,
             _ => false,
@@ -420,6 +480,46 @@ mod tests {
     fn free_url_joined() {
         let url = Url::parse("http://login.pay.example.com/sign/in?user=x").unwrap();
         assert_eq!(url.free_url().joined(), "login.pay/sign/in?user=x");
+    }
+
+    #[test]
+    fn free_parts_and_dot_count_match_free_url() {
+        let cases = [
+            "http://a.b.example.com/p.q/r?x=1.2.3",
+            "http://login.pay.example.com/sign/in?user=x",
+            "https://example.com/",
+            "http://10.0.0.1/x.y?q=1",
+            "https://www.amazon.co.uk/ap/signin?_encoding=UTF8",
+        ];
+        for s in cases {
+            let url = Url::parse(s).unwrap();
+            let free = url.free_url();
+            assert_eq!(url.free_dot_count(), free.dot_count(), "{s}");
+            // The borrowed pieces carry the same term stream as the
+            // joined string: joining separators are non-letters.
+            let parts: Vec<&str> = url.free_parts().collect();
+            let joined = free.joined();
+            for p in &parts {
+                assert!(joined.contains(p), "{s}: {p:?} not in {joined:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rdn_matches_compares_without_alloc() {
+        let url = Url::parse("https://www.amazon.co.uk/ap").unwrap();
+        assert!(url.rdn_matches("amazon.co.uk"));
+        assert!(!url.rdn_matches("amazon.co"));
+        assert!(!url.rdn_matches("amazon.co.uk.evil"));
+        assert!(!url.rdn_matches("www.amazon.co.uk"));
+        assert_eq!(url.rdn_labels(), ["amazon", "co", "uk"]);
+
+        let ip = Url::parse("http://10.0.0.1/x").unwrap();
+        assert!(ip.rdn_matches("10.0.0.1"));
+        assert!(!ip.rdn_matches("10.0.0.2"));
+        assert!(!ip.rdn_matches("10.0.0"));
+        assert!(!ip.rdn_matches("10.0.0.01"), "non-canonical zeros");
+        assert!(ip.rdn_labels().is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::visit::{SourceAvailability, VisitedPage};
 use crate::world::{Fetch, WebWorld, World};
-use kyp_html::Document;
+use kyp_html::{Document, ParseArena};
 use kyp_url::{ParseUrlError, Url};
 use std::error::Error;
 use std::fmt;
@@ -150,6 +150,21 @@ impl<'w, W: World> Browser<'w, W> {
     ///
     /// See [`Browser::visit`]; `Truncated` is never returned here.
     pub fn try_visit(&self, starting_url: &str) -> Result<VisitOutcome, VisitFailure> {
+        self.try_visit_in(starting_url, &mut ParseArena::new())
+    }
+
+    /// Lenient visit reusing `arena`'s HTML-parse buffers. Identical
+    /// output to [`Browser::try_visit`]; meant for batch scrape loops,
+    /// where one arena serves thousands of visits without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// See [`Browser::try_visit`].
+    pub fn try_visit_in(
+        &self,
+        starting_url: &str,
+        arena: &mut ParseArena,
+    ) -> Result<VisitOutcome, VisitFailure> {
         let mut cost_ms = 0u64;
         let fail = |error, cost_ms| Err(VisitFailure { error, cost_ms });
         let start = match Url::parse(starting_url) {
@@ -179,7 +194,7 @@ impl<'w, W: World> Browser<'w, W> {
             };
 
             let page = &fetched.page;
-            let doc = Document::parse(&page.html);
+            let doc = Document::parse_in(&page.html, arena);
             let landing = current.clone();
             let logged_links = doc
                 .resource_links()

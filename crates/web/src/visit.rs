@@ -93,12 +93,16 @@ impl VisitedPage {
 
     /// Splits `links` into (internal, external) against the controlled
     /// RDN set (Section III-A).
+    ///
+    /// A link is internal when it shares an RDN with any redirection-chain
+    /// step ([`Url::same_rdn`]) — the same predicate as matching against
+    /// [`VisitedPage::controlled_rdns`], but computed without building a
+    /// single RDN string (deduplicating the chain is irrelevant under
+    /// `any`).
     pub fn split_links<'a>(&self, links: &'a [Url]) -> (Vec<&'a Url>, Vec<&'a Url>) {
-        let controlled = self.controlled_rdns();
-        links.iter().partition(|u| {
-            let rdn = u.rdn().unwrap_or_else(|| u.host().to_string());
-            controlled.contains(&rdn)
-        })
+        links
+            .iter()
+            .partition(|u| self.redirection_chain.iter().any(|c| c.same_rdn(u)))
     }
 
     /// Internal and external logged links.

@@ -10,8 +10,11 @@
 //! - tuple variant → `{"Variant": value}` (1 field) or `{"Variant": [..]}`
 //! - struct variant→ `{"Variant": {"field": ...}}`
 //!
-//! Generics and `#[serde(...)]` attributes are not supported; the macro
-//! panics on shapes it cannot handle so failures are loud at compile time.
+//! Generics are not supported, and the only `#[serde(...)]` attribute
+//! understood is `#[serde(skip)]` on a named struct field (omitted when
+//! serializing, rebuilt with `Default::default()` when deserializing —
+//! real serde's semantics). Anything else the macro cannot handle makes
+//! it panic so failures are loud at compile time.
 //!
 //! Implementation note: with `syn`/`quote` unavailable offline, the input
 //! is walked as raw `proc_macro` token trees and the generated impl is
@@ -26,7 +29,7 @@ enum Shape {
     /// `struct Name;`
     UnitStruct { name: String },
     /// `struct Name { a: T, b: U }`
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// `enum Name { ... }`
     Enum {
         name: String,
@@ -37,6 +40,12 @@ enum Shape {
 struct Variant {
     name: String,
     kind: VariantKind,
+}
+
+/// A named struct field and whether `#[serde(skip)]` marks it.
+struct Field {
+    name: String,
+    skip: bool,
 }
 
 enum VariantKind {
@@ -81,14 +90,42 @@ fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
+/// True for a bracket group holding exactly `serde(... skip ...)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)] if id.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Skips attributes at `i` like [`skip_attrs`], additionally reporting
+/// whether one of them was `#[serde(skip)]`.
+fn skip_attrs_noting_skip(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < tokens.len() && is_pound(&tokens[i]) {
+        i += 1; // '#'
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Bracket {
+                skip |= attr_is_serde_skip(g);
+                i += 1;
+            }
+        }
+    }
+    (i, skip)
+}
+
 /// Parses the named fields of a brace group: `a: T, pub b: U, ...`.
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs(&tokens, i);
-        i = skip_vis(&tokens, i);
+        let (next, skip) = skip_attrs_noting_skip(&tokens, i);
+        i = skip_vis(&tokens, next);
         if i >= tokens.len() {
             break;
         }
@@ -115,7 +152,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, skip });
     }
     fields
 }
@@ -170,7 +207,18 @@ fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
                     k
                 }
                 TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
-                    let k = VariantKind::Struct(parse_named_fields(g));
+                    let fields = parse_named_fields(g)
+                        .into_iter()
+                        .map(|f| {
+                            assert!(
+                                !f.skip,
+                                "serde_derive: #[serde(skip)] is only supported on \
+                                 named struct fields, not enum variant fields"
+                            );
+                            f.name
+                        })
+                        .collect();
+                    let k = VariantKind::Struct(fields);
                     i += 1;
                     k
                 }
@@ -238,7 +286,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         ),
         Shape::Struct { name, fields } => {
             let mut pushes = String::new();
-            for f in fields {
+            for f in fields.iter().filter(|f| !f.skip) {
+                let f = &f.name;
                 pushes.push_str(&format!(
                     "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n"
                 ));
@@ -324,6 +373,12 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
+                let skip = f.skip;
+                let f = &f.name;
+                if skip {
+                    inits.push_str(&format!("{f}: ::std::default::Default::default(),\n"));
+                    continue;
+                }
                 inits.push_str(&format!(
                     "{f}: ::serde::Deserialize::from_json_value(::serde::obj_get(fields, \"{f}\")).map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,\n"
                 ));
