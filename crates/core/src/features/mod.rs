@@ -258,6 +258,31 @@ impl FeatureExtractor {
         chunks.into_iter().flatten().collect()
     }
 
+    /// Extracts feature vectors for a batch of pages into one flat
+    /// row-major matrix of `pages.len() * feature_count()` values — the
+    /// layout the columnar feature store and `Dataset::push_flat_rows`
+    /// consume without re-slicing.
+    ///
+    /// Row `i` holds exactly `extract(&pages[i])`, whatever the thread
+    /// count: the same chunked fan-out as
+    /// [`FeatureExtractor::extract_batch`], concatenated in input order.
+    pub fn extract_batch_flat(&self, pages: &[VisitedPage]) -> Vec<f64> {
+        let width = self.feature_count();
+        let chunks = kyp_exec::pool().par_chunks(pages, Self::BATCH_CHUNK, |_, chunk| {
+            let mut scratch = kyp_text::TermScratch::new();
+            let mut flat = Vec::with_capacity(chunk.len() * width);
+            for page in chunk {
+                flat.extend_from_slice(&self.extract_in(page, &mut scratch));
+            }
+            flat
+        });
+        let mut out = Vec::with_capacity(pages.len() * width);
+        for chunk in chunks {
+            out.extend_from_slice(&chunk);
+        }
+        out
+    }
+
     /// Extracts a complete, finite feature vector from a *partially*
     /// captured page (graceful degradation).
     ///

@@ -311,6 +311,27 @@ impl Corpus {
         &self.language_tests[0].1
     }
 
+    /// The four named scrape bundles in their canonical order —
+    /// `(name, urls, is_phish)` — shared by the jsonl and store output
+    /// pipelines so that both write (and later read back) the exact
+    /// same pages in the exact same order.
+    pub fn scrape_bundles(&self) -> Vec<(&'static str, Vec<String>, bool)> {
+        vec![
+            (
+                "phish_train",
+                self.phish_train.iter().map(|r| r.url.clone()).collect(),
+                true,
+            ),
+            (
+                "phish_test",
+                self.phish_test.iter().map(|r| r.url.clone()).collect(),
+                true,
+            ),
+            ("leg_train", self.leg_train.clone(), false),
+            ("leg_test", self.english_test().to_vec(), false),
+        ]
+    }
+
     /// Total number of hosted pages/redirects.
     pub fn world_len(&self) -> usize {
         self.world.len()
@@ -395,6 +416,21 @@ mod tests {
         if let Some(rdn) = v.landing_url.rdn() {
             assert!(!c.ranker.contains(&rdn), "phisher rdn {rdn} ranked");
         }
+    }
+
+    #[test]
+    fn scrape_bundles_follow_generation_order() {
+        let c = corpus();
+        let bundles = c.scrape_bundles();
+        let names: Vec<&str> = bundles.iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["phish_train", "phish_test", "leg_train", "leg_test"]
+        );
+        assert_eq!(bundles[0].1[0], c.phish_train[0].url);
+        assert_eq!(bundles[2].1, c.leg_train);
+        assert!(bundles[0].2 && bundles[1].2);
+        assert!(!bundles[2].2 && !bundles[3].2);
     }
 
     #[test]

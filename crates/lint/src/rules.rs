@@ -6,8 +6,9 @@
 //! must be order-deterministic (D01), wall clocks live only in `bench`
 //! (D02), raw threads only in `exec` (D03), entropy-seeded randomness
 //! nowhere (D04), `unsafe` only in `exec` (D05), and the hot library
-//! paths — `core`/`serve`/`obs`/`cluster` plus the `ml`/`html` inference
-//! and parsing kernels — must not panic on `Option`/`Result` (P01).
+//! paths — `core`/`serve`/`obs`/`cluster`/`store` plus the `ml`/`html`
+//! inference and parsing kernels — must not panic on `Option`/`Result`
+//! (P01).
 
 /// How bad a finding is. Every shipped rule is an error today; the
 /// severity channel exists so future advisory rules can ride the same
@@ -81,6 +82,7 @@ pub const OUTPUT_AFFECTING: &[&str] = &[
     "baselines",
     "obs",
     "cluster",
+    "store",
 ];
 
 /// The full rule table, in report order.
@@ -122,9 +124,9 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "P01",
         severity: Severity::Error,
-        scope: Scope::Only(&["core", "serve", "obs", "cluster", "ml", "html"]),
+        scope: Scope::Only(&["core", "serve", "obs", "cluster", "ml", "html", "store"]),
         summary: "no unwrap()/expect() in non-test library code of \
-                  core/serve/obs/cluster/ml/html",
+                  core/serve/obs/cluster/ml/html/store",
     },
     Rule {
         id: "A00",
@@ -162,5 +164,11 @@ mod tests {
         // The hot-path kernels (flat model, parse arena) are in scope.
         assert!(rule_by_id("P01").unwrap().scope.applies_to("ml"));
         assert!(rule_by_id("P01").unwrap().scope.applies_to("html"));
+        // The persistent store feeds training and verdicts: its decode
+        // order is output-affecting, its I/O must not panic or read
+        // wall clocks.
+        assert!(rule_by_id("D01").unwrap().scope.applies_to("store"));
+        assert!(rule_by_id("P01").unwrap().scope.applies_to("store"));
+        assert!(rule_by_id("D02").unwrap().scope.applies_to("store"));
     }
 }

@@ -1,0 +1,17 @@
+//! D02 failing fixture, store-I/O flavour: a block writer that stamps
+//! each flushed block with the wall clock. Store bytes must be a pure
+//! function of the corpus — timestamps would break byte-identical
+//! re-generation.
+
+use std::io::Write;
+use std::time::SystemTime;
+
+pub fn write_stamped_block<W: Write>(out: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let stamp = SystemTime::now();
+    let millis = stamp
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    out.write_all(&millis.to_le_bytes())?;
+    out.write_all(payload)
+}

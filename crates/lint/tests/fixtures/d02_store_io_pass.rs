@@ -1,0 +1,11 @@
+//! D02 passing fixture, store-I/O flavour: block framing carries only
+//! data-derived fields (lengths, counts, checksums) — no clocks, so the
+//! same corpus always writes the same bytes.
+
+use std::io::Write;
+
+pub fn write_block<W: Write>(out: &mut W, record_count: u32, payload: &[u8]) -> std::io::Result<()> {
+    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+    out.write_all(&record_count.to_le_bytes())?;
+    out.write_all(payload)
+}

@@ -72,6 +72,30 @@ fn justified_allow_is_counted_and_marked_used() {
     assert!(allow.justification.contains("commutative"));
 }
 
+/// Store I/O is analyzed under the `store` crate's scope: block writers
+/// must not read wall clocks (D02) — store bytes are a pure function of
+/// the corpus — and the clock-free framing passes every store-scoped
+/// rule (including P01, since `store` is on the no-panic list).
+#[test]
+fn store_io_fixtures_catch_wall_clock_stamps() {
+    let dir = fixture_dir();
+    let bad_src = std::fs::read_to_string(dir.join("d02_store_io_fail.rs")).unwrap();
+    let bad = analyze_source("store", "d02_store_io_fail.rs", &bad_src, None);
+    assert_eq!(
+        rules_hit(&bad),
+        BTreeSet::from(["D02"]),
+        "store I/O fixture must raise exactly D02: {:?}",
+        bad.violations
+    );
+    let good_src = std::fs::read_to_string(dir.join("d02_store_io_pass.rs")).unwrap();
+    let good = analyze_source("store", "d02_store_io_pass.rs", &good_src, None);
+    assert!(
+        good.violations.is_empty(),
+        "clock-free framing raised {:?}",
+        good.violations
+    );
+}
+
 #[test]
 fn rules_outside_their_scope_stay_silent() {
     // The same sources analyzed as crate `bench` (D02-exempt) and `exec`

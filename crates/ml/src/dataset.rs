@@ -127,6 +127,27 @@ impl Dataset {
         out
     }
 
+    /// Appends a whole flat row-major block of examples at once — the
+    /// shape feature-store blocks and `extract_batch_flat` produce — in
+    /// one memcpy instead of one `push_row` per example.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows.len() != labels.len() * n_features`.
+    pub fn push_flat_rows(&mut self, rows: &[f64], labels: &[bool]) {
+        assert_eq!(
+            rows.len(),
+            labels.len() * self.n_features,
+            "expected {} values for {} rows of {} features, got {}",
+            labels.len() * self.n_features,
+            labels.len(),
+            self.n_features,
+            rows.len()
+        );
+        self.x.extend_from_slice(rows);
+        self.y.extend_from_slice(labels);
+    }
+
     /// Appends every example of `other`.
     ///
     /// # Panics
@@ -190,6 +211,25 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.row(0), &[3.0, 30.0]);
         assert!(s.label(1));
+    }
+
+    #[test]
+    fn push_flat_rows_matches_push_row() {
+        let mut flat = Dataset::new(2);
+        flat.push_flat_rows(&[1.0, 10.0, 2.0, 20.0, 3.0, 30.0], &[true, false, true]);
+        let by_row = sample();
+        assert_eq!(flat.len(), by_row.len());
+        for i in 0..flat.len() {
+            assert_eq!(flat.row(i), by_row.row(i));
+            assert_eq!(flat.label(i), by_row.label(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 values")]
+    fn push_flat_rows_shape_mismatch_panics() {
+        let mut d = Dataset::new(2);
+        d.push_flat_rows(&[1.0, 2.0, 3.0], &[true, false]);
     }
 
     #[test]

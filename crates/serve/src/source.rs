@@ -83,6 +83,26 @@ impl StoredPages {
         StoredPages { pages }
     }
 
+    /// A store streamed out of a `kyp gen --store` directory's page
+    /// file, indexed exactly like [`StoredPages::new`] over the pages in
+    /// stored (generation) order — so a store-backed service sees the
+    /// same map as one built from the jsonl bundles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`kyp_store::StoreError`] as a rendered string:
+    /// missing or unreadable files, bad magic, version or kind
+    /// mismatches, checksum failures and truncation.
+    pub fn from_store_dir(dir: &std::path::Path) -> Result<Self, String> {
+        let path = kyp_store::pages_path(dir);
+        let reader = kyp_store::PageStoreReader::open(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        let pages = reader
+            .read_all()
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        Ok(Self::new(pages))
+    }
+
     /// Stored pages.
     pub fn len(&self) -> usize {
         self.pages.len()

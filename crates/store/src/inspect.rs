@@ -1,0 +1,164 @@
+//! Store inspection: header dumps, block counts and full checksum
+//! verification for `kyp store inspect`.
+
+use crate::format::{FrameReader, StoreError, StoreHeader};
+use crate::{features_path, pages_path, validate_pair};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// What a scan of one store file found.
+#[derive(Debug)]
+pub struct FileInspection {
+    /// The file that was scanned.
+    pub path: PathBuf,
+    /// Its validated header.
+    pub header: StoreHeader,
+    /// Blocks whose checksums verified.
+    pub blocks: u64,
+    /// Records across the verified blocks.
+    pub records: u64,
+    /// Bytes scanned (header plus verified blocks).
+    pub bytes: u64,
+    /// The error that stopped the scan, if the file is damaged past the
+    /// verified prefix (`None` = the whole file verified clean).
+    pub damage: Option<StoreError>,
+}
+
+/// Scans one store file front to back, verifying every block checksum.
+///
+/// Magic, version and header problems are hard errors — there is
+/// nothing trustworthy to report about such a file. Damage *after* a
+/// valid header is captured in [`FileInspection::damage`] instead, so
+/// the operator still sees how much of the file verifies.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the file cannot be read at all, plus the
+/// header-level errors above.
+pub fn inspect_file(path: &Path) -> Result<FileInspection, StoreError> {
+    let mut frame = FrameReader::open_any(path)?;
+    let header = frame.header().clone();
+    let mut payload = Vec::new();
+    let mut records = 0u64;
+    let mut damage = None;
+    let mut bytes = frame.offset();
+    loop {
+        match frame.next_block(&mut payload) {
+            Ok(Some(n)) => {
+                records += u64::from(n);
+                bytes = frame.offset();
+            }
+            Ok(None) => break,
+            Err(e) => {
+                damage = Some(e);
+                break;
+            }
+        }
+    }
+    Ok(FileInspection {
+        path: path.to_path_buf(),
+        header,
+        blocks: frame.blocks_read(),
+        records,
+        bytes,
+        damage,
+    })
+}
+
+/// What an inspection of a whole store directory found.
+#[derive(Debug)]
+pub struct DirInspection {
+    /// The scanned page store.
+    pub pages: FileInspection,
+    /// The scanned feature store.
+    pub features: FileInspection,
+    /// `None` when the two headers agree on stamp and bundles,
+    /// otherwise the mismatch.
+    pub pair_error: Option<StoreError>,
+}
+
+impl DirInspection {
+    /// `true` when both files verified clean and their headers pair up.
+    pub fn is_clean(&self) -> bool {
+        self.pages.damage.is_none() && self.features.damage.is_none() && self.pair_error.is_none()
+    }
+}
+
+/// Inspects the page and feature files of a store directory.
+///
+/// # Errors
+///
+/// Propagates per-file header-level failures from [`inspect_file`].
+pub fn inspect_dir(dir: &Path) -> Result<DirInspection, StoreError> {
+    let pages = inspect_file(&pages_path(dir))?;
+    let features = inspect_file(&features_path(dir))?;
+    let pair_error = validate_pair(&pages.header, &features.header).err();
+    Ok(DirInspection {
+        pages,
+        features,
+        pair_error,
+    })
+}
+
+fn render_file(out: &mut String, f: &FileInspection) {
+    let h = &f.header;
+    let _ = writeln!(out, "{}", f.path.display());
+    let _ = writeln!(
+        out,
+        "  kind: {}   format_version: {}   block_records: {}",
+        h.kind.name(),
+        crate::STORE_FORMAT_VERSION,
+        h.block_records
+    );
+    let _ = writeln!(
+        out,
+        "  stamp: seed={} sizes={}/{}/{} brands={} tests={}/{} fault_rate={} fault_seed={}",
+        h.stamp.seed,
+        h.stamp.phish_train,
+        h.stamp.leg_train,
+        h.stamp.phish_test,
+        h.stamp.phish_brand,
+        h.stamp.english_test,
+        h.stamp.other_language_test,
+        h.stamp.fault_rate,
+        h.stamp.fault_seed
+    );
+    let _ = writeln!(out, "  bundles: {}", h.bundles.join(", "));
+    if h.n_features > 0 {
+        let _ = writeln!(out, "  n_features: {}", h.n_features);
+    }
+    let _ = writeln!(
+        out,
+        "  blocks: {}   records: {}   bytes: {}   checksums: {}",
+        f.blocks,
+        f.records,
+        f.bytes,
+        match &f.damage {
+            None => "all verified".to_string(),
+            Some(e) => format!("DAMAGED after verified prefix — {e}"),
+        }
+    );
+}
+
+impl DirInspection {
+    /// Human-readable multi-line summary for `kyp store inspect`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_file(&mut out, &self.pages);
+        render_file(&mut out, &self.features);
+        match &self.pair_error {
+            None => {
+                let _ = writeln!(out, "pair: pages and features stamps agree");
+            }
+            Some(e) => {
+                let _ = writeln!(out, "pair: MISMATCH — {e}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "status: {}",
+            if self.is_clean() { "clean" } else { "DAMAGED" }
+        );
+        out
+    }
+}

@@ -31,24 +31,16 @@ use knowyourphish::serve::{
     generate, ArrivalPattern, BatchPolicy, CacheConfig, ScoringService, ServeConfig, ServeRequest,
     StoredPages, WorkloadConfig,
 };
+use knowyourphish::storeflow::{self, IndexEntry};
 use knowyourphish::web::{
     Browser, DomainRanker, FaultPlan, FlakyWorld, ResilientBrowser, SourceAvailability,
     VisitedPage, World,
 };
-use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
-
-/// One searchable page of the legitimate index (`index.jsonl`).
-#[derive(Serialize, Deserialize)]
-struct IndexEntry {
-    rdn: String,
-    mld: String,
-    text: String,
-}
 
 const THREADS_ARG: ArgSpec = ArgSpec {
     name: "threads",
@@ -73,12 +65,18 @@ const TRACE_ARG: ArgSpec = ArgSpec {
 const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "gen",
-        summary: "synthesise a corpus and scrape it into jsonl bundles",
+        summary: "synthesise a corpus and scrape it into jsonl bundles and/or a columnar store",
+        positional: None,
         args: &[
             ArgSpec {
                 name: "out",
                 value: "<dir>",
-                help: "output directory (required)",
+                help: "jsonl output directory (this, --store, or both)",
+            },
+            ArgSpec {
+                name: "store",
+                value: "<dir>",
+                help: "also/instead stream pages + features into a columnar store directory",
             },
             ArgSpec {
                 name: "scale",
@@ -105,12 +103,18 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "train",
-        summary: "train the detector from the jsonl bundles",
+        summary: "train the detector from the jsonl bundles or a feature store",
+        positional: None,
         args: &[
             ArgSpec {
                 name: "data",
                 value: "<dir>",
-                help: "`kyp gen` output directory (required)",
+                help: "`kyp gen` jsonl directory (this or --from-store)",
+            },
+            ArgSpec {
+                name: "from-store",
+                value: "<dir>",
+                help: "stream training rows from a `kyp gen --store` directory (no re-extraction)",
             },
             ArgSpec {
                 name: "out",
@@ -123,11 +127,17 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "eval",
         summary: "Table VI-style metrics on the held-out test bundles",
+        positional: None,
         args: &[
             ArgSpec {
                 name: "data",
                 value: "<dir>",
-                help: "`kyp gen` output directory (required)",
+                help: "`kyp gen` jsonl directory (this or --from-store)",
+            },
+            ArgSpec {
+                name: "from-store",
+                value: "<dir>",
+                help: "stream test rows from a `kyp gen --store` directory (no re-extraction)",
             },
             ArgSpec {
                 name: "model",
@@ -139,7 +149,8 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "scan",
-        summary: "classify one scraped page and identify its target",
+        summary: "classify one scraped page — or every stored page — and identify targets",
+        positional: None,
         args: &[
             ArgSpec {
                 name: "model",
@@ -149,12 +160,22 @@ const COMMANDS: &[CommandSpec] = &[
             ArgSpec {
                 name: "data",
                 value: "<dir>",
-                help: "`kyp gen` output directory (required)",
+                help: "`kyp gen` output directory (required unless --from-store)",
             },
             ArgSpec {
                 name: "page",
                 value: "<page.json>",
-                help: "scraped page to classify (required)",
+                help: "scraped page to classify (required unless --from-store)",
+            },
+            ArgSpec {
+                name: "from-store",
+                value: "<dir>",
+                help: "classify every page of a `kyp gen --store` directory instead",
+            },
+            ArgSpec {
+                name: "verdicts",
+                value: "<path>",
+                help: "with --from-store: write the verdict stream here instead of stdout",
             },
             METRICS_ARG,
             TRACE_ARG,
@@ -164,6 +185,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "serve",
         summary: "online scoring service over the captured corpus",
+        positional: None,
         args: &[
             ArgSpec {
                 name: "model",
@@ -173,7 +195,12 @@ const COMMANDS: &[CommandSpec] = &[
             ArgSpec {
                 name: "data",
                 value: "<dir>",
-                help: "`kyp gen` output directory (required)",
+                help: "`kyp gen` jsonl directory (this or --from-store)",
+            },
+            ArgSpec {
+                name: "from-store",
+                value: "<dir>",
+                help: "serve the pages of a `kyp gen --store` directory instead",
             },
             ArgSpec {
                 name: "requests",
@@ -223,6 +250,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "cluster",
         summary: "deterministic multi-node serving simulation over the corpus",
+        positional: None,
         args: &[
             ArgSpec {
                 name: "model",
@@ -232,7 +260,12 @@ const COMMANDS: &[CommandSpec] = &[
             ArgSpec {
                 name: "data",
                 value: "<dir>",
-                help: "`kyp gen` output directory (required)",
+                help: "`kyp gen` jsonl directory (this or --from-store)",
+            },
+            ArgSpec {
+                name: "from-store",
+                value: "<dir>",
+                help: "serve the pages of a `kyp gen --store` directory instead",
             },
             ArgSpec {
                 name: "shards",
@@ -291,6 +324,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "lint",
         summary: "workspace determinism & invariant static analysis",
+        positional: None,
         args: &[
             ArgSpec {
                 name: "root",
@@ -312,6 +346,55 @@ const COMMANDS: &[CommandSpec] = &[
     },
 ];
 
+/// `kyp store <subcommand>` — currently just `inspect`. Dispatched
+/// outside [`COMMANDS`] because it is the one two-word command.
+const STORE_INSPECT: CommandSpec = CommandSpec {
+    name: "store inspect",
+    summary: "validate a columnar store directory and print its layout",
+    positional: Some(&ArgSpec {
+        name: "dir",
+        value: "<dir>",
+        help: "`kyp gen --store` directory to inspect",
+    }),
+    args: &[THREADS_ARG],
+};
+
+/// Parses one subcommand's arguments against `spec`, printing help or
+/// parse errors itself. `Ok(None)` means "already handled, exit clean".
+fn parse_command(spec: &CommandSpec, args: &[String]) -> Result<Option<ParsedOpts>, ExitCode> {
+    let opts = match spec.parse(args) {
+        Ok(Parsed::Help) => {
+            println!("{}", spec.help_text());
+            return Ok(None);
+        }
+        Ok(Parsed::Opts(opts)) => opts,
+        Err(e) => {
+            eprintln!("kyp: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    if let Some(threads) = opts.get("threads") {
+        match threads.parse::<usize>() {
+            Ok(n) if n >= 1 => knowyourphish::exec::set_threads(n),
+            _ => {
+                eprintln!("kyp: invalid --threads {threads:?} (want a positive integer)");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn finish(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("kyp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -322,31 +405,37 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let Some(spec) = COMMANDS.iter().find(|s| s.name == command.as_str()) else {
-        eprintln!("kyp: unknown command {command:?}\n{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let opts = match spec.parse(&args[1..]) {
-        Ok(Parsed::Help) => {
-            println!("{}", spec.help_text());
-            return ExitCode::SUCCESS;
-        }
-        Ok(Parsed::Opts(opts)) => opts,
-        Err(e) => {
-            eprintln!("kyp: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Some(threads) = opts.get("threads") {
-        match threads.parse::<usize>() {
-            Ok(n) if n >= 1 => knowyourphish::exec::set_threads(n),
-            _ => {
-                eprintln!("kyp: invalid --threads {threads:?} (want a positive integer)");
+    if command == "store" {
+        match args.get(1).map(String::as_str) {
+            Some("inspect") => {
+                return match parse_command(&STORE_INSPECT, &args[2..]) {
+                    Ok(Some(opts)) => finish(cmd_store_inspect(&opts)),
+                    Ok(None) => ExitCode::SUCCESS,
+                    Err(code) => code,
+                };
+            }
+            Some("--help") | None => {
+                println!("{}", STORE_INSPECT.help_text());
+                return ExitCode::SUCCESS;
+            }
+            Some(other) => {
+                eprintln!(
+                    "kyp: unknown store subcommand {other:?} (try `kyp store inspect <dir>`)"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    let result = match spec.name {
+    let Some(spec) = COMMANDS.iter().find(|s| s.name == command.as_str()) else {
+        eprintln!("kyp: unknown command {command:?}\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_command(spec, &args[1..]) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(code) => return code,
+    };
+    finish(match spec.name {
         "gen" => cmd_gen(&opts),
         "train" => cmd_train(&opts),
         "eval" => cmd_eval(&opts),
@@ -355,14 +444,7 @@ fn main() -> ExitCode {
         "cluster" => cmd_cluster(&opts),
         "lint" => cmd_lint(&opts),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("kyp: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    })
 }
 
 const USAGE: &str = "\
@@ -371,10 +453,14 @@ kyp — Know Your Phish reproduction CLI
 USAGE:
   kyp gen   --out <dir> [--scale <f>] [--seed <n>]   generate + scrape a corpus
             [--fault-rate <f>] [--fault-seed <n>]    ...through an unreliable web
+            [--store <dir>]                          ...into a columnar store too
   kyp train --data <dir> --out <model.json>          train the detector
+            [--from-store <dir>]                     ...from stored feature rows
   kyp eval  --data <dir> --model <model.json>        evaluate on the test sets
+            [--from-store <dir>]                     ...from stored feature rows
   kyp scan  --model <model.json> --data <dir> --page <page.json>
             [--metrics <path>] [--trace <path>]      classify one scraped page
+            [--from-store <dir>] [--verdicts <path>] ...or every stored page
   kyp serve --model <model.json> --data <dir>        online scoring service
             [--requests <n>] [--trace-seed <n>]      built-in seeded workload...
             [--duplicate-rate <f>] [--arrival-gap-ms <n>]
@@ -389,9 +475,18 @@ USAGE:
             [--verdicts <path>] [--metrics <path>]   invariant bytes + cluster.* metrics
   kyp lint  [--root <dir>] [--rules D01,D02,...]     determinism static analysis
             [--json <path>]                          (see DESIGN.md section 8e)
+  kyp store inspect <dir>                            validate + describe a store
 
 Run `kyp <command> --help` for the full option list of one command.
 Unknown or valueless options are hard errors in every subcommand.
+
+`kyp gen --store <dir>` streams scraped pages AND their extracted
+feature rows into a checksummed columnar store (pages.kyps +
+features.kypf) in bounded memory; `--from-store` then trains, evaluates,
+scans or serves straight from those files without re-scraping or
+re-extracting anything. Models, metrics and verdict streams from a
+store are byte-identical to the jsonl path at any --threads value.
+`serve` and `cluster` accept --from-store in place of --data.
 
 `kyp serve` speaks newline-delimited json. Without --requests it reads
 one request object per stdin line and writes one response object per
@@ -484,38 +579,8 @@ fn scrape_bundles<W: World>(
     Ok(report)
 }
 
-/// `kyp gen`: synthesise a corpus and write the jsonl scrape bundles.
-fn cmd_gen(opts: &ParsedOpts) -> Result<(), String> {
-    let out = PathBuf::from(opts.require("out")?);
-    let scale: f64 = opts.num("scale", 0.02)?;
-    let mut config = CampaignConfig::scaled(scale);
-    config.seed = opts.num("seed", config.seed)?;
-    let fault_rate: f64 = opts.num("fault-rate", 0.0)?;
-    let fault_seed: u64 = opts.num("fault-seed", config.seed)?;
-    fs::create_dir_all(&out).map_err(|e| format!("create {out:?}: {e}"))?;
-
-    eprintln!("generating corpus at scale {scale}...");
-    let corpus = Corpus::generate(&config);
-    let browser = Browser::new(&corpus.world);
-
-    let phish_train: Vec<String> = corpus.phish_train.iter().map(|r| r.url.clone()).collect();
-    let phish_test: Vec<String> = corpus.phish_test.iter().map(|r| r.url.clone()).collect();
-    let leg_test = corpus.english_test().to_vec();
-    let bundles: [(&str, &[String]); 4] = [
-        ("phish_train", &phish_train),
-        ("phish_test", &phish_test),
-        ("leg_train", &corpus.leg_train),
-        ("leg_test", &leg_test),
-    ];
-    let report = if fault_rate > 0.0 {
-        eprintln!("scraping through a faulty web (rate {fault_rate}, seed {fault_seed})...");
-        let flaky = FlakyWorld::new(&corpus.world, FaultPlan::new(fault_seed, fault_rate));
-        let mut scraper = ResilientBrowser::new(&flaky);
-        scrape_bundles(&mut scraper, &bundles, &out)?
-    } else {
-        let mut scraper = ResilientBrowser::new(&corpus.world);
-        scrape_bundles(&mut scraper, &bundles, &out)?
-    };
+/// Prints the shared scrape accounting lines of `kyp gen`.
+fn report_scrape(report: &ScrapeReport) {
     eprintln!(
         "scrape report: {}/{} pages captured ({} degraded), {} retries, {} breaker trips",
         report.completed, report.requested, report.degraded, report.retries, report.breaker_trips
@@ -532,35 +597,77 @@ fn cmd_gen(opts: &ParsedOpts) -> Result<(), String> {
             report.failed_too_many_redirects
         );
     }
+}
 
-    // The offline popularity ranking and the search-engine index.
-    let ranker_json = serde_json::to_string(&corpus.ranker).map_err(|e| e.to_string())?;
-    fs::write(out.join("ranker.json"), ranker_json).map_err(|e| e.to_string())?;
+/// `kyp gen`: synthesise a corpus and write the jsonl scrape bundles,
+/// a columnar store directory, or both.
+fn cmd_gen(opts: &ParsedOpts) -> Result<(), String> {
+    let out = opts.get("out").map(PathBuf::from);
+    let store_dir = opts.get("store").map(PathBuf::from);
+    if out.is_none() && store_dir.is_none() {
+        return Err("kyp gen needs --out <dir>, --store <dir>, or both".to_owned());
+    }
+    let scale: f64 = opts.num("scale", 0.02)?;
+    let mut config = CampaignConfig::scaled(scale);
+    config.seed = opts.num("seed", config.seed)?;
+    let fault_rate: f64 = opts.num("fault-rate", 0.0)?;
+    let fault_seed: u64 = opts.num("fault-seed", config.seed)?;
 
-    // Re-derive index entries from the legitimate sites the engine knows.
-    // (The campaign indexes each site's crawlable text; we persist what a
-    // crawler would store.)
-    let mut index_file = fs::File::create(out.join("index.jsonl")).map_err(|e| e.to_string())?;
-    for url in corpus.leg_train.iter().chain(corpus.english_test()) {
-        if let Ok(visit) = browser.visit(url) {
-            if let (Some(rdn), Some(mld)) = (visit.landing_url.rdn(), visit.landing_url.mld()) {
-                let entry = IndexEntry {
-                    rdn,
-                    mld: mld.to_owned(),
-                    text: format!("{} {}", visit.title, visit.text),
-                };
-                let line = serde_json::to_string(&entry).map_err(|e| e.to_string())?;
-                writeln!(index_file, "{line}").map_err(|e| e.to_string())?;
-            }
+    eprintln!("generating corpus at scale {scale}...");
+    let corpus = Corpus::generate(&config);
+
+    if let Some(out) = &out {
+        fs::create_dir_all(out).map_err(|e| format!("create {out:?}: {e}"))?;
+        let phish_train: Vec<String> = corpus.phish_train.iter().map(|r| r.url.clone()).collect();
+        let phish_test: Vec<String> = corpus.phish_test.iter().map(|r| r.url.clone()).collect();
+        let leg_test = corpus.english_test().to_vec();
+        let bundles: [(&str, &[String]); 4] = [
+            ("phish_train", &phish_train),
+            ("phish_test", &phish_test),
+            ("leg_train", &corpus.leg_train),
+            ("leg_test", &leg_test),
+        ];
+        let report = if fault_rate > 0.0 {
+            eprintln!("scraping through a faulty web (rate {fault_rate}, seed {fault_seed})...");
+            let flaky = FlakyWorld::new(&corpus.world, FaultPlan::new(fault_seed, fault_rate));
+            let mut scraper = ResilientBrowser::new(&flaky);
+            scrape_bundles(&mut scraper, &bundles, out)?
+        } else {
+            let mut scraper = ResilientBrowser::new(&corpus.world);
+            scrape_bundles(&mut scraper, &bundles, out)?
+        };
+        report_scrape(&report);
+
+        // The offline popularity ranking and the search-engine index.
+        storeflow::write_corpus_sidecars(out, &corpus)?;
+
+        // One sample phish bundle for `kyp scan` demos.
+        let browser = Browser::new(&corpus.world);
+        if let Ok(visit) = browser.visit(&phish_test[0]) {
+            let json = serde_json::to_string_pretty(&visit).map_err(|e| e.to_string())?;
+            fs::write(out.join("sample_phish.json"), json).map_err(|e| e.to_string())?;
         }
+        eprintln!("wrote corpus to {out:?}");
     }
 
-    // One sample phish bundle for `kyp scan` demos.
-    if let Ok(visit) = browser.visit(&phish_test[0]) {
-        let json = serde_json::to_string_pretty(&visit).map_err(|e| e.to_string())?;
-        fs::write(out.join("sample_phish.json"), json).map_err(|e| e.to_string())?;
+    if let Some(dir) = &store_dir {
+        eprintln!("streaming pages + features into the columnar store...");
+        let report = if fault_rate > 0.0 {
+            eprintln!("scraping through a faulty web (rate {fault_rate}, seed {fault_seed})...");
+            let flaky = FlakyWorld::new(&corpus.world, FaultPlan::new(fault_seed, fault_rate));
+            storeflow::build_store(dir, &corpus, &config, &flaky, fault_rate, fault_seed)?
+        } else {
+            storeflow::build_store(dir, &corpus, &config, &corpus.world, fault_rate, fault_seed)?
+        };
+        for (name, n) in &report.bundle_pages {
+            eprintln!("  {name}: {n} pages");
+        }
+        report_scrape(&report.scrape);
+        eprintln!(
+            "wrote store to {dir:?}: {} pages ({} bytes) + {} feature rows ({} bytes)",
+            report.pages, report.page_bytes, report.rows, report.feature_bytes
+        );
     }
-    eprintln!("wrote corpus to {out:?}");
     Ok(())
 }
 
@@ -603,22 +710,46 @@ fn featurize(
     data
 }
 
-/// `kyp train`: fit the detector from the jsonl bundles.
+/// Resolves the `--data` / `--from-store` pair of a subcommand: exactly
+/// one must be given. Returns `(dir, from_store)`.
+fn data_source(opts: &ParsedOpts) -> Result<(PathBuf, bool), String> {
+    match (opts.get("from-store"), opts.get("data")) {
+        (Some(_), Some(_)) => {
+            Err("--from-store and --data are mutually exclusive (pick one source)".to_owned())
+        }
+        (Some(dir), None) => Ok((PathBuf::from(dir), true)),
+        (None, Some(dir)) => Ok((PathBuf::from(dir), false)),
+        (None, None) => Err("missing required option --data (or --from-store)".to_owned()),
+    }
+}
+
+/// `kyp train`: fit the detector from the jsonl bundles or straight
+/// from a feature store's persisted rows (no re-extraction).
 fn cmd_train(opts: &ParsedOpts) -> Result<(), String> {
-    let data_dir = PathBuf::from(opts.require("data")?);
+    let (data_dir, from_store) = data_source(opts)?;
     let out = PathBuf::from(opts.require("out")?);
 
     let ranker = load_ranker(&data_dir)?;
-    let extractor = FeatureExtractor::new(ranker.clone());
-    let legit = read_jsonl(&data_dir.join("leg_train.jsonl"))?;
-    let phish = read_jsonl(&data_dir.join("phish_train.jsonl"))?;
-    eprintln!(
-        "training on {} legitimate + {} phish pages...",
-        legit.len(),
-        phish.len()
-    );
-
-    let train = featurize(&extractor, &legit, &phish);
+    let train = if from_store {
+        let train = storeflow::load_split_dataset(&data_dir, "leg_train", "phish_train")?;
+        let phish = train.labels().iter().filter(|l| **l).count();
+        eprintln!(
+            "training on {} legitimate + {} phish stored rows...",
+            train.labels().len() - phish,
+            phish
+        );
+        train
+    } else {
+        let extractor = FeatureExtractor::new(ranker.clone());
+        let legit = read_jsonl(&data_dir.join("leg_train.jsonl"))?;
+        let phish = read_jsonl(&data_dir.join("phish_train.jsonl"))?;
+        eprintln!(
+            "training on {} legitimate + {} phish pages...",
+            legit.len(),
+            phish.len()
+        );
+        featurize(&extractor, &legit, &phish)
+    };
     let detector = PhishDetector::train(&train, &DetectorConfig::default());
     let snapshot = ModelSnapshot::new(detector, ranker);
     snapshot
@@ -636,29 +767,35 @@ fn load_model(opts: &ParsedOpts) -> Result<ModelSnapshot, String> {
     ModelSnapshot::load(&path).map_err(|e| format!("load {path:?}: {e}"))
 }
 
-/// `kyp eval`: Table VI-style metrics on the held-out test bundles.
+/// `kyp eval`: Table VI-style metrics on the held-out test bundles,
+/// from jsonl or streamed block-by-block out of a feature store.
 fn cmd_eval(opts: &ParsedOpts) -> Result<(), String> {
-    let data_dir = PathBuf::from(opts.require("data")?);
+    let (data_dir, from_store) = data_source(opts)?;
     let bundle = load_model(opts)?;
-    let extractor = FeatureExtractor::new(bundle.ranker.clone());
 
-    let legit = read_jsonl(&data_dir.join("leg_test.jsonl"))?;
-    let phish = read_jsonl(&data_dir.join("phish_test.jsonl"))?;
-    let test = featurize(&extractor, &legit, &phish);
-    let scores = bundle.detector.score_dataset(&test);
+    let (scores, labels) = if from_store {
+        storeflow::score_split_streaming(&data_dir, &bundle.detector, "leg_test", "phish_test")?
+    } else {
+        let extractor = FeatureExtractor::new(bundle.ranker.clone());
+        let legit = read_jsonl(&data_dir.join("leg_test.jsonl"))?;
+        let phish = read_jsonl(&data_dir.join("phish_test.jsonl"))?;
+        let test = featurize(&extractor, &legit, &phish);
+        let scores = bundle.detector.score_dataset(&test);
+        (scores, test.labels().to_vec())
+    };
 
-    let conf =
-        metrics::Confusion::at_threshold(&scores, test.labels(), bundle.detector.threshold());
+    let conf = metrics::Confusion::at_threshold(&scores, &labels, bundle.detector.threshold());
+    let phish = labels.iter().filter(|l| **l).count();
     println!(
         "test set: {} legitimate + {} phish",
-        legit.len(),
-        phish.len()
+        labels.len() - phish,
+        phish
     );
     println!("precision {:.3}", conf.precision());
     println!("recall    {:.3}", conf.recall());
     println!("f1-score  {:.3}", conf.f1());
     println!("fp rate   {:.4}", conf.fpr());
-    println!("auc       {:.4}", metrics::auc(&scores, test.labels()));
+    println!("auc       {:.4}", metrics::auc(&scores, &labels));
     Ok(())
 }
 
@@ -677,8 +814,44 @@ fn load_engine(dir: &Path) -> Result<SearchEngine, String> {
     Ok(engine)
 }
 
-/// `kyp scan`: classify a single scraped page and identify its target.
+/// `kyp scan --from-store`: classify every stored page block by block
+/// and emit the deterministic verdict stream (scores as exact IEEE-754
+/// bit patterns) to stdout or `--verdicts`.
+fn scan_store(opts: &ParsedOpts, dir: &Path) -> Result<(), String> {
+    let bundle = load_model(opts)?;
+    let engine = load_engine(dir)?;
+    let extractor = FeatureExtractor::new(bundle.ranker.clone());
+    let identifier = TargetIdentifier::new(Arc::new(engine));
+    let pipeline = Pipeline::new(extractor, bundle.detector, identifier);
+    let lines = storeflow::store_verdict_lines(dir, &pipeline)?;
+    if let Some(path) = opts.get("verdicts") {
+        let mut stream = lines.join("\n");
+        stream.push('\n');
+        write_creating_dirs(Path::new(path), &stream)?;
+        eprintln!("wrote {} verdicts to {path}", lines.len());
+    } else {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for line in &lines {
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        }
+        eprintln!("classified {} stored pages", lines.len());
+    }
+    Ok(())
+}
+
+/// `kyp scan`: classify a single scraped page and identify its target —
+/// or, with `--from-store`, every page of a store directory.
 fn cmd_scan(opts: &ParsedOpts) -> Result<(), String> {
+    if let Some(dir) = opts.get("from-store") {
+        if opts.get("data").is_some() || opts.get("page").is_some() {
+            return Err(
+                "--from-store replaces --data and --page (it classifies the stored corpus)"
+                    .to_owned(),
+            );
+        }
+        return scan_store(opts, Path::new(dir));
+    }
     let bundle = load_model(opts)?;
     let data_dir = PathBuf::from(opts.require("data")?);
     let page_path = PathBuf::from(opts.require("page")?);
@@ -720,15 +893,19 @@ fn cmd_scan(opts: &ParsedOpts) -> Result<(), String> {
 }
 
 /// Assembles the serving pipeline and page store from a model snapshot
-/// and a `kyp gen` data directory.
+/// and a `kyp gen` data directory — jsonl bundles or a columnar store.
 fn load_serving_stack(opts: &ParsedOpts) -> Result<(Pipeline, StoredPages, Vec<String>), String> {
     let snapshot = load_model(opts)?;
-    let data_dir = PathBuf::from(opts.require("data")?);
+    let (data_dir, from_store) = data_source(opts)?;
     let engine = load_engine(&data_dir)?;
     let extractor = FeatureExtractor::new(snapshot.ranker.clone());
     let identifier = TargetIdentifier::new(Arc::new(engine));
     let pipeline = Pipeline::new(extractor, snapshot.detector, identifier);
 
+    if from_store {
+        let (pages, urls) = storeflow::load_serving_pages(&data_dir)?;
+        return Ok((pipeline, pages, urls));
+    }
     let mut pages = Vec::new();
     for name in ["phish_train", "phish_test", "leg_train", "leg_test"] {
         let path = data_dir.join(format!("{name}.jsonl"));
@@ -743,6 +920,20 @@ fn load_serving_stack(opts: &ParsedOpts) -> Result<(Pipeline, StoredPages, Vec<S
     }
     let urls: Vec<String> = pages.iter().map(|p| p.starting_url.to_string()).collect();
     Ok((pipeline, StoredPages::new(pages), urls))
+}
+
+/// `kyp store inspect <dir>`: validate both store files (headers,
+/// per-block checksums, pages/features pairing) and print the layout.
+fn cmd_store_inspect(opts: &ParsedOpts) -> Result<(), String> {
+    let dir = PathBuf::from(opts.require("dir")?);
+    let inspection = knowyourphish::store::inspect_dir(&dir)
+        .map_err(|e| format!("inspect {}: {e}", dir.display()))?;
+    print!("{}", inspection.render());
+    if inspection.is_clean() {
+        Ok(())
+    } else {
+        Err("store damage found (see report above)".to_owned())
+    }
 }
 
 /// `kyp serve`: online scoring over the captured corpus — newline-
@@ -917,7 +1108,7 @@ fn cmd_lint(opts: &ParsedOpts) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::COMMANDS;
+    use super::{COMMANDS, STORE_INSPECT};
 
     #[test]
     fn every_command_accepts_threads() {
@@ -970,5 +1161,27 @@ mod tests {
             assert!(help.contains(spec.name));
             assert!(help.contains(spec.summary));
         }
+    }
+
+    #[test]
+    fn store_consumers_accept_from_store() {
+        for name in ["train", "eval", "scan", "serve", "cluster"] {
+            let spec = COMMANDS.iter().find(|s| s.name == name).unwrap();
+            assert!(
+                spec.args.iter().any(|a| a.name == "from-store"),
+                "`kyp {name}` is missing --from-store"
+            );
+        }
+        let gen = COMMANDS.iter().find(|s| s.name == "gen").unwrap();
+        assert!(gen.args.iter().any(|a| a.name == "store"));
+    }
+
+    #[test]
+    fn store_inspect_takes_the_directory_positionally() {
+        let positional = STORE_INSPECT.positional.expect("positional dir");
+        assert_eq!(positional.name, "dir");
+        assert!(STORE_INSPECT.args.iter().any(|a| a.name == "threads"));
+        let help = STORE_INSPECT.help_text();
+        assert!(help.contains("kyp store inspect <dir> [options]"), "{help}");
     }
 }

@@ -16,6 +16,7 @@
 //! static SPEC: CommandSpec = CommandSpec {
 //!     name: "demo",
 //!     summary: "exercise the parser",
+//!     positional: None,
 //!     args: &[ArgSpec { name: "out", value: "<dir>", help: "output directory" }],
 //! };
 //!
@@ -45,6 +46,11 @@ pub struct CommandSpec {
     pub name: &'static str,
     /// One-line summary shown in help output.
     pub summary: &'static str,
+    /// An optional single positional argument (e.g. the store directory
+    /// of `kyp store inspect <dir>`). Its parsed value is looked up by
+    /// [`ArgSpec::name`] like any option; `None` keeps the historical
+    /// behaviour where every bare argument is a hard error.
+    pub positional: Option<&'static ArgSpec>,
     /// The options the subcommand accepts, in help order.
     pub args: &'static [ArgSpec],
 }
@@ -103,7 +109,8 @@ impl CommandSpec {
     ///
     /// # Errors
     ///
-    /// - a positional or single-dash argument: options take the form
+    /// - a positional or single-dash argument when the spec declares no
+    ///   positional (or it was already given): options take the form
     ///   `--name <value>`,
     /// - an option not declared in [`CommandSpec::args`],
     /// - a declared option with no following value.
@@ -112,6 +119,16 @@ impl CommandSpec {
         let mut iter = args.iter();
         while let Some(a) = iter.next() {
             let Some(key) = a.strip_prefix("--") else {
+                if let Some(p) = self.positional {
+                    if values.contains_key(p.name) {
+                        return Err(format!(
+                            "unexpected argument {a:?} (the {} positional was already given)",
+                            p.value
+                        ));
+                    }
+                    values.insert(p.name.to_owned(), a.clone());
+                    continue;
+                }
                 return Err(format!(
                     "unexpected argument {a:?} (options take the form --name <value>)"
                 ));
@@ -138,9 +155,17 @@ impl CommandSpec {
     /// The autogenerated `--help` text for this subcommand.
     pub fn help_text(&self) -> String {
         let mut out = format!(
-            "kyp {} — {}\n\nUSAGE:\n  kyp {} [options]\n\nOPTIONS:\n",
+            "kyp {} — {}\n\nUSAGE:\n  kyp {}",
             self.name, self.summary, self.name
         );
+        if let Some(p) = self.positional {
+            out.push_str(&format!(" {}", p.value));
+        }
+        out.push_str(" [options]\n");
+        if let Some(p) = self.positional {
+            out.push_str(&format!("\nARGS:\n  {}   {}\n", p.value, p.help));
+        }
+        out.push_str("\nOPTIONS:\n");
         let width = self
             .args
             .iter()
@@ -165,6 +190,7 @@ mod tests {
     static SPEC: CommandSpec = CommandSpec {
         name: "probe",
         summary: "spec used by the parser tests",
+        positional: None,
         args: &[
             ArgSpec {
                 name: "data",
@@ -272,6 +298,54 @@ mod tests {
             assert!(help.contains(a.help), "{help}");
         }
         assert!(help.contains("--help"), "{help}");
+    }
+
+    static POSITIONAL_SPEC: CommandSpec = CommandSpec {
+        name: "inspect",
+        summary: "spec with a positional, used by the parser tests",
+        positional: Some(&ArgSpec {
+            name: "dir",
+            value: "<dir>",
+            help: "store directory to inspect",
+        }),
+        args: &[ArgSpec {
+            name: "threads",
+            value: "<n>",
+            help: "thread pool size",
+        }],
+    };
+
+    #[test]
+    fn positional_is_captured_under_its_name() {
+        let opts = match POSITIONAL_SPEC.parse(&args(&["store/", "--threads", "2"])) {
+            Ok(Parsed::Opts(opts)) => opts,
+            other => panic!("expected options, got {other:?}"),
+        };
+        assert_eq!(opts.get("dir"), Some("store/"));
+        assert_eq!(opts.get("threads"), Some("2"));
+        // Order doesn't matter: options may precede the positional.
+        let opts = match POSITIONAL_SPEC.parse(&args(&["--threads", "2", "store/"])) {
+            Ok(Parsed::Opts(opts)) => opts,
+            other => panic!("expected options, got {other:?}"),
+        };
+        assert_eq!(opts.get("dir"), Some("store/"));
+    }
+
+    #[test]
+    fn second_positional_is_an_error() {
+        let err = POSITIONAL_SPEC
+            .parse(&args(&["store/", "extra/"]))
+            .unwrap_err();
+        assert!(err.contains("extra/"), "{err}");
+        assert!(err.contains("already given"), "{err}");
+    }
+
+    #[test]
+    fn positional_help_text_renders_args_section() {
+        let help = POSITIONAL_SPEC.help_text();
+        assert!(help.contains("kyp inspect <dir> [options]"), "{help}");
+        assert!(help.contains("ARGS:"), "{help}");
+        assert!(help.contains("store directory to inspect"), "{help}");
     }
 
     #[test]

@@ -32,11 +32,15 @@
 //!   tracer, pipeline observer hooks)
 //! - [`baselines`]: comparison systems for Table X
 //! - [`lint`]: workspace determinism & invariant static analysis
+//! - [`store`]: persistent columnar corpus & feature store (versioned,
+//!   checksummed, streaming)
 //!
 //! The [`cli`] module holds the typed argument parser shared by every
-//! `kyp` subcommand.
+//! `kyp` subcommand, and [`storeflow`] the generate-once/train-forever
+//! pipelines that stream corpora through the [`store`] format.
 
 pub mod cli;
+pub mod storeflow;
 
 pub use kyp_baselines as baselines;
 pub use kyp_cluster as cluster;
@@ -49,6 +53,7 @@ pub use kyp_ml as ml;
 pub use kyp_obs as obs;
 pub use kyp_search as search;
 pub use kyp_serve as serve;
+pub use kyp_store as store;
 pub use kyp_text as text;
 pub use kyp_url as url;
 pub use kyp_web as web;

@@ -1,0 +1,451 @@
+//! The generate-once/train-forever pipeline over a store directory.
+//!
+//! This module is the seam between corpus generation and the persistent
+//! [`kyp_store`] format, shared by the `kyp` CLI, the determinism tests
+//! and the `exp_store_throughput` benchmark so all three stream the
+//! exact same bytes:
+//!
+//! - [`build_store`] scrapes a generated [`Corpus`] bundle by bundle
+//!   and streams both the visited pages *and* their extracted feature
+//!   rows to disk in bounded memory (one block at a time);
+//! - [`load_split_dataset`] streams feature blocks back into the
+//!   legit-rows-then-phish-rows [`Dataset`] layout `kyp train` has
+//!   always used, so a store-trained model is byte-identical to a
+//!   jsonl-trained one;
+//! - [`score_split_streaming`] pushes feature blocks through the
+//!   compiled flat model without ever materialising the full matrix;
+//! - [`store_verdict_lines`] classifies every stored page and renders
+//!   the deterministic verdict stream (scores as exact bit patterns)
+//!   that CI byte-compares across thread counts and against the
+//!   in-memory pipeline;
+//! - [`load_serving_pages`] rebuilds the `kyp serve` / `kyp cluster`
+//!   page source from a store directory.
+
+use crate::core::features::FEATURE_COUNT;
+use crate::core::{ClassifiedPage, FeatureExtractor, PhishDetector, Pipeline, ScrapeReport};
+use crate::datagen::{CampaignConfig, Corpus};
+use crate::ml::Dataset;
+use crate::serve::StoredPages;
+use crate::web::{Browser, ResilientBrowser, ScrapedPage, SourceAvailability, VisitedPage, World};
+use kyp_store::{
+    features_path, pages_path, validate_pair, FeatureStoreReader, FeatureStoreWriter, FrameReader,
+    PageStoreReader, PageStoreWriter, StoreHeader, StoreKind, WorldStamp, BLOCK_RECORDS,
+};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::path::Path;
+
+/// One searchable page of the legitimate index (`index.jsonl`) — the
+/// persisted form of what a crawler would store about a site.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Registered domain of the landing URL.
+    pub rdn: String,
+    /// Main level domain of the landing URL.
+    pub mld: String,
+    /// Title and body text, the engine's indexable content.
+    pub text: String,
+}
+
+/// The [`WorldStamp`] describing a generation run: the campaign sizes
+/// and seed plus the fault-injection parameters of the scrape.
+pub fn world_stamp(config: &CampaignConfig, fault_rate: f64, fault_seed: u64) -> WorldStamp {
+    WorldStamp {
+        seed: config.seed,
+        phish_train: config.phish_train,
+        phish_test: config.phish_test,
+        phish_brand: config.phish_brand,
+        leg_train: config.leg_train,
+        english_test: config.english_test,
+        other_language_test: config.other_language_test,
+        fault_rate,
+        fault_seed,
+    }
+}
+
+/// What [`build_store`] wrote.
+#[derive(Debug)]
+pub struct StoreBuildReport {
+    /// Pages persisted across all bundles.
+    pub pages: u64,
+    /// Feature rows persisted (equals `pages`).
+    pub rows: u64,
+    /// Bytes of the page store file.
+    pub page_bytes: u64,
+    /// Bytes of the feature store file.
+    pub feature_bytes: u64,
+    /// Pages persisted per bundle, in bundle order.
+    pub bundle_pages: Vec<(String, u64)>,
+    /// Scrape accounting (attempts, failures, retries, breaker trips).
+    pub scrape: ScrapeReport,
+}
+
+type PageWriter = PageStoreWriter<BufWriter<File>>;
+type FeatureWriter = FeatureStoreWriter<BufWriter<File>>;
+
+/// Scrapes one buffered chunk into both store files and clears it.
+fn flush_chunk(
+    extractor: &FeatureExtractor,
+    page_writer: &mut PageWriter,
+    feature_writer: &mut FeatureWriter,
+    bundle: u32,
+    is_phish: bool,
+    chunk: &mut Vec<VisitedPage>,
+) -> Result<(), String> {
+    if chunk.is_empty() {
+        return Ok(());
+    }
+    for page in chunk.iter() {
+        page_writer
+            .append(page)
+            .map_err(|e| format!("write page store: {e}"))?;
+    }
+    let flat = extractor.extract_batch_flat(chunk);
+    let labels = vec![is_phish; chunk.len()];
+    feature_writer
+        .append_rows(bundle, &flat, &labels)
+        .map_err(|e| format!("write feature store: {e}"))?;
+    chunk.clear();
+    Ok(())
+}
+
+/// Streams a generated corpus into `dir`: scrapes every bundle through
+/// a resilient browser over `world` (in the same bundle and URL order
+/// as the jsonl pipeline, so the captured page sequence is identical),
+/// persisting pages and extracted feature rows one block at a time.
+///
+/// Also writes the corpus sidecars (`ranker.json`, `index.jsonl`) so a
+/// store directory is self-sufficient for train/eval/scan/serve.
+///
+/// # Errors
+///
+/// Filesystem and store-format failures, rendered as strings for the
+/// CLI.
+pub fn build_store<W: World>(
+    dir: &Path,
+    corpus: &Corpus,
+    config: &CampaignConfig,
+    world: &W,
+    fault_rate: f64,
+    fault_seed: u64,
+) -> Result<StoreBuildReport, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let bundles = corpus.scrape_bundles();
+    let names: Vec<String> = bundles.iter().map(|(n, _, _)| (*n).to_string()).collect();
+    let stamp = world_stamp(config, fault_rate, fault_seed);
+    let pages_header = StoreHeader {
+        kind: StoreKind::Pages,
+        stamp: stamp.clone(),
+        n_features: 0,
+        bundles: names.clone(),
+        block_records: BLOCK_RECORDS as u32,
+    };
+    let features_header = StoreHeader {
+        kind: StoreKind::Features,
+        stamp,
+        n_features: FEATURE_COUNT as u32,
+        bundles: names,
+        block_records: BLOCK_RECORDS as u32,
+    };
+    let mut page_writer = PageStoreWriter::create(&pages_path(dir), &pages_header)
+        .map_err(|e| format!("create page store: {e}"))?;
+    let mut feature_writer = FeatureStoreWriter::create(&features_path(dir), &features_header)
+        .map_err(|e| format!("create feature store: {e}"))?;
+
+    let extractor = FeatureExtractor::new(corpus.ranker.clone());
+    let mut scraper = ResilientBrowser::new(world);
+    let mut report = ScrapeReport::default();
+    let mut bundle_pages = Vec::with_capacity(bundles.len());
+    let mut chunk: Vec<VisitedPage> = Vec::with_capacity(BLOCK_RECORDS);
+    for (bundle_id, (name, urls, is_phish)) in bundles.iter().enumerate() {
+        let mut captured = 0u64;
+        for url in urls {
+            report.requested += 1;
+            match scraper.scrape(url) {
+                Ok(scraped) => {
+                    report.completed += 1;
+                    if scraped.availability.is_degraded() {
+                        report.degraded += 1;
+                    }
+                    captured += 1;
+                    chunk.push(scraped.visit);
+                    if chunk.len() >= BLOCK_RECORDS {
+                        flush_chunk(
+                            &extractor,
+                            &mut page_writer,
+                            &mut feature_writer,
+                            bundle_id as u32,
+                            *is_phish,
+                            &mut chunk,
+                        )?;
+                    }
+                }
+                Err(failure) => {
+                    report.failed += 1;
+                    report.count_cause(failure.cause);
+                }
+            }
+        }
+        // Bundle boundary: a block never spans bundles.
+        flush_chunk(
+            &extractor,
+            &mut page_writer,
+            &mut feature_writer,
+            bundle_id as u32,
+            *is_phish,
+            &mut chunk,
+        )?;
+        bundle_pages.push(((*name).to_string(), captured));
+    }
+    report.retries = scraper.total_retries();
+    report.breaker_trips = scraper.breaker().trips();
+    report.virtual_elapsed_ms = scraper.clock().now_ms();
+
+    let (_, pages_written, page_bytes) = page_writer
+        .finish()
+        .map_err(|e| format!("finish page store: {e}"))?;
+    let (_, rows_written, feature_bytes) = feature_writer
+        .finish()
+        .map_err(|e| format!("finish feature store: {e}"))?;
+    write_corpus_sidecars(dir, corpus)?;
+    Ok(StoreBuildReport {
+        pages: pages_written,
+        rows: rows_written,
+        page_bytes,
+        feature_bytes,
+        bundle_pages,
+        scrape: report,
+    })
+}
+
+/// Writes the non-page corpus artifacts a scoring stack needs next to
+/// the scraped data: the offline popularity ranking (`ranker.json`) and
+/// the search-engine index over the legitimate corpus (`index.jsonl`).
+///
+/// # Errors
+///
+/// Serialization and filesystem failures, rendered as strings.
+pub fn write_corpus_sidecars(dir: &Path, corpus: &Corpus) -> Result<(), String> {
+    let ranker_json = serde_json::to_string(&corpus.ranker).map_err(|e| e.to_string())?;
+    fs::write(dir.join("ranker.json"), ranker_json).map_err(|e| e.to_string())?;
+
+    // Re-derive index entries from the legitimate sites the engine
+    // knows. (The campaign indexes each site's crawlable text; we
+    // persist what a crawler would store.)
+    let browser = Browser::new(&corpus.world);
+    let mut index_file = fs::File::create(dir.join("index.jsonl")).map_err(|e| e.to_string())?;
+    for url in corpus.leg_train.iter().chain(corpus.english_test()) {
+        if let Ok(visit) = browser.visit(url) {
+            if let (Some(rdn), Some(mld)) = (visit.landing_url.rdn(), visit.landing_url.mld()) {
+                let entry = IndexEntry {
+                    rdn,
+                    mld: mld.to_owned(),
+                    text: format!("{} {}", visit.title, visit.text),
+                };
+                let line = serde_json::to_string(&entry).map_err(|e| e.to_string())?;
+                writeln!(index_file, "{line}").map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Opens the feature stream of a store directory, hard-failing unless
+/// the pages and features headers stamp the same generated world.
+///
+/// # Errors
+///
+/// Every store-format error (missing files, bad magic, version or kind
+/// mismatch, checksum failure, stamp mismatch), rendered as strings.
+pub fn open_feature_stream(dir: &Path) -> Result<FeatureStoreReader<BufReader<File>>, String> {
+    let pages = FrameReader::open(&pages_path(dir), StoreKind::Pages)
+        .map_err(|e| format!("open {}: {e}", pages_path(dir).display()))?;
+    let features = FeatureStoreReader::open(&features_path(dir))
+        .map_err(|e| format!("open {}: {e}", features_path(dir).display()))?;
+    validate_pair(pages.header(), features.header()).map_err(|e| e.to_string())?;
+    Ok(features)
+}
+
+fn bundle_ids(
+    header: &StoreHeader,
+    legit_bundle: &str,
+    phish_bundle: &str,
+) -> Result<(u32, u32), String> {
+    let legit = header.bundle_id(legit_bundle).ok_or_else(|| {
+        format!(
+            "store has no bundle {legit_bundle:?} (it holds {:?})",
+            header.bundles
+        )
+    })?;
+    let phish = header.bundle_id(phish_bundle).ok_or_else(|| {
+        format!(
+            "store has no bundle {phish_bundle:?} (it holds {:?})",
+            header.bundles
+        )
+    })?;
+    Ok((legit, phish))
+}
+
+/// Streams the feature rows of two bundles into the canonical training
+/// layout — every legitimate row, then every phishing row, each side in
+/// stored (generation) order. This is exactly the row order the jsonl
+/// `featurize` path produces, so models trained from either source are
+/// byte-identical.
+///
+/// # Errors
+///
+/// Store-format failures and unknown bundle names.
+pub fn load_split_dataset(
+    dir: &Path,
+    legit_bundle: &str,
+    phish_bundle: &str,
+) -> Result<Dataset, String> {
+    let mut reader = open_feature_stream(dir)?;
+    let (legit_id, phish_id) = bundle_ids(reader.header(), legit_bundle, phish_bundle)?;
+    let n_features = reader.n_features();
+    let mut legit = Dataset::new(n_features);
+    let mut phish = Dataset::new(n_features);
+    while let Some(block) = reader
+        .next_block()
+        .map_err(|e| format!("read feature store: {e}"))?
+    {
+        if block.bundle == legit_id {
+            legit.push_flat_rows(&block.rows, &block.labels);
+        } else if block.bundle == phish_id {
+            phish.push_flat_rows(&block.rows, &block.labels);
+        }
+    }
+    if legit.is_empty() && phish.is_empty() {
+        return Err(format!(
+            "store holds no rows for bundles {legit_bundle:?} / {phish_bundle:?}"
+        ));
+    }
+    legit.append(&phish);
+    Ok(legit)
+}
+
+/// Streams two bundles' feature blocks through the compiled flat model
+/// without materialising the matrix, returning `(scores, labels)` in
+/// the same legit-then-phish order as [`load_split_dataset`].
+///
+/// # Errors
+///
+/// Store-format failures and unknown bundle names.
+pub fn score_split_streaming(
+    dir: &Path,
+    detector: &PhishDetector,
+    legit_bundle: &str,
+    phish_bundle: &str,
+) -> Result<(Vec<f64>, Vec<bool>), String> {
+    let mut reader = open_feature_stream(dir)?;
+    let (legit_id, phish_id) = bundle_ids(reader.header(), legit_bundle, phish_bundle)?;
+    let n_features = reader.n_features();
+    let mut legit: (Vec<f64>, Vec<bool>) = (Vec::new(), Vec::new());
+    let mut phish: (Vec<f64>, Vec<bool>) = (Vec::new(), Vec::new());
+    while let Some(block) = reader
+        .next_block()
+        .map_err(|e| format!("read feature store: {e}"))?
+    {
+        let side = if block.bundle == legit_id {
+            &mut legit
+        } else if block.bundle == phish_id {
+            &mut phish
+        } else {
+            continue;
+        };
+        let rows: Vec<&[f64]> = block.rows.chunks(n_features).collect();
+        side.0.extend(detector.score_batch(&rows));
+        side.1.extend_from_slice(&block.labels);
+    }
+    let (mut scores, mut labels) = legit;
+    scores.extend(phish.0);
+    labels.extend(phish.1);
+    Ok((scores, labels))
+}
+
+/// Renders one classified page as a deterministic verdict line: scores
+/// as exact IEEE-754 bit patterns, so equal lines mean bit-equal
+/// classifications and `cmp` on the whole stream is meaningful.
+pub fn verdict_line(page: &ClassifiedPage) -> String {
+    use crate::core::PipelineVerdict;
+    let (kind, score, extra) = match &page.verdict {
+        PipelineVerdict::Legitimate { score } => ("legitimate", *score, String::new()),
+        PipelineVerdict::ConfirmedLegitimate { score, step } => {
+            ("confirmed-legitimate", *score, format!(" step={step}"))
+        }
+        PipelineVerdict::Phish { score, candidates } => {
+            let targets: Vec<&str> = candidates.iter().map(|c| c.mld.as_str()).collect();
+            ("phish", *score, format!(" targets={}", targets.join(",")))
+        }
+        PipelineVerdict::Suspicious { score } => ("suspicious", *score, String::new()),
+    };
+    format!(
+        "{}\t{kind}{extra} score_bits={:016x} degraded={}",
+        page.url,
+        score.to_bits(),
+        page.degraded
+    )
+}
+
+/// Classifies every stored page block by block (scraping nothing) and
+/// returns the verdict stream in stored order. Byte-identical at any
+/// thread count, and to the same classification run over the in-memory
+/// pipeline.
+///
+/// # Errors
+///
+/// Store-format failures, rendered as strings.
+pub fn store_verdict_lines(dir: &Path, pipeline: &Pipeline) -> Result<Vec<String>, String> {
+    let path = pages_path(dir);
+    let mut reader =
+        PageStoreReader::open(&path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut lines = Vec::new();
+    while let Some(block) = reader
+        .next_block()
+        .map_err(|e| format!("read page store: {e}"))?
+    {
+        let batch: Vec<(String, ScrapedPage)> = block
+            .into_iter()
+            .map(|visit| {
+                let url = visit.starting_url.to_string();
+                let scraped = ScrapedPage {
+                    visit,
+                    availability: SourceAvailability::FULL,
+                    attempts: 1,
+                    elapsed_ms: 0,
+                };
+                (url, scraped)
+            })
+            .collect();
+        for page in pipeline.classify_scraped(&batch) {
+            lines.push(verdict_line(&page));
+        }
+    }
+    Ok(lines)
+}
+
+/// Rebuilds the serving page source from a store directory: the same
+/// [`StoredPages`] map and request-pool URL list (in stored order) that
+/// the jsonl bundles produce.
+///
+/// # Errors
+///
+/// Store-format failures, rendered as strings.
+pub fn load_serving_pages(dir: &Path) -> Result<(StoredPages, Vec<String>), String> {
+    let path = pages_path(dir);
+    let reader =
+        PageStoreReader::open(&path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let pages = reader
+        .read_all()
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    if pages.is_empty() {
+        return Err(format!(
+            "store at {} holds no pages (run `kyp gen --store` first)",
+            dir.display()
+        ));
+    }
+    let urls: Vec<String> = pages.iter().map(|p| p.starting_url.to_string()).collect();
+    Ok((StoredPages::new(pages), urls))
+}
