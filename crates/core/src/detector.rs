@@ -123,6 +123,17 @@ impl PhishDetector {
         self.threshold = threshold;
     }
 
+    /// Structural validation of the wrapped ensemble; see
+    /// [`GradientBoosting::validate`]. Called on snapshot load, before
+    /// the unchecked inference walks ever see the model.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed tree.
+    pub fn validate(&self) -> Result<(), String> {
+        self.model.validate()
+    }
+
     /// The underlying boosting model (feature importances, tree count).
     pub fn model(&self) -> &GradientBoosting {
         &self.model

@@ -32,9 +32,8 @@ fn distance(a: &TermDistribution, b: &TermDistribution, metric: ConsistencyMetri
 /// pairing the distributions directly.
 pub(crate) fn push_f2(sources: &DataSources, metric: ConsistencyMetric, out: &mut Vec<f64>) {
     let keyed = sources.f2_distributions().map(TermDistribution::keyed);
-    for i in 0..keyed.len() {
-        for j in i + 1..keyed.len() {
-            let (a, b) = (&keyed[i], &keyed[j]);
+    for (i, a) in keyed.iter().enumerate() {
+        for b in keyed.iter().skip(i + 1) {
             out.push(
                 match metric {
                     ConsistencyMetric::Hellinger => a.hellinger_squared(b),
@@ -63,9 +62,9 @@ pub(crate) fn push_f2_extended(
     dists.push(&sources.copyright);
     dists.push(&image);
     debug_assert_eq!(dists.len(), 14);
-    for i in 0..dists.len() {
-        for j in i + 1..dists.len() {
-            out.push(distance(dists[i], dists[j], metric));
+    for (i, a) in dists.iter().enumerate() {
+        for b in dists.iter().skip(i + 1) {
+            out.push(distance(a, b, metric));
         }
     }
 }

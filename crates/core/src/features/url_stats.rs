@@ -40,8 +40,9 @@ fn single_url_stats(url: &Url, ranker: &DomainRanker, rdn_buf: &mut String) -> [
 
 /// Features 3–9 of one URL (the aggregatable subset).
 fn agg_stats(url: &Url, ranker: &DomainRanker, rdn_buf: &mut String) -> [f64; 7] {
-    let s = single_url_stats(url, ranker, rdn_buf);
-    [s[2], s[3], s[4], s[5], s[6], s[7], s[8]]
+    let [_https, _dots, ldc, len, fqdn, mld, terms, mld_terms, rank] =
+        single_url_stats(url, ranker, rdn_buf);
+    [ldc, len, fqdn, mld, terms, mld_terms, rank]
 }
 
 /// Alexa rank of the URL's RDN; the dotted lookup key is rebuilt into
@@ -102,6 +103,7 @@ fn push_link_set(urls: &[&Url], ranker: &DomainRanker, rdn_buf: &mut String, out
     let mut column = Vec::with_capacity(urls.len());
     for stat in 0..AGG_STATS.len() {
         column.clear();
+        // kyp-lint: allow(P02) — rows are [f64; 7] and stat ranges over AGG_STATS.len() == 7
         column.extend(per_url.iter().map(|row| row[stat]));
         out.push(mean(&column));
         out.push(median(&mut column));
@@ -113,14 +115,18 @@ fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
-/// Median; sorts its input in place.
+/// Median; sorts its input in place. Empty input yields 0 (the null
+/// feature), matching the empty-set convention of [`push_link_set`].
 fn median(values: &mut [f64]) -> f64 {
     values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = values.len();
+    let mid = values.get(n / 2).copied().unwrap_or_default();
     if n % 2 == 1 {
-        values[n / 2]
+        mid
     } else {
-        f64::midpoint(values[n / 2 - 1], values[n / 2])
+        values
+            .get((n / 2).wrapping_sub(1))
+            .map_or(mid, |&lo| f64::midpoint(lo, mid))
     }
 }
 

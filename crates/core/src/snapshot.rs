@@ -149,6 +149,12 @@ impl ModelSnapshot {
         }
         let snapshot: Self =
             serde_json::from_value(value).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        // The ensemble's tree walks index nodes unchecked; a tampered or
+        // corrupted artifact must be rejected here, not panic mid-score.
+        snapshot
+            .detector
+            .validate()
+            .map_err(SnapshotError::Malformed)?;
         // Compile the flat inference tables eagerly: every consumer of a
         // loaded snapshot (eval, scan, serve, cluster) is about to score
         // with it, and the first request should not pay the compilation.
@@ -255,6 +261,33 @@ mod tests {
                 assert_eq!(expected, MODEL_SNAPSHOT_VERSION);
             }
             other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    /// A snapshot whose tree child indices point out of range must be
+    /// rejected at load time — before it can drive the unchecked
+    /// inference walks out of bounds (regression test for the
+    /// kyp-lint P02 finding on `FlatModel::compile_node`).
+    #[test]
+    fn out_of_range_tree_reference_is_malformed_not_a_panic() {
+        let json = snapshot().to_json().unwrap();
+        // Redirect the first split's `left` child far out of range, same
+        // string-surgery style as the version-mismatch test above.
+        let pos = json
+            .find("\"left\":")
+            .expect("fixture snapshot holds no split node to corrupt")
+            + "\"left\":".len();
+        let end = pos
+            + json[pos..]
+                .find(|c: char| !c.is_ascii_digit())
+                .expect("unterminated left index");
+        let tampered = format!("{}9999999{}", &json[..pos], &json[end..]);
+        let err = ModelSnapshot::from_json(&tampered).unwrap_err();
+        match err {
+            SnapshotError::Malformed(detail) => {
+                assert!(detail.contains("out of range"), "{detail}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
         }
     }
 

@@ -395,18 +395,20 @@ pub(crate) fn composable(mld: &str, keyterms: &[String]) -> bool {
         used_keyterm: bool,
         keyterms: &[String],
     ) -> bool {
-        if pos == s.len() {
+        let Some(&byte) = s.get(pos) else {
+            // Consumed the whole mld.
             return used_keyterm;
-        }
-        let c = s[pos] as char;
+        };
+        let c = byte as char;
         // Separator characters are free.
         if c == '-' || c.is_ascii_digit() {
             return rec(s, pos + 1, filler_left, used_keyterm, keyterms);
         }
         // Try each keyterm as a prefix.
+        let rest = s.get(pos..).unwrap_or_default();
         for k in keyterms {
             let kb = k.as_bytes();
-            if s[pos..].starts_with(kb) && rec(s, pos + kb.len(), filler_left, true, keyterms) {
+            if rest.starts_with(kb) && rec(s, pos + kb.len(), filler_left, true, keyterms) {
                 return true;
             }
         }

@@ -62,6 +62,7 @@ impl PageSetStats {
             let internal = int_log.len() + int_href.len();
             let total = internal + ext_log.len() + ext_href.len();
             if total > 0 {
+                // kyp-lint: allow(D06) — visits arrive in stored order, so the sum order is fixed
                 internal_ratio_sum += internal as f64 / total as f64;
                 ratio_pages += 1;
             }

@@ -94,8 +94,10 @@ impl Interner {
     pub fn intern(&mut self, s: &str) -> Sym {
         match self
             .index
+            // kyp-lint: allow(P02) — `index` holds only ids handed out by `strings.len()` below
             .binary_search_by(|&i| self.strings[i as usize].as_str().cmp(s))
         {
+            // kyp-lint: allow(P02) — binary_search `Ok` positions are in bounds by contract
             Ok(pos) => Sym(self.index[pos]),
             Err(pos) => {
                 let id = u32::try_from(self.strings.len()).unwrap_or(u32::MAX);

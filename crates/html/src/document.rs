@@ -184,8 +184,11 @@ fn find_copyright(text: &str) -> Option<String> {
         .or_else(|| find_ascii_ci(text, "(c)"))?;
     // Expand to segment boundaries (periods or end of string), capped to a
     // reasonable notice length.
+    // kyp-lint: allow(P02) — idx/start/end come from find/rfind of `©` and ASCII patterns, so they are char boundaries with start <= idx <= end
     let start = text[..idx].rfind('.').map_or(0, |i| i + 1);
+    // kyp-lint: allow(P02) — same boundary argument as above
     let end = text[idx..].find('.').map_or(text.len(), |i| idx + i);
+    // kyp-lint: allow(P02) — same boundary argument as above
     let notice = text[start..end].trim();
     let notice: String = notice.chars().take(200).collect();
     (!notice.is_empty()).then_some(notice)

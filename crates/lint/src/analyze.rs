@@ -27,6 +27,10 @@ pub struct Violation {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For call-graph findings (P02/H01): the attribution path of
+    /// qualified fn names, entry/hot root first. Empty for per-file
+    /// findings.
+    pub call_path: Vec<String>,
 }
 
 /// One `// kyp-lint: allow(<rule>) — <justification>` annotation.
@@ -210,6 +214,7 @@ pub fn analyze_source(
             line,
             message,
             snippet: snippet_at(&lines, line),
+            call_path: Vec::new(),
         });
     }
 
@@ -243,7 +248,7 @@ fn snippet_at(lines: &[&str], line: u32) -> String {
 
 /// Marks a matching allow used and reports whether the finding is
 /// suppressed. An allow covers its own line and the next one.
-fn suppress(allows: &mut [AllowRecord], rule: &str, line: u32) -> bool {
+pub(crate) fn suppress(allows: &mut [AllowRecord], rule: &str, line: u32) -> bool {
     let mut hit = false;
     for a in allows.iter_mut() {
         if a.rule == rule && (a.line == line || a.line + 1 == line) {
@@ -280,6 +285,7 @@ fn finish_allow_violations(
                 line: a.line,
                 message,
                 snippet: snippet_at(lines, a.line),
+                call_path: Vec::new(),
             });
         }
     }
@@ -319,7 +325,7 @@ fn parse_allows(text: &str, line: u32, file: &str, out: &mut Vec<AllowRecord>) {
 }
 
 /// Line ranges of `#[cfg(test)]` items (attribute through closing brace).
-fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < toks.len() {

@@ -1,0 +1,399 @@
+//! Item-level parsing over the token stream: `fn` items with their
+//! enclosing `impl`/`trait` type and body spans — just enough structure
+//! for the workspace call graph of [`crate::graph`].
+//!
+//! Like the lexer, this is deliberately approximate: it never resolves
+//! types, it treats a trait impl's methods as methods of the *type* the
+//! impl is `for`, and it records nested functions as free functions.
+//! Everything it cannot see is caught belt-and-braces by the integration
+//! determinism and equivalence tests.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name (`FlatModel` for methods of
+    /// `impl FlatModel` *and* of `impl Display for FlatModel`), `None`
+    /// for free functions.
+    pub self_type: Option<String>,
+    /// Whether the item is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token indices of the body `{` and its matching `}`; `None` for
+    /// bodyless declarations (trait methods, extern).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Parses every `fn` item out of a lexed file, in source order.
+pub fn parse_items(toks: &[Tok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    parse_scope(toks, 0, toks.len(), None, &mut out);
+    out.sort_by_key(|f| f.sig_start);
+    out
+}
+
+/// Scans `[i, end)` for item keywords, recursing into `mod`/`impl`/
+/// `trait`/`fn` bodies with the right `self_type` context. Ordinary
+/// braces (struct bodies, expressions) are scanned flat — item keywords
+/// cannot hide from the scan, and a wrong brace guess only mislabels
+/// `self_type`, never drops an item.
+fn parse_scope(
+    toks: &[Tok],
+    mut i: usize,
+    end: usize,
+    self_type: Option<&str>,
+    out: &mut Vec<FnItem>,
+) {
+    while i < end {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct('#') {
+            i = skip_attr_or_hash(toks, i);
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" | "trait" => {
+                if let Some((ty, open)) = parse_impl_header(toks, i, end) {
+                    let close = match_brace_fwd(toks, open, end);
+                    parse_scope(toks, open + 1, close, ty.as_deref(), out);
+                    i = close + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "mod" => {
+                // `mod name { ... }` keeps the current (None) context;
+                // `mod name;` is just skipped.
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.kind == TokKind::Ident) {
+                    j += 1;
+                }
+                if toks.get(j).map(|t| t.kind) == Some(TokKind::Punct('{')) {
+                    let close = match_brace_fwd(toks, j, end);
+                    parse_scope(toks, j + 1, close, None, out);
+                    i = close + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "fn" => {
+                let Some(name_tok) = toks.get(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                // `fn(` is a function-pointer type, not an item.
+                if name_tok.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let (body, after) = find_fn_body(toks, i, end);
+                out.push(FnItem {
+                    name: name_tok.text.clone(),
+                    self_type: self_type.map(str::to_owned),
+                    is_pub: fn_is_pub(toks, i),
+                    line: t.line,
+                    sig_start: i,
+                    body,
+                });
+                if let Some((open, close)) = body {
+                    // Nested fns are free functions of the same file.
+                    parse_scope(toks, open + 1, close, None, out);
+                }
+                i = after;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at `i`, returning the subject
+/// type name and the index of the body `{`. For `impl Trait for Type` the
+/// subject is `Type`; generic arguments are never mistaken for it.
+fn parse_impl_header(toks: &[Tok], i: usize, end: usize) -> Option<(Option<String>, usize)> {
+    let mut j = i + 1;
+    if toks.get(j).map(|t| t.kind) == Some(TokKind::Punct('<')) {
+        j = skip_angles(toks, j, end);
+    }
+    let mut ty: Option<String> = None;
+    let mut in_where = false;
+    while j < end {
+        match toks[j].kind {
+            TokKind::Punct('{') => {
+                return Some((ty, j));
+            }
+            TokKind::Punct(';') => return None, // `impl Foo;` is not Rust, bail
+            TokKind::Punct('<') => j = skip_angles(toks, j, end),
+            TokKind::Ident if toks[j].text == "for" => {
+                ty = None;
+                in_where = false;
+                j += 1;
+            }
+            TokKind::Ident if toks[j].text == "where" => {
+                in_where = true;
+                j += 1;
+            }
+            TokKind::Ident
+                if !in_where
+                    && ty.is_none()
+                    && !matches!(toks[j].text.as_str(), "dyn" | "mut" | "const" | "unsafe") =>
+            {
+                // First path at this position: walk `a::b::C`, keep the
+                // last segment.
+                let (last, next) = walk_path(toks, j, end);
+                ty = Some(last);
+                j = next;
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Walks a `::`-separated ident path starting at ident `j`; returns the
+/// last segment and the index after the path (generic args untouched).
+fn walk_path(toks: &[Tok], mut j: usize, end: usize) -> (String, usize) {
+    let mut last = toks[j].text.clone();
+    j += 1;
+    while j + 2 < end
+        && toks[j].kind == TokKind::Punct(':')
+        && toks[j + 1].kind == TokKind::Punct(':')
+        && toks[j + 2].kind == TokKind::Ident
+    {
+        last.clone_from(&toks[j + 2].text);
+        j += 3;
+    }
+    (last, j)
+}
+
+/// Finds the body of the `fn` at `i`: `(Some((open, close)), after)` for
+/// a braced body, `(None, after)` for a `;`-terminated declaration.
+fn find_fn_body(toks: &[Tok], i: usize, end: usize) -> (Option<(usize, usize)>, usize) {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < end {
+        match toks[j].kind {
+            TokKind::Punct('(' | '[') => depth += 1,
+            TokKind::Punct(')' | ']') => depth -= 1,
+            TokKind::Punct('<') if depth == 0 => {
+                j = skip_angles(toks, j, end);
+                continue;
+            }
+            TokKind::Punct(';') if depth == 0 => return (None, j + 1),
+            TokKind::Punct('{') if depth == 0 => {
+                let close = match_brace_fwd(toks, j, end);
+                return (Some((j, close)), close + 1);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, j)
+}
+
+/// Was the `fn` at `i` declared `pub` (with any restriction)? Walks back
+/// over `const`/`async`/`unsafe`/`extern "C"` qualifiers.
+fn fn_is_pub(toks: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        let p = &toks[j - 1];
+        match p.kind {
+            TokKind::Ident
+                if matches!(p.text.as_str(), "const" | "async" | "unsafe" | "extern") =>
+            {
+                j -= 1;
+            }
+            TokKind::Literal => j -= 1, // the "C" of extern "C"
+            TokKind::Punct(')') => {
+                // `pub(crate)` / `pub(in path)`: walk to the `(`.
+                let mut depth = 0i32;
+                while j > 0 {
+                    match toks[j - 1].kind {
+                        TokKind::Punct(')') => depth += 1,
+                        TokKind::Punct('(') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j -= 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+            }
+            TokKind::Ident if p.text == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Index just past the `]` of the attribute at `i` (`#`), or past a bare
+/// `#` that opens no attribute.
+fn skip_attr_or_hash(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if toks.get(j).map(|t| t.kind) == Some(TokKind::Punct('!')) {
+        j += 1;
+    }
+    if toks.get(j).map(|t| t.kind) != Some(TokKind::Punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index after the `>` matching the `<` at `j`; `->` arrows inside are
+/// never counted as closers.
+fn skip_angles(toks: &[Tok], mut j: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    while j < end {
+        match toks[j].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') if j > 0 && toks[j - 1].kind == TokKind::Punct('-') => {}
+            TokKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            // A `(` inside generics (`Fn(usize) -> u8`): skip the group so
+            // comparison operators inside default exprs can't confuse us.
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token when
+/// unbalanced — tolerated like everything else).
+pub fn match_brace_fwd(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < end {
+        match toks[j].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    end.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        parse_items(&lex(src).tokens)
+    }
+
+    /// `Type::name` for methods, `name` for free functions.
+    fn display(f: &FnItem) -> String {
+        match &f.self_type {
+            Some(t) => format!("{t}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    #[test]
+    fn free_and_method_fns_are_found() {
+        let src = "pub fn free() {}\n\
+                   struct S;\n\
+                   impl S { fn method(&self) -> u8 { 0 } pub(crate) fn m2() {} }\n";
+        let got = items(src);
+        assert_eq!(got.len(), 3);
+        assert_eq!(display(&got[0]), "free");
+        assert!(got[0].is_pub);
+        assert_eq!(display(&got[1]), "S::method");
+        assert!(!got[1].is_pub);
+        assert_eq!(display(&got[2]), "S::m2");
+        assert!(got[2].is_pub);
+    }
+
+    #[test]
+    fn trait_impl_methods_belong_to_the_type() {
+        let src = "impl fmt::Display for StoreError {\n\
+                   fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n}\n\
+                   impl<R: Read> FrameReader<R> { pub fn next_block(&mut self) {} }\n";
+        let got = items(src);
+        assert_eq!(display(&got[0]), "StoreError::fmt");
+        assert_eq!(display(&got[1]), "FrameReader::next_block");
+        assert!(got[1].is_pub);
+    }
+
+    #[test]
+    fn generic_args_are_not_the_impl_type() {
+        let got = items("impl Wrapper<Inner, Other> { fn f() {} }");
+        assert_eq!(display(&got[0]), "Wrapper::f");
+    }
+
+    #[test]
+    fn trait_default_methods_and_decls() {
+        let src = "trait World { fn visit(&self) -> u8; fn name(&self) -> &str { \"w\" } }";
+        let got = items(src);
+        assert_eq!(display(&got[0]), "World::visit");
+        assert!(got[0].body.is_none());
+        assert_eq!(display(&got[1]), "World::name");
+        assert!(got[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_and_module_fns() {
+        let src = "mod inner { pub fn deep() { fn nested() {} nested(); } }";
+        let got = items(src);
+        assert_eq!(display(&got[0]), "deep");
+        assert_eq!(display(&got[1]), "nested");
+        assert!(got[1].self_type.is_none());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let got = items("struct S { cb: fn(usize) -> u8 } fn real() {}");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "real");
+    }
+
+    #[test]
+    fn where_clause_bounds_are_not_the_type() {
+        let got = items("impl<T> Holder<T> where T: Clone { fn get(&self) {} }");
+        assert_eq!(display(&got[0]), "Holder::get");
+    }
+
+    #[test]
+    fn generic_signatures_find_their_bodies() {
+        let src = "fn collect_all<I: IntoIterator<Item = String>>(it: I) -> Vec<String> { it.into_iter().collect() }";
+        let got = items(src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].body.is_some());
+    }
+}

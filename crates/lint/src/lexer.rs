@@ -28,10 +28,40 @@ pub enum TokKind {
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
-    /// Identifier text; empty for non-identifiers.
+    /// Identifier text, or the spelling of a *numeric* literal (needed
+    /// by the float/integer evidence heuristics of the workspace rules);
+    /// empty for punctuation and string/char literals.
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
+}
+
+impl Tok {
+    /// Is this a numeric literal spelled as a float (`0.5`, `1e9`,
+    /// `2f64`)? Hex/octal/binary literals and integer-suffixed literals
+    /// (`0usize` — whose `e` is not an exponent) are never floats.
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokKind::Literal || self.text.is_empty() {
+            return false;
+        }
+        let t = self.text.as_str();
+        if t.starts_with("0x") || t.starts_with("0X") || t.starts_with("0b") || t.starts_with("0o")
+        {
+            return false;
+        }
+        const INT_SUFFIXES: &[&str] = &[
+            "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        ];
+        if INT_SUFFIXES.iter().any(|s| t.ends_with(s)) {
+            return false;
+        }
+        t.contains('.') || t.contains(['e', 'E']) || t.ends_with("f32") || t.ends_with("f64")
+    }
+
+    /// Is this a numeric literal spelled as an integer?
+    pub fn is_int_literal(&self) -> bool {
+        self.kind == TokKind::Literal && !self.text.is_empty() && !self.is_float_literal()
+    }
 }
 
 /// One comment with the line it *ends* on (block comments may span lines;
@@ -157,6 +187,7 @@ pub fn lex(src: &str) -> Lexed {
                 });
             }
             _ if c.is_ascii_digit() => {
+                let start = i;
                 while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
@@ -167,7 +198,11 @@ pub fn lex(src: &str) -> Lexed {
                         i += 1;
                     }
                 }
-                out.tokens.push(lit(line));
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_owned(),
+                    line,
+                });
             }
             _ => {
                 out.tokens.push(Tok {
@@ -195,7 +230,14 @@ fn lit(line: u32) -> Tok {
 fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            // An escape consumes the next byte too — which may be the
+            // newline of a `\`-continuation, still a line on screen.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -348,6 +390,28 @@ mod tests {
             .find(|t| t.text == "fn")
             .expect("fn token");
         assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn escaped_newline_continuation_counts_its_line() {
+        let src = "let s = \"a \\\n   b\";\nfn after() {}";
+        let lexed = lex(src);
+        let f = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "fn")
+            .expect("fn token");
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn integer_suffixes_are_not_float_exponents() {
+        let toks = lex("let a = 0usize; let b = 3isize; let c = 1e9; let d = 2f64;").tokens;
+        let lits: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Literal).collect();
+        assert!(lits[0].is_int_literal(), "0usize is an int");
+        assert!(lits[1].is_int_literal(), "3isize is an int");
+        assert!(lits[2].is_float_literal(), "1e9 is a float");
+        assert!(lits[3].is_float_literal(), "2f64 is a float");
     }
 
     #[test]

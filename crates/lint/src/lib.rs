@@ -22,13 +22,24 @@
 //! | D03 | no raw `thread::spawn`/`scope` outside `crates/exec` |
 //! | D04 | no entropy-seeded RNG anywhere |
 //! | D05 | no `unsafe` outside `crates/exec` |
-//! | P01 | no `unwrap()`/`expect()` in hot-path library code (`core`/`serve`/`obs`/`cluster`/`ml`/`html`) |
+//! | P01 | no `unwrap()`/`expect()` in hot-path library code (`core`/`serve`/`obs`/`cluster`/`ml`/`html`/`store`) |
 //! | A00 | every allow annotation carries a justification |
+//! | P02 | no *implicit* panic site (indexing, `split_at`, integer `/` `%`, panic macros) reachable from a registered public entry point (DESIGN.md §8j) |
+//! | H01 | no allocation inside registered hot functions or their callees to depth 2 |
+//! | D06 | no order-sensitive `f64` accumulation outside canonical reducers (warning) |
+//!
+//! D01–A00 are per-file. P02/H01/D06 ride on a workspace call graph: a
+//! lightweight item parser ([`mod@items`] internally) finds `fn` items on
+//! top of the same token stream, name-resolution builds intra-workspace
+//! call edges, and the registries of entry points, hot functions and
+//! canonical reducers (`registry` module) anchor the three rules. Every
+//! P02 finding carries the shortest call path from its entry point.
 //!
 //! A finding is suppressed by an inline escape hatch on the same or the
 //! preceding line — `// kyp-lint: allow(D01) — <justification>` — and
 //! every hatch is itself counted, reported, and rejected when it lacks a
-//! justification.
+//! justification. `tools/lint_allows.tsv` pins the reviewed baseline:
+//! CI fails when a new allow appears without a row there.
 //!
 //! # Examples
 //!
@@ -42,7 +53,11 @@
 //! ```
 
 mod analyze;
+pub mod fix;
+mod graph;
+mod items;
 mod lexer;
+mod registry;
 mod report;
 pub mod rules;
 
@@ -152,14 +167,56 @@ pub fn run_lint(root: &Path, rules: Option<&BTreeSet<String>>) -> Result<LintOut
             root.display()
         ));
     }
-    let mut outcome = LintOutcome::default();
-    for f in &files {
+    let mut loaded = Vec::with_capacity(files.len());
+    for f in files {
         let src = fs::read_to_string(&f.abs_path)
             .map_err(|e| format!("read {}: {e}", f.abs_path.display()))?;
-        let analysis = analyze_source(&f.crate_name, &f.rel_path, &src, rules);
+        loaded.push((f, src));
+    }
+    let inputs: Vec<(&str, &str, &str)> = loaded
+        .iter()
+        .map(|(f, src)| (f.crate_name.as_str(), f.rel_path.as_str(), src.as_str()))
+        .collect();
+    Ok(analyze_loaded(&inputs, rules))
+}
+
+/// Shared core of [`run_lint`] and [`lint_file`]: per-file analysis, then
+/// the workspace call-graph pass, with graph findings run through the
+/// same allow-annotation suppression.
+fn analyze_loaded(inputs: &[(&str, &str, &str)], rules: Option<&BTreeSet<String>>) -> LintOutcome {
+    let mut analyses: Vec<FileAnalysis> = inputs
+        .iter()
+        .map(|(krate, rel, src)| analyze_source(krate, rel, src, rules))
+        .collect();
+
+    let graph_needed = rules.is_none_or(|set| {
+        set.iter()
+            .any(|r| matches!(r.as_str(), "P02" | "H01" | "D06"))
+    });
+    if graph_needed {
+        let graph_files: Vec<graph::GraphFile<'_>> = inputs
+            .iter()
+            .map(|&(krate, rel, src)| graph::GraphFile {
+                crate_name: krate,
+                rel_path: rel,
+                src,
+            })
+            .collect();
+        for v in graph::graph_pass(&graph_files, rules) {
+            let Some(idx) = inputs.iter().position(|&(_, rel, _)| rel == v.file) else {
+                continue;
+            };
+            if !analyze::suppress(&mut analyses[idx].allows, &v.rule, v.line) {
+                analyses[idx].violations.push(v);
+            }
+        }
+    }
+
+    let mut outcome = LintOutcome::default();
+    for ((_, rel, _), analysis) in inputs.iter().zip(analyses) {
         outcome.violations.extend(analysis.violations);
         outcome.allows.extend(analysis.allows);
-        outcome.files_scanned.push(f.rel_path.clone());
+        outcome.files_scanned.push((*rel).to_owned());
     }
     outcome
         .violations
@@ -167,7 +224,7 @@ pub fn run_lint(root: &Path, rules: Option<&BTreeSet<String>>) -> Result<LintOut
     outcome
         .allows
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
-    Ok(outcome)
+    outcome
 }
 
 /// Rejects filters naming rules that don't exist.
@@ -206,12 +263,10 @@ pub fn lint_file(
         || path.display().to_string(),
         |n| n.to_string_lossy().into_owned(),
     );
-    let analysis = analyze_source(crate_name, &rel, &src, rules);
-    let mut outcome = LintOutcome::default();
-    outcome.violations.extend(analysis.violations);
-    outcome.allows.extend(analysis.allows);
-    outcome.files_scanned.push(rel);
-    Ok(outcome)
+    Ok(analyze_loaded(
+        &[(crate_name, rel.as_str(), src.as_str())],
+        rules,
+    ))
 }
 
 /// Parses a `--rules` filter value (`"D01,D02"`) into a rule set.

@@ -40,6 +40,10 @@ fn run() -> Result<bool, String> {
     let mut root: Option<PathBuf> = None;
     let mut crate_name = "core".to_owned();
     let mut quiet = false;
+    let mut deny_warnings = false;
+    let mut fix_stale = false;
+    let mut check_allows: Option<PathBuf> = None;
+    let mut update_allows: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -56,6 +60,16 @@ fn run() -> Result<bool, String> {
                 crate_name.clone_from(v);
             }
             "--quiet" => quiet = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--fix-stale-allows" => fix_stale = true,
+            "--check-allows" => {
+                let v = iter.next().ok_or("--check-allows is missing a value")?;
+                check_allows = Some(PathBuf::from(v));
+            }
+            "--update-allows" => {
+                let v = iter.next().ok_or("--update-allows is missing a value")?;
+                update_allows = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
                     "kyp-lint — workspace determinism & invariant static analysis\n\n\
@@ -64,7 +78,13 @@ fn run() -> Result<bool, String> {
                      Scans crates/*/src and src/ under <root> (default: the enclosing\n\
                      workspace), prints a human report, writes a JSON report\n\
                      (default results/lint.json), and exits nonzero on violations.\n\
-                     A positional .rs file is linted alone, as crate <c> (default core)."
+                     A positional .rs file is linted alone, as crate <c> (default core).\n\n\
+                     OPTIONS:\n\
+                     \x20 --deny-warnings        exit nonzero on Severity::Warning findings too\n\
+                     \x20 --fix-stale-allows     remove allow annotations that suppress nothing\n\
+                     \x20                        (full-rule runs only; incompatible with --rules)\n\
+                     \x20 --check-allows <tsv>   fail if an allow is missing from the baseline\n\
+                     \x20 --update-allows <tsv>  rewrite the allow baseline from this run"
                 );
                 return Ok(true);
             }
@@ -74,13 +94,20 @@ fn run() -> Result<bool, String> {
             other => return Err(format!("unknown option {other:?} (see --help)")),
         }
     }
+    if fix_stale && rules.is_some() {
+        return Err(
+            "--fix-stale-allows needs a full-rule run (an allow for a filtered-out rule \
+             would look stale); drop --rules"
+                .to_owned(),
+        );
+    }
     let single_file = root
         .as_ref()
         .is_some_and(|p| p.extension().is_some_and(|e| e == "rs"));
-    let (outcome, json) = if single_file {
+    let (outcome, json, ws_root) = if single_file {
         let path = root.expect("checked above");
         let outcome = kyp_lint::lint_file(&path, &crate_name, rules.as_ref())?;
-        (outcome, json_path)
+        (outcome, json_path, None)
     } else {
         let root = if let Some(r) = root {
             r
@@ -91,8 +118,23 @@ fn run() -> Result<bool, String> {
         };
         let outcome = kyp_lint::run_lint(&root, rules.as_ref())?;
         let json = json_path.unwrap_or_else(|| root.join("results").join("lint.json"));
-        (outcome, Some(json))
+        (outcome, Some(json), Some(root))
     };
+    if fix_stale {
+        let Some(ws) = &ws_root else {
+            return Err("--fix-stale-allows works on workspace runs, not single files".to_owned());
+        };
+        for edit in kyp_lint::fix::remove_stale_allows(ws, &outcome)? {
+            println!("kyp-lint: {edit}");
+        }
+    }
+    if let Some(path) = &update_allows {
+        std::fs::write(path, kyp_lint::fix::render_allow_baseline(&outcome))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        if !quiet {
+            println!("kyp-lint: allow baseline written to {}", path.display());
+        }
+    }
     if let Some(json) = &json {
         if let Some(dir) = json.parent() {
             std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
@@ -106,5 +148,18 @@ fn run() -> Result<bool, String> {
             println!("kyp-lint: report written to {}", json.display());
         }
     }
-    Ok(outcome.is_clean())
+    let mut clean = if deny_warnings {
+        outcome.is_warning_clean()
+    } else {
+        outcome.is_clean()
+    };
+    if let Some(path) = &check_allows {
+        let baseline =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        if let Err(growth) = kyp_lint::fix::check_allow_baseline(&outcome, &baseline) {
+            eprintln!("kyp-lint: {growth}");
+            clean = false;
+        }
+    }
+    Ok(clean)
 }

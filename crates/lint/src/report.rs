@@ -6,7 +6,7 @@
 //! order is fixed, so the report bytes are themselves deterministic.
 
 use crate::analyze::{AllowRecord, Violation};
-use crate::rules::RULES;
+use crate::rules::{Severity, RULES};
 use std::fmt::Write as _;
 
 /// Aggregated outcome of a lint run.
@@ -21,9 +21,28 @@ pub struct LintOutcome {
 }
 
 impl LintOutcome {
-    /// `true` when the run should exit 0.
+    /// `true` when the run should exit 0 by default: warnings (the D06
+    /// advisory channel) do not fail the run unless `--deny-warnings`.
     pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// `true` when the run is clean even under `--deny-warnings`.
+    pub fn is_warning_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Number of `Severity::Error` violations.
+    pub fn error_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Severity::Warning` violations.
+    pub fn warning_count(&self) -> usize {
+        self.violations.len() - self.error_count()
     }
 
     /// Violation count for one rule.
@@ -45,12 +64,16 @@ impl LintOutcome {
                 v.message,
                 v.snippet
             );
+            if !v.call_path.is_empty() {
+                let _ = writeln!(s, "    path: {}", v.call_path.join(" -> "));
+            }
         }
         let _ = writeln!(
             s,
-            "kyp-lint: {} file(s) scanned, {} violation(s), {} allow annotation(s)",
+            "kyp-lint: {} file(s) scanned, {} error(s), {} warning(s), {} allow annotation(s)",
             self.files_scanned.len(),
-            self.violations.len(),
+            self.error_count(),
+            self.warning_count(),
             self.allows.len()
         );
         for r in RULES {
@@ -75,6 +98,8 @@ impl LintOutcome {
         let mut s = String::from("{\n");
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned.len());
         let _ = writeln!(s, "  \"violation_count\": {},", self.violations.len());
+        let _ = writeln!(s, "  \"error_count\": {},", self.error_count());
+        let _ = writeln!(s, "  \"warning_count\": {},", self.warning_count());
         let _ = writeln!(s, "  \"allow_count\": {},", self.allows.len());
 
         s.push_str("  \"rules\": [\n");
@@ -94,9 +119,15 @@ impl LintOutcome {
 
         s.push_str("  \"violations\": [\n");
         for (i, v) in self.violations.iter().enumerate() {
+            let call_path = v
+                .call_path
+                .iter()
+                .map(|p| json_str(p))
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = write!(
                 s,
-                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}, \"call_path\": [{call_path}]}}",
                 json_str(&v.rule),
                 json_str(v.severity.name()),
                 json_str(&v.file),
@@ -170,6 +201,7 @@ mod tests {
                 line: 3,
                 message: "hash-order iteration: m.iter()".into(),
                 snippet: "for x in m.iter() { \"quote\\\" }".into(),
+                call_path: Vec::new(),
             }],
             allows: vec![AllowRecord {
                 rule: "P01".into(),

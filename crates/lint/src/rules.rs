@@ -68,7 +68,9 @@ pub struct Rule {
 }
 
 /// Crates whose output feeds feature vectors, model training, verdicts or
-/// reports — iteration order there must be deterministic.
+/// reports — iteration order there must be deterministic. `lint` is in
+/// the list because its own report (`results/lint.json`) is a byte-stable
+/// artifact: the analyzer must not iterate hash maps either.
 pub const OUTPUT_AFFECTING: &[&str] = &[
     "core",
     "ml",
@@ -83,7 +85,14 @@ pub const OUTPUT_AFFECTING: &[&str] = &[
     "obs",
     "cluster",
     "store",
+    "lint",
 ];
+
+/// Crates whose library code must not panic: the serving path (`core`/
+/// `serve`/`obs`/`cluster`), the hot kernels (`ml`/`html`) and the
+/// persistent store. Shared by P01 (explicit `unwrap`/`expect`) and P02
+/// (implicit panic sites).
+pub const PANIC_FREE: &[&str] = &["core", "serve", "obs", "cluster", "ml", "html", "store"];
 
 /// The full rule table, in report order.
 pub const RULES: &[Rule] = &[
@@ -124,9 +133,33 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "P01",
         severity: Severity::Error,
-        scope: Scope::Only(&["core", "serve", "obs", "cluster", "ml", "html", "store"]),
+        scope: Scope::Only(PANIC_FREE),
         summary: "no unwrap()/expect() in non-test library code of \
                   core/serve/obs/cluster/ml/html/store",
+    },
+    Rule {
+        id: "P02",
+        severity: Severity::Error,
+        scope: Scope::Only(PANIC_FREE),
+        summary: "no implicit panic site (indexing, split_at, integer /-%, panic!/assert!) \
+                  reachable from a registered public entry point; findings carry the \
+                  shortest call path",
+    },
+    Rule {
+        id: "H01",
+        severity: Severity::Error,
+        scope: Scope::All,
+        summary: "no allocating call (format!/vec!/to_string/to_owned/to_vec/\
+                  String::/Vec::/Box:: constructors, clone of owned buffers) in a \
+                  registered hot function or its callees to depth 2, outside setup and \
+                  cold error paths",
+    },
+    Rule {
+        id: "D06",
+        severity: Severity::Warning,
+        scope: Scope::Only(OUTPUT_AFFECTING),
+        summary: "order-sensitive f64 accumulation (sum::<f64>/float fold/`+=` in loops) \
+                  belongs in a canonical reduction helper",
     },
     Rule {
         id: "A00",

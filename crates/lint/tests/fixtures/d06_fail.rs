@@ -1,0 +1,15 @@
+//! D06 failing fixture: order-sensitive f64 accumulation outside the
+//! canonical reducer registry, in both the `.sum::<f64>()` and the
+//! loop-accumulator spelling.
+
+pub fn jitter(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / 2.0
+}
+
+pub fn drift(values: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for v in values {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,17 @@
+//! D06 passing fixture: `mean` is a registered canonical reducer for
+//! crate `core`, so ordered accumulation inside it is its job; integer
+//! accumulators (including `usize`-suffixed literals) are not floats.
+
+pub fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+pub fn count_long(values: &[f64]) -> usize {
+    let mut n = 0usize;
+    for v in values {
+        if *v > 1.0 {
+            n += 1;
+        }
+    }
+    n
+}

@@ -1,0 +1,15 @@
+//! H01 failing fixture: a registered hot function (`FlatModel::
+//! predict_proba` when analyzed as crate `ml`) allocates per call.
+
+pub struct FlatModel;
+
+impl FlatModel {
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let label = format!("row of {} features", row.len());
+        score(&label)
+    }
+}
+
+fn score(s: &str) -> f64 {
+    s.len() as f64
+}

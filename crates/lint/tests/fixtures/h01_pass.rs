@@ -1,0 +1,20 @@
+//! H01 passing fixture: the hot function works in place, and allocation
+//! in functions outside the hot closure (or in `new`/`with_`-style setup)
+//! stays permitted.
+
+pub struct FlatModel;
+
+impl FlatModel {
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for v in row {
+            acc = acc.max(*v);
+        }
+        acc
+    }
+
+    /// Setup is allowed to allocate: not on the hot path.
+    pub fn with_buffer(capacity: usize) -> Vec<f64> {
+        Vec::with_capacity(capacity)
+    }
+}

@@ -1,0 +1,12 @@
+//! After every edge-case literal the lexer must still be in sync: the
+//! one real violation at the end has to be reported — on its exact line.
+
+pub fn edge() -> u32 {
+    let raw = r##"unsafe { HashMap::new().unwrap() } "#quoted"# "##;
+    let cont = "one \
+two";
+    let bytes = b"SystemTime::now()";
+    /* nested /* block */ comment */
+    let v: Vec<u32> = vec![raw.len() as u32, cont.len() as u32, bytes.len() as u32];
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,28 @@
+//! Lexer edge cases: rule-trigger text buried in raw strings, byte
+//! strings, nested block comments and char literals must never surface
+//! as tokens — this file must analyze spotless under every rule.
+
+/* outer /* nested block comment: for (k, v) in map.iter() over a
+   std::collections::HashMap */ still a comment: Instant::now() and
+   thread::spawn and unsafe { } */
+
+pub fn literals_hide_everything() -> usize {
+    let raw = r#"HashMap order: for v in m.values() { v.unwrap() } "quoted""#;
+    let hashed = r##"thread_rng() and SystemTime::now() and "#one hash#""##;
+    let bytes = b"unsafe { transmute() } .expect(\"boom\")";
+    let byte_char = b'{';
+    let cont = "spliced \
+                across lines: rand::random()";
+    raw.len() + hashed.len() + bytes.len() + cont.len() + usize::from(byte_char)
+}
+
+pub fn lifetimes_are_not_chars<'a>(x: &'a str) -> char {
+    let plain = 'x';
+    let escaped_quote = '\'';
+    let newline = '\n';
+    if x.is_empty() {
+        plain
+    } else {
+        escaped_quote.max(newline)
+    }
+}

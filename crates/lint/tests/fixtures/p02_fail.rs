@@ -1,0 +1,14 @@
+//! P02 failing fixture: an implicit panic site in a helper that is
+//! reachable from a registered entry point (`Pipeline::classify_bundle`).
+
+pub struct Pipeline;
+
+impl Pipeline {
+    pub fn classify_bundle(&self, xs: &[f64]) -> f64 {
+        helper(xs)
+    }
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    xs[0]
+}

@@ -1,0 +1,20 @@
+//! P02 passing fixture: the reachable path indexes nothing, and the one
+//! panic site in the file sits in a function no entry point can reach —
+//! reachability gating must keep it silent.
+
+pub struct Pipeline;
+
+impl Pipeline {
+    pub fn classify_bundle(&self, xs: &[f64]) -> f64 {
+        helper(xs)
+    }
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or_default()
+}
+
+/// Never called from any entry point: its indexing must not be reported.
+pub fn offline_tooling(xs: &[f64]) -> f64 {
+    xs[1]
+}

@@ -2,7 +2,7 @@
 //! flag and a passing fixture it must leave alone — plus the live
 //! workspace itself, which must lint clean with zero unexplained allows.
 
-use kyp_lint::{analyze_source, lint_file, run_lint, FileAnalysis};
+use kyp_lint::{analyze_source, lint_file, run_lint, FileAnalysis, LintOutcome, Severity};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -21,12 +21,24 @@ fn analyze_fixture(name: &str) -> FileAnalysis {
     analyze_source("core", name, &src, None)
 }
 
+/// Analyzes a fixture through the full pipeline (`lint_file`), which runs
+/// the call-graph rules (P02/H01/D06) on top of the per-file pass. The
+/// crate name matters: it selects rule scopes and registry entries.
+fn graph_fixture(krate: &str, name: &str) -> LintOutcome {
+    let path = fixture_dir().join(name);
+    lint_file(&path, krate, None).unwrap_or_else(|e| panic!("lint fixture {}: {e}", path.display()))
+}
+
 fn rules_hit(analysis: &FileAnalysis) -> BTreeSet<&str> {
     analysis
         .violations
         .iter()
         .map(|v| v.rule.as_str())
         .collect()
+}
+
+fn outcome_rules(outcome: &LintOutcome) -> BTreeSet<&str> {
+    outcome.violations.iter().map(|v| v.rule.as_str()).collect()
 }
 
 /// Every failing fixture must raise its rule (and only its rule); every
@@ -52,6 +64,99 @@ fn each_rule_has_a_failing_and_a_passing_fixture() {
             good.violations
         );
     }
+}
+
+/// The call-graph rules get the same treatment, through the pipeline
+/// that actually builds the graph. The crate name picks the registry
+/// rows each fixture is written against.
+#[test]
+fn each_graph_rule_has_a_failing_and_a_passing_fixture() {
+    for (rule, krate) in [("P02", "core"), ("H01", "ml"), ("D06", "core")] {
+        let lower = rule.to_lowercase();
+        let bad = graph_fixture(krate, &format!("{lower}_fail.rs"));
+        assert!(
+            !bad.violations.is_empty(),
+            "{rule}: failing fixture raised nothing"
+        );
+        assert_eq!(
+            outcome_rules(&bad),
+            BTreeSet::from([rule]),
+            "{rule}: failing fixture raised unexpected rules: {:?}",
+            bad.violations
+        );
+        let good = graph_fixture(krate, &format!("{lower}_pass.rs"));
+        assert!(
+            good.violations.is_empty(),
+            "{rule}: passing fixture raised {:?}",
+            good.violations
+        );
+    }
+}
+
+/// Every P02 finding must say *how* the panic site is reached: a
+/// non-empty call path rooted at a registered entry point.
+#[test]
+fn p02_findings_carry_call_path_attribution() {
+    let bad = graph_fixture("core", "p02_fail.rs");
+    let p02: Vec<_> = bad.violations.iter().filter(|v| v.rule == "P02").collect();
+    assert!(!p02.is_empty());
+    for v in p02 {
+        assert!(
+            !v.call_path.is_empty(),
+            "P02 finding without a call path: {v:?}"
+        );
+        assert!(
+            v.call_path[0].contains("classify_bundle"),
+            "path must start at the entry point: {:?}",
+            v.call_path
+        );
+        assert!(
+            v.message.contains("reachable from"),
+            "message must name the entry: {}",
+            v.message
+        );
+    }
+}
+
+/// D06 is advisory: findings are warnings, so the outcome is clean under
+/// the default exit policy but dirty under `--deny-warnings` semantics.
+#[test]
+fn d06_is_a_warning_not_an_error() {
+    let bad = graph_fixture("core", "d06_fail.rs");
+    assert!(!bad.violations.is_empty());
+    assert!(bad
+        .violations
+        .iter()
+        .all(|v| v.severity == Severity::Warning));
+    assert!(bad.is_clean(), "warnings must not fail the default gate");
+    assert!(!bad.is_warning_clean(), "deny-warnings gate must trip");
+}
+
+/// Rule-trigger text buried in raw strings, byte strings, nested block
+/// comments and char literals must never reach rule matching — and the
+/// lexer must stay line-synchronized across all of it, so a genuine
+/// violation *after* the gnarly literals is still caught on its exact
+/// line.
+#[test]
+fn lexer_edge_cases_do_not_leak_into_rules() {
+    let good = graph_fixture("core", "lexer_edge_pass.rs");
+    assert!(
+        good.violations.is_empty(),
+        "literal/comment contents leaked into rule matching: {:?}",
+        good.violations
+    );
+    let bad = graph_fixture("core", "lexer_edge_fail.rs");
+    assert_eq!(
+        outcome_rules(&bad),
+        BTreeSet::from(["P01"]),
+        "{:?}",
+        bad.violations
+    );
+    assert_eq!(
+        bad.violations[0].line, 11,
+        "lexer lost line sync across edge-case literals: {:?}",
+        bad.violations
+    );
 }
 
 #[test]

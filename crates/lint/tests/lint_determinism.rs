@@ -1,0 +1,41 @@
+//! The linter holds itself to its own D01 standard: two runs over the
+//! same tree must produce byte-identical JSON. `lint` is in the
+//! OUTPUT_AFFECTING scope precisely because `results/lint.json` is a CI
+//! artifact that gets diffed across runs — any map-order or wall-clock
+//! leak in the linter shows up here as a flaky byte diff.
+
+use kyp_lint::{lint_file, run_lint};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+}
+
+#[test]
+fn lint_json_is_byte_identical_across_runs() {
+    let a = run_lint(workspace_root(), None).expect("first lint run");
+    let b = run_lint(workspace_root(), None).expect("second lint run");
+    assert_eq!(
+        a.render_json(),
+        b.render_json(),
+        "two lint runs over an unchanged tree diverged"
+    );
+    assert_eq!(a.render_human(), b.render_human());
+}
+
+/// Same guarantee at the single-file grain, on a fixture with graph
+/// findings — the call-path attribution must also be stable.
+#[test]
+fn fixture_findings_are_byte_identical_across_runs() {
+    let fixture: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("p02_fail.rs");
+    let a = lint_file(&fixture, "core", None).expect("first run");
+    let b = lint_file(&fixture, "core", None).expect("second run");
+    assert_eq!(a.render_json(), b.render_json());
+    assert!(a.render_json().contains("\"call_path\""));
+}

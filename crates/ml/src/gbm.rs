@@ -221,6 +221,25 @@ impl GradientBoosting {
         crate::FlatModel::compile(self)
     }
 
+    /// Structural validation of the ensemble, for models deserialized
+    /// from untrusted artifacts (a hand-edited or corrupted snapshot
+    /// can otherwise drive the unchecked tree walks of
+    /// [`RegressionTree::predict`] and [`crate::FlatModel`] out of
+    /// bounds). Models produced by [`GradientBoosting::fit`] pass by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed tree: an out-of-range child or
+    /// feature index, a node cycle, or a non-finite threshold.
+    pub fn validate(&self) -> Result<(), String> {
+        for (t, tree) in self.trees.iter().enumerate() {
+            tree.validate(self.n_features)
+                .map_err(|e| format!("tree {t}: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// The fitted trees, in boosting order (for compilation).
     pub(crate) fn trees(&self) -> &[RegressionTree] {
         &self.trees
@@ -466,6 +485,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fitted_models_validate_and_tampered_ones_do_not() {
+        let d = toy(200, false);
+        let m = GradientBoosting::fit(&d, &GbmParams::default());
+        assert!(m.validate().is_ok());
+        // Round-trip through json and corrupt a child reference, the way
+        // a damaged snapshot would arrive.
+        let json = serde_json::to_string(&m).unwrap();
+        let tampered = json.replacen("\"left\":1", "\"left\":1000000", 1);
+        assert_ne!(json, tampered, "fixture model holds no matching split");
+        let bad: GradientBoosting = serde_json::from_str(&tampered).unwrap();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
     }
 
     #[test]

@@ -70,6 +70,7 @@ impl SparseLogisticRegression {
         self.bias += lr * err;
         for (id, v) in features {
             let w = self.weights.entry(*id).or_insert(0.0);
+            // kyp-lint: allow(D06) — per-weight update in the caller-supplied feature order; no cross-key reduction
             *w += lr * (err * v - self.l2 * *w);
         }
         self.updates += 1;

@@ -153,6 +153,7 @@ pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
         let avg_rank = (start + 1 + i) as f64 / 2.0;
         for &idx in &order[start..i] {
             if labels[idx] {
+                // kyp-lint: allow(D06) — ranks accumulate in the sorted score order, which is deterministic
                 rank_sum_pos += avg_rank;
             }
         }

@@ -272,10 +272,62 @@ impl RegressionTree {
         self.nodes.len() - 1
     }
 
+    /// Structural validation for trees deserialized from untrusted
+    /// artifacts: every child reference must stay in range, every node
+    /// must be reachable at most once (no cycles, no shared subtrees),
+    /// split features must fit `n_features` and thresholds be finite.
+    /// Trees built by [`RegressionTree::fit`] satisfy this by
+    /// construction; [`predict`](Self::predict) and the flat compiler
+    /// index nodes unchecked on the strength of it.
+    pub(crate) fn validate(&self, n_features: usize) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("tree has no nodes".to_owned());
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            match seen.get_mut(idx) {
+                None => {
+                    return Err(format!(
+                        "node reference {idx} is out of range ({} nodes)",
+                        self.nodes.len()
+                    ));
+                }
+                Some(visited) if *visited => {
+                    return Err(format!(
+                        "node {idx} is referenced twice (cycle or shared subtree)"
+                    ));
+                }
+                Some(visited) => *visited = true,
+            }
+            if let Some(Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+                ..
+            }) = self.nodes.get(idx)
+            {
+                if *feature >= n_features {
+                    return Err(format!(
+                        "split feature {feature} is out of range ({n_features} features)"
+                    ));
+                }
+                if !threshold.is_finite() {
+                    return Err(format!("split threshold {threshold} is not finite"));
+                }
+                stack.push(*left);
+                stack.push(*right);
+            }
+        }
+        Ok(())
+    }
+
     /// Predicts the tree's output for a raw feature vector.
     pub fn predict(&self, features: &[f64]) -> f64 {
         let mut idx = 0;
         loop {
+            // kyp-lint: allow(P02) — fitted trees reference in-range children by construction; untrusted ones pass `validate` first
             match &self.nodes[idx] {
                 Node::Leaf { value } => return *value,
                 Node::Split {
@@ -285,6 +337,7 @@ impl RegressionTree {
                     right,
                     ..
                 } => {
+                    // kyp-lint: allow(P02) — feature indices are bounded by `validate` / the fit that built the tree
                     idx = if features[*feature] <= *threshold {
                         *left
                     } else {

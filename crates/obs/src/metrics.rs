@@ -58,7 +58,9 @@ impl Histogram {
     ///
     /// Panics when `bounds` is empty or not strictly increasing.
     pub fn new(bounds: &[u64]) -> Self {
+        // kyp-lint: allow(P02) — documented constructor contract; every caller passes static bounds
         assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        // kyp-lint: allow(P02) — same constructor contract as above
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
@@ -84,6 +86,7 @@ impl Histogram {
             .iter()
             .position(|&bound| value <= bound)
             .unwrap_or(self.bounds.len());
+        // kyp-lint: allow(P02) — `idx <= bounds.len()` and `counts.len() == bounds.len() + 1`
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += value;
@@ -245,6 +248,7 @@ impl MetricsRegistry {
             self.index.insert(name.to_owned(), idx);
             idx
         };
+        // kyp-lint: allow(P02) — idx is either a live index from the map or `entries.len()` right before the push above
         &mut self.entries[idx].1
     }
 

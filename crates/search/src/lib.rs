@@ -82,6 +82,7 @@ impl SearchEngine {
         for term in extract_terms(text).into_iter().chain(extract_terms(rdn)) {
             *tf.entry(term).or_insert(0.0) += 1.0;
         }
+        // kyp-lint: allow(D06) — summed over BTreeMap values, whose order is deterministic
         let norm = tf.values().map(|c| c * c).sum::<f64>().sqrt().max(1.0);
         for (term, count) in tf {
             self.postings.entry(term).or_default().push((id, count));

@@ -514,6 +514,7 @@ impl<S: PageSource> ScoringService<S> {
                 }
                 Slot::Pending(idx) => {
                     self.answered += 1;
+                    // kyp-lint: allow(P02) — Pending slots are built from `classified` positions earlier in this function
                     let page = &classified[idx];
                     let state = if self.cache.is_some() {
                         CacheState::Miss

@@ -209,12 +209,20 @@ impl<R: Read> FeatureStoreReader<R> {
                 ),
             });
         }
-        let bundle = u32::from_le_bytes([
-            self.payload[0],
-            self.payload[1],
-            self.payload[2],
-            self.payload[3],
-        ]);
+        // Decoded through `get` even though the length was validated
+        // above: the bounds live with the accesses, so the two cannot
+        // drift apart, and a decode bug surfaces as `Corrupt`, not a
+        // panic in a reader entry point.
+        let short = |what: &str| StoreError::Corrupt {
+            offset,
+            detail: format!("feature block ends inside {what}"),
+        };
+        let bundle = self
+            .payload
+            .get(..4)
+            .and_then(|b| <[u8; 4]>::try_from(b).ok())
+            .map(u32::from_le_bytes)
+            .ok_or_else(|| short("bundle id"))?;
         if self.frame.header().bundle_name(bundle).is_none() {
             return Err(StoreError::Corrupt {
                 offset,
@@ -222,7 +230,7 @@ impl<R: Read> FeatureStoreReader<R> {
             });
         }
         let mut labels = Vec::with_capacity(n);
-        for &b in &self.payload[4..4 + n] {
+        for &b in self.payload.get(4..4 + n).ok_or_else(|| short("labels"))? {
             match b {
                 0 => labels.push(false),
                 1 => labels.push(true),
@@ -235,10 +243,11 @@ impl<R: Read> FeatureStoreReader<R> {
             }
         }
         let mut rows = Vec::with_capacity(n * self.n_features);
-        for chunk in self.payload[4 + n..].chunks_exact(8) {
-            rows.push(f64::from_bits(u64::from_le_bytes([
-                chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
-            ])));
+        let row_bytes = self.payload.get(4 + n..).ok_or_else(|| short("rows"))?;
+        for chunk in row_bytes.chunks_exact(8) {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            rows.push(f64::from_bits(u64::from_le_bytes(word)));
         }
         Ok(Some(FeatureBlock {
             bundle,

@@ -419,8 +419,9 @@ impl<R: Read> FrameReader<R> {
             HeadRead::Err(e) => return Err(StoreError::Io(e)),
             HeadRead::Full => {}
         }
-        let payload_len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
-        let record_count = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+        let [l0, l1, l2, l3, c0, c1, c2, c3] = head;
+        let payload_len = u32::from_le_bytes([l0, l1, l2, l3]);
+        let record_count = u32::from_le_bytes([c0, c1, c2, c3]);
         if payload_len > MAX_BLOCK_LEN {
             return Err(StoreError::Corrupt {
                 offset: self.offset,
@@ -457,6 +458,7 @@ enum HeadRead {
 fn read_head<R: Read>(input: &mut R, head: &mut [u8; 8]) -> HeadRead {
     let mut got = 0;
     while got < head.len() {
+        // kyp-lint: allow(P02) — the loop guard keeps `got < head.len()`, so the range is in bounds
         match input.read(&mut head[got..]) {
             Ok(0) => {
                 return if got == 0 {

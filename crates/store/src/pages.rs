@@ -187,11 +187,13 @@ impl<'a> Cur<'a> {
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
-        match end {
-            Some(end) => {
-                let slice = &self.buf[self.pos..end];
-                self.pos = end;
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end));
+        match slice {
+            Some(slice) => {
+                self.pos += n;
                 Ok(slice)
             }
             None => Err(format!(
@@ -204,11 +206,16 @@ impl<'a> Cur<'a> {
 
     fn u32(&mut self, what: &str) -> Result<u32, String> {
         let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        <[u8; 4]>::try_from(b)
+            .map(u32::from_le_bytes)
+            .map_err(|_| format!("{what} is not 4 bytes"))
     }
 
     fn byte(&mut self, what: &str) -> Result<u8, String> {
-        Ok(self.take(1, what)?[0])
+        self.take(1, what)?
+            .first()
+            .copied()
+            .ok_or_else(|| format!("{what} is empty"))
     }
 
     fn string(&mut self, what: &str) -> Result<String, String> {
@@ -275,7 +282,10 @@ fn decode_block(payload: &[u8], n: usize) -> Result<Vec<VisitedPage>, String> {
     let mut title = title.into_iter();
     let mut copyright = copyright.into_iter();
     let mut screenshot = screenshot.into_iter();
-    for i in 0..n {
+    let mut input = input.into_iter();
+    let mut image = image.into_iter();
+    let mut iframe = iframe.into_iter();
+    for _ in 0..n {
         // Every column was decoded with exactly `n` entries above, so
         // the iterators cannot run dry; the defaults are unreachable.
         pages.push(VisitedPage {
@@ -288,9 +298,9 @@ fn decode_block(payload: &[u8], n: usize) -> Result<Vec<VisitedPage>, String> {
             title: title.next().unwrap_or_default(),
             copyright: copyright.next().unwrap_or_default(),
             screenshot_text: screenshot.next().unwrap_or_default(),
-            input_count: input[i] as usize,
-            image_count: image[i] as usize,
-            iframe_count: iframe[i] as usize,
+            input_count: input.next().unwrap_or_default() as usize,
+            image_count: image.next().unwrap_or_default() as usize,
+            iframe_count: iframe.next().unwrap_or_default() as usize,
         });
     }
     Ok(pages)

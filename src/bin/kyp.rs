@@ -341,6 +341,26 @@ const COMMANDS: &[CommandSpec] = &[
                 value: "<path>",
                 help: "also write the report as json",
             },
+            ArgSpec {
+                name: "deny-warnings",
+                value: "",
+                help: "fail on Severity::Warning findings too (D06)",
+            },
+            ArgSpec {
+                name: "fix-stale-allows",
+                value: "",
+                help: "remove allow annotations that suppress nothing",
+            },
+            ArgSpec {
+                name: "check-allows",
+                value: "<tsv>",
+                help: "fail if an allow is missing from this baseline",
+            },
+            ArgSpec {
+                name: "update-allows",
+                value: "<tsv>",
+                help: "rewrite the allow baseline from this run",
+            },
             THREADS_ARG,
         ],
     },
@@ -1076,12 +1096,19 @@ fn cmd_cluster(opts: &ParsedOpts) -> Result<(), String> {
 }
 
 /// `kyp lint`: run the workspace determinism & invariant static-analysis
-/// pass (DESIGN.md section 8e) and fail on violations.
+/// pass (DESIGN.md sections 8e and 8j) and fail on violations.
 fn cmd_lint(opts: &ParsedOpts) -> Result<(), String> {
     let rules = opts
         .get("rules")
         .map(knowyourphish::lint::parse_rule_filter)
         .transpose()?;
+    if opts.flag("fix-stale-allows") && rules.is_some() {
+        return Err(
+            "--fix-stale-allows needs a full-rule run (an allow for a filtered-out rule \
+             would look stale); drop --rules"
+                .to_owned(),
+        );
+    }
     let root = if let Some(dir) = opts.get("root") {
         PathBuf::from(dir)
     } else {
@@ -1090,6 +1117,19 @@ fn cmd_lint(opts: &ParsedOpts) -> Result<(), String> {
             .ok_or("no workspace root found (pass --root <dir>)")?
     };
     let outcome = knowyourphish::lint::run_lint(&root, rules.as_ref())?;
+    if opts.flag("fix-stale-allows") {
+        for edit in knowyourphish::lint::fix::remove_stale_allows(&root, &outcome)? {
+            println!("kyp lint: {edit}");
+        }
+    }
+    if let Some(path) = opts.get("update-allows") {
+        fs::write(
+            path,
+            knowyourphish::lint::fix::render_allow_baseline(&outcome),
+        )
+        .map_err(|e| format!("write {path}: {e}"))?;
+        println!("kyp lint: allow baseline written to {path}");
+    }
     if let Some(path) = opts.get("json") {
         let path = PathBuf::from(path);
         if let Some(dir) = path.parent() {
@@ -1099,7 +1139,21 @@ fn cmd_lint(opts: &ParsedOpts) -> Result<(), String> {
             .map_err(|e| format!("write {}: {e}", path.display()))?;
     }
     print!("{}", outcome.render_human());
-    if outcome.is_clean() {
+    if let Some(path) = opts.get("check-allows") {
+        let baseline = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        if let Err(growth) = knowyourphish::lint::fix::check_allow_baseline(&outcome, &baseline) {
+            return Err(format!(
+                "{growth}\njustify the new allow and refresh the baseline with \
+                 `kyp lint --update-allows {path}`"
+            ));
+        }
+    }
+    let clean = if opts.flag("deny-warnings") {
+        outcome.is_warning_clean()
+    } else {
+        outcome.is_clean()
+    };
+    if clean {
         Ok(())
     } else {
         Err("lint violations found (see report above)".to_owned())

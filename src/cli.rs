@@ -33,10 +33,23 @@ use std::collections::HashMap;
 pub struct ArgSpec {
     /// Option name without the leading `--`.
     pub name: &'static str,
-    /// Value placeholder shown in help output, e.g. `<dir>`.
+    /// Value placeholder shown in help output, e.g. `<dir>`. An empty
+    /// placeholder declares a boolean flag: `--name` takes no value and
+    /// parses to `"true"` (query it with [`ParsedOpts::flag`]).
     pub value: &'static str,
     /// One-line description shown in help output.
     pub help: &'static str,
+}
+
+impl ArgSpec {
+    /// `--name <value>` for options, `--name` for boolean flags.
+    fn flag_label(&self) -> String {
+        if self.value.is_empty() {
+            format!("--{}", self.name)
+        } else {
+            format!("--{} {}", self.name, self.value)
+        }
+    }
 }
 
 /// A subcommand: its name, one-line summary, and accepted options.
@@ -77,6 +90,11 @@ impl ParsedOpts {
     /// The value of `key`, if the option was given.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
+    }
+
+    /// `true` when the boolean flag `key` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
     }
 
     /// The value of a required option, or an actionable error.
@@ -136,11 +154,15 @@ impl CommandSpec {
             if key == "help" {
                 return Ok(Parsed::Help);
             }
-            if !self.args.iter().any(|s| s.name == key) {
+            let Some(spec) = self.args.iter().find(|s| s.name == key) else {
                 return Err(format!(
                     "unknown option --{key} for `kyp {}` (run `kyp {} --help` for its options)",
                     self.name, self.name
                 ));
+            };
+            if spec.value.is_empty() {
+                values.insert(key.to_owned(), "true".to_owned());
+                continue;
             }
             let Some(value) = iter.next() else {
                 return Err(format!(
@@ -169,13 +191,13 @@ impl CommandSpec {
         let width = self
             .args
             .iter()
-            .map(|a| a.name.len() + 1 + a.value.len())
+            .map(|a| a.flag_label().len())
             .max()
             .unwrap_or(0);
-        // `--` adds 2; pad to the widest flag plus a 3-space gutter.
-        let width = width.max("--help".len() - 2) + 2;
+        // Pad to the widest flag plus a 3-space gutter.
+        let width = width.max("--help".len());
         for a in self.args {
-            let flag = format!("--{} {}", a.name, a.value);
+            let flag = a.flag_label();
             out.push_str(&format!("  {flag:width$}   {}\n", a.help));
         }
         out.push_str(&format!("  {:width$}   this message\n", "--help"));
@@ -298,6 +320,48 @@ mod tests {
             assert!(help.contains(a.help), "{help}");
         }
         assert!(help.contains("--help"), "{help}");
+    }
+
+    static FLAG_SPEC: CommandSpec = CommandSpec {
+        name: "flagged",
+        summary: "spec with a boolean flag, used by the parser tests",
+        positional: None,
+        args: &[
+            ArgSpec {
+                name: "strict",
+                value: "",
+                help: "boolean flag: takes no value",
+            },
+            ArgSpec {
+                name: "out",
+                value: "<path>",
+                help: "output path",
+            },
+        ],
+    };
+
+    #[test]
+    fn boolean_flag_takes_no_value() {
+        // The flag must not swallow the next token.
+        let opts = match FLAG_SPEC.parse(&args(&["--strict", "--out", "x"])) {
+            Ok(Parsed::Opts(opts)) => opts,
+            other => panic!("expected options, got {other:?}"),
+        };
+        assert!(opts.flag("strict"));
+        assert_eq!(opts.get("out"), Some("x"));
+        let opts = match FLAG_SPEC.parse(&args(&["--out", "x"])) {
+            Ok(Parsed::Opts(opts)) => opts,
+            other => panic!("expected options, got {other:?}"),
+        };
+        assert!(!opts.flag("strict"));
+    }
+
+    #[test]
+    fn boolean_flag_help_renders_without_placeholder() {
+        let help = FLAG_SPEC.help_text();
+        assert!(help.contains("--strict "), "{help}");
+        assert!(!help.contains("--strict <"), "{help}");
+        assert!(help.contains("--out <path>"), "{help}");
     }
 
     static POSITIONAL_SPEC: CommandSpec = CommandSpec {
