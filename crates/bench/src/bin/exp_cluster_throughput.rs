@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run --release -p kyp-bench --bin exp_cluster_throughput -- --scale 0.02 --threads 1,4`
 
-use kyp_bench::{harness, report, EvalArgs, ExperimentEnv};
+use kyp_bench::{harness, report, EvalArgs, ExperimentEnv, TimedSource};
 use kyp_cluster::{verdict_stream, ClusterConfig, ClusterService, CrashPlan};
 use kyp_core::{DetectorConfig, PhishDetector, Pipeline, TargetIdentifier};
 use kyp_serve::{
@@ -108,12 +108,14 @@ fn main() {
         trace.len()
     );
     println!(
-        "{:>8} {:>7} {:>9} {:>6} {:>12} {:>12} {:>8} {:>8} {:>7} {:>10}",
+        "{:>8} {:>7} {:>9} {:>6} {:>12} {:>11} {:>11} {:>12} {:>8} {:>8} {:>7} {:>10}",
         "Threads",
         "Shards",
         "Replicas",
         "Crash",
         "Wall ms",
+        "Scrape ms",
+        "Score ms",
         "Pages/sec",
         "Crashes",
         "Redisp",
@@ -131,10 +133,13 @@ fn main() {
             for &replicas in &REPLICA_COUNTS {
                 for &crash_rate in &CRASH_RATES {
                     let mut wall = f64::INFINITY;
+                    let mut scrape_wall = 0.0f64;
                     let mut lines: Vec<String> = Vec::new();
                     let mut last_report = None;
                     for _ in 0..REPS {
-                        let source = ScraperSource::with_browser(ResilientBrowser::new(&c.world));
+                        let (source, scrape_nanos) = TimedSource::new(ScraperSource::with_browser(
+                            ResilientBrowser::new(&c.world),
+                        ));
                         let mut cluster = ClusterService::new(
                             pipeline.clone(),
                             source,
@@ -145,11 +150,25 @@ fn main() {
                         let elapsed = t0.elapsed().as_secs_f64();
                         if elapsed < wall {
                             wall = elapsed;
+                            scrape_wall = scrape_nanos.load(std::sync::atomic::Ordering::Relaxed)
+                                as f64
+                                * 1e-9;
                         }
                         lines = verdict_stream(&responses);
                         last_report = Some(cluster.report());
                     }
                     let run_report = last_report.expect("at least one rep ran");
+                    let score_wall = (wall - scrape_wall).max(0.0);
+                    let node_cache_hits: u64 =
+                        run_report.nodes.iter().map(|n| n.serve.cache.hits).sum();
+                    if node_cache_hits + run_report.cascade.url_only > run_report.answered {
+                        eprintln!(
+                            "[cluster] warning: node cache hits ({node_cache_hits}) + cascade \
+                             URL-only finals ({}) exceed answered ({}) — a request was \
+                             double-counted as both a cache hit and a cascade hit",
+                            run_report.cascade.url_only, run_report.answered
+                        );
+                    }
 
                     let identical = match &baseline {
                         None => {
@@ -167,8 +186,10 @@ fn main() {
                     };
 
                     println!(
-                        "{threads:>8} {shards:>7} {replicas:>9} {crash_rate:>6.2} {:>12.1} {:>12.0} {:>8} {:>8} {:>7} {:>10}",
+                        "{threads:>8} {shards:>7} {replicas:>9} {crash_rate:>6.2} {:>12.1} {:>11.1} {:>11.1} {:>12.0} {:>8} {:>8} {:>7} {:>10}",
                         wall * 1e3,
+                        scrape_wall * 1e3,
+                        score_wall * 1e3,
                         pages_per_sec,
                         run_report.failover.crashes,
                         run_report.failover.redispatched,
@@ -182,6 +203,8 @@ fn main() {
                         ("replicas", report::uint(replicas as u64)),
                         ("crash_rate", report::float(crash_rate)),
                         ("wall_ms", report::float(wall * 1e3)),
+                        ("scrape_wall_ms", report::float(scrape_wall * 1e3)),
+                        ("score_wall_ms", report::float(score_wall * 1e3)),
                         ("pages_per_sec", report::float(pages_per_sec)),
                         ("answered", report::uint(run_report.answered)),
                         ("unfetchable", report::uint(run_report.unfetchable)),

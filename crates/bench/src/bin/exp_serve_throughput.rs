@@ -21,7 +21,7 @@
 //!
 //! Run: `cargo run --release -p kyp-bench --bin exp_serve_throughput -- --scale 0.02 --threads 1,2`
 
-use kyp_bench::{harness, report, EvalArgs, ExperimentEnv};
+use kyp_bench::{harness, report, EvalArgs, ExperimentEnv, TimedSource};
 use kyp_core::{DetectorConfig, PhishDetector, Pipeline, TargetIdentifier};
 use kyp_serve::{
     generate, ArrivalPattern, BatchPolicy, CacheConfig, ScoringService, ScraperSource, ServeConfig,
@@ -83,8 +83,17 @@ fn main() {
         trace.len()
     );
     println!(
-        "{:>8} {:>10} {:>7} {:>12} {:>12} {:>10} {:>8} {:>10}",
-        "Threads", "MaxBatch", "Cache", "Wall ms", "Pages/sec", "p99 ms", "Hits", "Identical"
+        "{:>8} {:>10} {:>7} {:>12} {:>11} {:>11} {:>12} {:>10} {:>8} {:>10}",
+        "Threads",
+        "MaxBatch",
+        "Cache",
+        "Wall ms",
+        "Scrape ms",
+        "Score ms",
+        "Pages/sec",
+        "p99 ms",
+        "Hits",
+        "Identical"
     );
 
     // One verdict-stream baseline per batch size: batching changes the
@@ -105,11 +114,13 @@ fn main() {
             let mut pair = [0.0f64; 2];
             for (slot, cache_on) in [(0usize, false), (1usize, true)] {
                 let mut wall = f64::INFINITY;
+                let mut scrape_wall = 0.0f64;
                 let mut lines: Vec<String> = Vec::new();
                 let mut last_report = None;
                 for _ in 0..REPS {
                     let browser = ResilientBrowser::new(&c.world);
-                    let source = ScraperSource::with_browser(browser);
+                    let (source, scrape_nanos) =
+                        TimedSource::new(ScraperSource::with_browser(browser));
                     let mut service = ScoringService::new(
                         pipeline.clone(),
                         source,
@@ -128,6 +139,8 @@ fn main() {
                     let elapsed = t0.elapsed().as_secs_f64();
                     if elapsed < wall {
                         wall = elapsed;
+                        scrape_wall =
+                            scrape_nanos.load(std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9;
                     }
                     lines = responses
                         .iter()
@@ -136,6 +149,18 @@ fn main() {
                     last_report = Some(service.report());
                 }
                 let run_report = last_report.expect("at least one rep ran");
+                // Everything that is not time inside the page source —
+                // queueing, batching, feature extraction, both model
+                // stages — is the score share.
+                let score_wall = (wall - scrape_wall).max(0.0);
+                if run_report.cache.hits + run_report.cascade.url_only > run_report.answered {
+                    eprintln!(
+                        "[serve] warning: cache hits ({}) + cascade URL-only finals ({}) exceed \
+                         answered ({}) — a request was double-counted as both a cache hit and a \
+                         cascade hit",
+                        run_report.cache.hits, run_report.cascade.url_only, run_report.answered
+                    );
+                }
                 if run_report.shed_ratio > 0.5 {
                     eprintln!(
                         "[serve] warning: threads={threads} max_batch={max_batch} cache={} \
@@ -162,9 +187,11 @@ fn main() {
                 pair[slot] = pages_per_sec;
 
                 println!(
-                    "{threads:>8} {max_batch:>10} {:>7} {:>12.1} {:>12.0} {:>10} {:>8} {:>10}",
+                    "{threads:>8} {max_batch:>10} {:>7} {:>12.1} {:>11.1} {:>11.1} {:>12.0} {:>10} {:>8} {:>10}",
                     if cache_on { "on" } else { "off" },
                     wall * 1e3,
+                    scrape_wall * 1e3,
+                    score_wall * 1e3,
                     pages_per_sec,
                     run_report.latency.p99_ms,
                     run_report.cache.hits,
@@ -176,6 +203,8 @@ fn main() {
                     ("max_batch", report::uint(max_batch as u64)),
                     ("cache", report::boolean(cache_on)),
                     ("wall_ms", report::float(wall * 1e3)),
+                    ("scrape_wall_ms", report::float(scrape_wall * 1e3)),
+                    ("score_wall_ms", report::float(score_wall * 1e3)),
                     ("pages_per_sec", report::float(pages_per_sec)),
                     ("answered", report::uint(run_report.answered)),
                     ("shed", report::uint(run_report.shed)),

@@ -3,7 +3,11 @@
 use kyp_core::FeatureExtractor;
 use kyp_datagen::{CampaignConfig, Corpus};
 use kyp_ml::Dataset;
-use kyp_web::{Browser, VisitedPage};
+use kyp_serve::PageSource;
+use kyp_web::{Browser, FailureCause, ScrapedPage, VisitedPage};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Command-line arguments common to every experiment binary.
 #[derive(Debug, Clone)]
@@ -91,6 +95,42 @@ impl ExperimentEnv {
         let extractor = FeatureExtractor::new(corpus.ranker.clone());
         eprintln!("[env] world hosts {} entries", corpus.world_len());
         ExperimentEnv { corpus, extractor }
+    }
+}
+
+/// A [`PageSource`] decorator that accumulates the wall-clock time spent
+/// inside `fetch` — the scrape share of a serving run — so throughput
+/// benchmarks can split one aggregate pages/sec figure into scrape time
+/// vs. score time (the split the cascade's savings are attributable to).
+#[derive(Debug)]
+pub struct TimedSource<S> {
+    inner: S,
+    scrape_nanos: Arc<AtomicU64>,
+}
+
+impl<S> TimedSource<S> {
+    /// Wraps `inner`. The returned handle reads the accumulated scrape
+    /// nanoseconds; it is shared, so it stays readable after a service
+    /// consumes the source.
+    pub fn new(inner: S) -> (Self, Arc<AtomicU64>) {
+        let nanos = Arc::new(AtomicU64::new(0));
+        (
+            TimedSource {
+                inner,
+                scrape_nanos: Arc::clone(&nanos),
+            },
+            nanos,
+        )
+    }
+}
+
+impl<S: PageSource> PageSource for TimedSource<S> {
+    fn fetch(&mut self, url: &str) -> Result<ScrapedPage, FailureCause> {
+        let t0 = Instant::now();
+        let result = self.inner.fetch(url);
+        self.scrape_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
     }
 }
 

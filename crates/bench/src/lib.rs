@@ -15,6 +15,6 @@ pub mod plot;
 pub mod report;
 pub mod table;
 
-pub use harness::{scrape_dataset, scrape_visits, EvalArgs, ExperimentEnv};
+pub use harness::{scrape_dataset, scrape_visits, EvalArgs, ExperimentEnv, TimedSource};
 pub use report::{timing_entry, write_bench_section, BENCH_REPORT_PATH};
 pub use table::{fmt_f, print_curve, EvalRow};

@@ -28,6 +28,9 @@ pub const BENCH_CLUSTER_REPORT_PATH: &str = "BENCH_cluster.json";
 /// Store-benchmark report location (`exp_store_throughput`).
 pub const BENCH_STORE_REPORT_PATH: &str = "BENCH_store.json";
 
+/// Cascade-frontier report location (`exp_cascade_frontier`).
+pub const BENCH_CASCADE_REPORT_PATH: &str = "BENCH_cascade.json";
+
 /// A json object value from `(key, value)` pairs, in order.
 pub fn object<'a>(fields: impl IntoIterator<Item = (&'a str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())

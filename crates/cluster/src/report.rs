@@ -4,7 +4,7 @@
 //! so a report — like the per-node [`ServeReport`]s it embeds — is
 //! byte-identical across thread counts for a given configuration.
 
-use kyp_serve::{LatencySummary, ServeReport};
+use kyp_serve::{CascadeCounters, LatencySummary, ServeReport};
 use serde::{Deserialize, Serialize};
 
 /// Crash/failover accounting over one cluster run.
@@ -84,6 +84,10 @@ pub struct ClusterReport {
     pub degraded: u64,
     /// Shed accounting by reason.
     pub shed_by: ShedCounters,
+    /// Whether the URL-only cascade pre-filter screened at the router.
+    pub cascade_enabled: bool,
+    /// Router-level cascade pre-filter accounting.
+    pub cascade: CascadeCounters,
     /// Crash/failover accounting.
     pub failover: FailoverCounters,
     /// Routing accounting.
@@ -119,6 +123,19 @@ impl ClusterReport {
             registry,
             "cluster.report.virtual_elapsed_ms",
             self.virtual_elapsed_ms,
+        );
+        registry.set_gauge("cluster.cascade_enabled", i64::from(self.cascade_enabled));
+        gauge(registry, "cluster.cascade.screened", self.cascade.screened);
+        gauge(registry, "cluster.cascade.url_only", self.cascade.url_only);
+        gauge(
+            registry,
+            "cluster.cascade.fallthrough",
+            self.cascade.fallthrough,
+        );
+        gauge(
+            registry,
+            "cluster.cascade.unscorable",
+            self.cascade.unscorable,
         );
         gauge(registry, "cluster.shed.admission", self.shed_by.admission);
         gauge(

@@ -38,10 +38,11 @@ use crate::node::{NodeSlot, Pending};
 use crate::report::{ClusterReport, FailoverCounters, NodeReport, RoutingCounters, ShedCounters};
 use crate::ring::HashRing;
 use crate::store::SharedStore;
-use kyp_core::Pipeline;
+use kyp_core::{CascadeClassifier, CascadeDecision, Pipeline};
+use kyp_obs::VerdictStage;
 use kyp_serve::{
-    canonical_key, CacheState, LatencyHistogram, PageSource, ScoringService, ServeConfig,
-    ServeOutcome, ServeRequest, ServeResponse,
+    canonical_key, CacheState, CascadeCounters, LatencyHistogram, PageSource, ScoringService,
+    ServeConfig, ServeOutcome, ServeRequest, ServeResponse,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -185,6 +186,10 @@ pub struct ClusterService<S> {
     source: S,
     store: SharedStore,
     nodes: Vec<NodeSlot>,
+    /// The URL-only cascade pre-filter, screening at the router so
+    /// cascade-final requests never fetch, route or queue.
+    cascade: Option<CascadeClassifier>,
+    cascade_counters: CascadeCounters,
     /// Requests per landing key — the hot-URL detector. Ordered map so
     /// nothing here can leak iteration order (kyp-lint D01).
     hot: BTreeMap<String, u64>,
@@ -245,6 +250,8 @@ impl<S: PageSource> ClusterService<S> {
             source,
             store,
             nodes,
+            cascade: None,
+            cascade_counters: CascadeCounters::default(),
             hot: BTreeMap::new(),
             parked: VecDeque::new(),
             bucket_milli,
@@ -268,6 +275,23 @@ impl<S: PageSource> ClusterService<S> {
     /// The configuration in force (after clamping).
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Installs the URL-only cascade pre-filter at the router: admitted
+    /// requests whose URL score falls outside the uncertainty band are
+    /// answered immediately at arrival — no fetch, no placement, no node
+    /// — tagged [`VerdictStage::UrlOnly`]. Prescreening is a pure
+    /// function of the URL string, so the decision (and the verdict
+    /// stream) stays invariant across shard counts, placements, thread
+    /// counts and crash schedules.
+    pub fn with_cascade(mut self, cascade: CascadeClassifier) -> Self {
+        self.cascade = Some(cascade);
+        self
+    }
+
+    /// The installed cascade pre-filter, if any.
+    pub fn cascade(&self) -> Option<&CascadeClassifier> {
+        self.cascade.as_ref()
     }
 
     /// Feeds one arrival into the cluster, returning every response
@@ -296,6 +320,38 @@ impl<S: PageSource> ClusterService<S> {
                 0,
             ));
             return out;
+        }
+
+        // Stage one: the URL-only pre-filter, after admission but before
+        // the fetch — a cascade-final request costs neither a scrape nor
+        // a node dispatch.
+        if let Some(cascade) = &self.cascade {
+            let decision = cascade.prescreen(&request.url);
+            self.cascade_counters.screened += 1;
+            match decision {
+                CascadeDecision::Final(verdict) => {
+                    self.cascade_counters.url_only += 1;
+                    self.answered += 1;
+                    self.latency.record(0);
+                    out.push(ClusterResponse {
+                        node: None,
+                        retries: 0,
+                        response: ServeResponse {
+                            id: request.id,
+                            url: request.url,
+                            outcome: ServeOutcome::from_verdict(&verdict.verdict),
+                            cache: CacheState::Skipped,
+                            degraded: false,
+                            latency_ms: 0,
+                            completed_ms: arrival,
+                            stage: VerdictStage::UrlOnly,
+                        },
+                    });
+                    return out;
+                }
+                CascadeDecision::Uncertain { .. } => self.cascade_counters.fallthrough += 1,
+                CascadeDecision::Unscorable => self.cascade_counters.unscorable += 1,
+            }
         }
 
         // Fetch once, at the router, in trace order — the determinism
@@ -407,6 +463,8 @@ impl<S: PageSource> ClusterService<S> {
             unfetchable: self.unfetchable,
             degraded: self.degraded,
             shed_by: self.shed_by,
+            cascade_enabled: self.cascade.is_some(),
+            cascade: self.cascade_counters,
             failover: self.failover,
             routing: self.routing,
             latency: self.latency.summary(),
@@ -737,6 +795,7 @@ fn router_outcome(
             degraded: false,
             latency_ms: 0,
             completed_ms,
+            stage: VerdictStage::Full,
         },
     }
 }

@@ -1,0 +1,618 @@
+//! The two-stage serving cascade: a cheap URL-only pre-filter in front of
+//! the full scrape-and-classify pipeline.
+//!
+//! The paper's 212-feature pipeline pays a full scrape for every page,
+//! but most of its discriminative power on easy cases comes from URL
+//! lexical signals. The cascade exploits that: a small GBM over
+//! [`URL_FEATURE_COUNT`] lexical features scores every request first, and
+//! only scores inside a configurable uncertainty band
+//! ([`CascadeBand`]) fall through to the full pipeline. Scores outside
+//! the band are **final** at ~0 virtual scrape cost, tagged
+//! [`VerdictStage::UrlOnly`].
+//!
+//! Determinism: the pre-filter is a pure function of the request URL
+//! string and the band — no clock, no cache, no shared state — so
+//! cascade decisions are identical at any thread count, and a band of
+//! `0,1` (every score is uncertain) reproduces the non-cascade output
+//! byte for byte.
+//!
+//! # Examples
+//!
+//! ```
+//! use kyp_core::{CascadeBand, CascadeClassifier, CascadeDecision, DetectorConfig};
+//! use kyp_core::cascade::train_url_stage;
+//! use kyp_web::DomainRanker;
+//!
+//! let ranker = DomainRanker::from_ranked(["bigbank.com"]);
+//! let legit: Vec<String> = (0..40).map(|i| format!("https://s{i}.bigbank.com/")).collect();
+//! let phish: Vec<String> =
+//!     (0..40).map(|i| format!("http://bigbank.com.login{i}.badhost.tk/a@b")).collect();
+//! let detector = train_url_stage(&legit, &phish, &ranker, &DetectorConfig::url_stage())
+//!     .unwrap();
+//! let cascade = CascadeClassifier::new(detector, ranker, CascadeBand::new(0.35, 0.65).unwrap());
+//! match cascade.prescreen("https://s99.bigbank.com/") {
+//!     CascadeDecision::Final(v) => assert_eq!(v.stage, kyp_core::VerdictStage::UrlOnly),
+//!     other => println!("uncertain: {other:?}"),
+//! }
+//! ```
+
+use crate::{DetectorConfig, PipelineVerdict};
+use kyp_ml::Dataset;
+use kyp_obs::{VerdictKind, VerdictStage};
+use kyp_url::Url;
+use kyp_web::DomainRanker;
+
+/// Number of URL-lexical features the cascade's stage-one model consumes:
+/// the nine per-URL statistics of the full pipeline's f1 family plus
+/// eight cascade-specific lexical signals (IP host, `@`, digits, hyphens,
+/// path depth, query length, typosquat distance).
+pub const URL_FEATURE_COUNT: usize = 17;
+
+/// How many top-ranked domains the typosquat-distance feature compares
+/// against.
+const TYPOSQUAT_REFERENCES: usize = 64;
+
+/// Cap on the typosquat edit distance (beyond this the URL is simply
+/// "not similar to any popular domain").
+const TYPOSQUAT_CAP: usize = 10;
+
+/// A verdict together with the cascade stage that produced it — the
+/// provenance-carrying verdict API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The classification outcome.
+    pub verdict: PipelineVerdict,
+    /// Which stage decided it.
+    pub stage: VerdictStage,
+}
+
+impl Verdict {
+    /// Wraps a full-pipeline verdict (the stage every pre-cascade path
+    /// emits, keeping old outputs byte-identical).
+    pub fn full(verdict: PipelineVerdict) -> Self {
+        Verdict {
+            verdict,
+            stage: VerdictStage::Full,
+        }
+    }
+
+    /// Wraps a URL-only pre-filter verdict.
+    pub fn url_only(verdict: PipelineVerdict) -> Self {
+        Verdict {
+            verdict,
+            stage: VerdictStage::UrlOnly,
+        }
+    }
+
+    /// The confidence score the deciding stage produced.
+    pub fn score(&self) -> f64 {
+        self.verdict.score()
+    }
+
+    /// The verdict label (legitimate / confirmed_legitimate / phish /
+    /// suspicious).
+    pub fn label(&self) -> VerdictKind {
+        self.verdict.kind()
+    }
+}
+
+/// The cascade's uncertainty band: URL scores in `[lo, hi]` (inclusive)
+/// fall through to the full pipeline; scores outside it are final.
+///
+/// `CascadeBand::FORCED_FULL` (`0,1`) sends everything to the full
+/// pipeline — the configuration CI uses to prove byte-identity with the
+/// non-cascade path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeBand {
+    /// Scores strictly below `lo` finalise as legitimate.
+    pub lo: f64,
+    /// Scores strictly above `hi` finalise as suspicious.
+    pub hi: f64,
+}
+
+impl CascadeBand {
+    /// The band covering every score: nothing finalises at the URL stage.
+    pub const FORCED_FULL: CascadeBand = CascadeBand { lo: 0.0, hi: 1.0 };
+
+    /// A validated band.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite bounds, bounds outside `[0, 1]`, and `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, String> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(format!("cascade band bounds must be finite, got {lo},{hi}"));
+        }
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) {
+            return Err(format!(
+                "cascade band bounds must lie in [0, 1], got {lo},{hi}"
+            ));
+        }
+        if lo > hi {
+            return Err(format!("cascade band is inverted: lo {lo} > hi {hi}"));
+        }
+        Ok(CascadeBand { lo, hi })
+    }
+
+    /// Parses the CLI form `lo,hi` (e.g. `0.1,0.9`) with hard errors on
+    /// anything malformed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects missing commas, non-numeric parts, and every
+    /// [`Self::new`] violation.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let Some((lo_s, hi_s)) = s.split_once(',') else {
+            return Err(format!("invalid cascade band {s:?} (want lo,hi)"));
+        };
+        let lo: f64 = lo_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid cascade band lower bound {lo_s:?}"))?;
+        let hi: f64 = hi_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid cascade band upper bound {hi_s:?}"))?;
+        Self::new(lo, hi)
+    }
+
+    /// `true` when `score` is uncertain (falls through to the full
+    /// pipeline).
+    pub fn contains(self, score: f64) -> bool {
+        self.lo <= score && score <= self.hi
+    }
+}
+
+impl Default for CascadeBand {
+    /// The operating point the frontier sweep recommends: wide enough to
+    /// keep the AUC delta tiny, narrow enough to skip most scrapes.
+    fn default() -> Self {
+        CascadeBand { lo: 0.15, hi: 0.85 }
+    }
+}
+
+impl std::fmt::Display for CascadeBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{},{}", self.lo, self.hi)
+    }
+}
+
+/// What the pre-filter concluded for one URL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CascadeDecision {
+    /// The URL score fell outside the band; this verdict is final and no
+    /// scrape happens.
+    Final(Verdict),
+    /// The score fell inside the band; the full pipeline decides.
+    Uncertain {
+        /// The stage-one score, kept for frontier accounting.
+        url_score: f64,
+    },
+    /// The URL did not parse; the full pipeline decides (and reports the
+    /// fetch failure as usual).
+    Unscorable,
+}
+
+/// Extracts [`URL_FEATURE_COUNT`] lexical features from a raw URL —
+/// stage one's entire input. Pure and allocation-light; never panics.
+#[derive(Debug, Clone)]
+pub struct UrlFeaturizer {
+    ranker: DomainRanker,
+    /// Main-level domains of the best-ranked RDNs, in deterministic
+    /// `(rank, name)` order — the typosquat references.
+    top_mlds: Vec<String>,
+}
+
+impl UrlFeaturizer {
+    /// Builds a featurizer over a domain-popularity ranking.
+    pub fn new(ranker: DomainRanker) -> Self {
+        let top_mlds = ranker
+            .top_rdns(TYPOSQUAT_REFERENCES)
+            .into_iter()
+            .map(|(_rank, rdn)| {
+                rdn.split_once('.')
+                    .map_or_else(|| rdn.clone(), |(mld, _suffix)| mld.to_owned())
+            })
+            .collect();
+        UrlFeaturizer { ranker, top_mlds }
+    }
+
+    /// The ranking the featurizer was built over.
+    pub fn ranker(&self) -> &DomainRanker {
+        &self.ranker
+    }
+
+    /// The feature row of a parsed URL.
+    pub fn features(&self, url: &Url) -> [f64; URL_FEATURE_COUNT] {
+        let mut rdn_buf = String::new();
+        let [https, dots, ldc, len, fqdn_len, mld_len, terms, mld_terms, rank] =
+            crate::features::single_url_stats(url, &self.ranker, &mut rdn_buf);
+        let raw = url.as_str();
+        let digits = raw.chars().filter(char::is_ascii_digit).count();
+        let digit_ratio = if raw.is_empty() {
+            0.0
+        } else {
+            digits as f64 / raw.len() as f64
+        };
+        let hyphens: usize = url.fqdn().map_or(0, |f| {
+            f.labels().iter().map(|l| l.matches('-').count()).sum()
+        });
+        let path_depth = url.path().split('/').filter(|s| !s.is_empty()).count();
+        let query_len = url.query().map_or(0, str::len);
+        let typo = self.typosquat_distance(url);
+        [
+            https,
+            dots,
+            ldc,
+            len,
+            fqdn_len,
+            mld_len,
+            terms,
+            mld_terms,
+            rank,
+            f64::from(url.host().is_ip()),
+            raw.matches('@').count() as f64,
+            digits as f64,
+            digit_ratio,
+            hyphens as f64,
+            path_depth as f64,
+            query_len as f64,
+            typo as f64,
+        ]
+    }
+
+    /// Parses and featurizes a raw URL string; `None` when it does not
+    /// parse.
+    pub fn features_of(&self, url: &str) -> Option<[f64; URL_FEATURE_COUNT]> {
+        Url::parse(url).ok().map(|u| self.features(&u))
+    }
+
+    /// Minimum capped edit distance between the URL's main-level domain
+    /// and the top-ranked MLDs. `0` means the MLD *is* a popular domain;
+    /// `1`–`2` on an unranked RDN is the typosquat signature; the cap
+    /// means "unrelated".
+    fn typosquat_distance(&self, url: &Url) -> usize {
+        let Some(mld) = url.mld() else {
+            return TYPOSQUAT_CAP;
+        };
+        let mut best = TYPOSQUAT_CAP;
+        for reference in &self.top_mlds {
+            let d = levenshtein_capped(mld, reference, best);
+            if d < best {
+                best = d;
+                if best == 0 {
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Capped Levenshtein distance, written index-free so the panic-free
+/// (P02) guarantee of the serving path holds structurally.
+fn levenshtein_capped(a: &str, b: &str, cap: usize) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) >= cap {
+        return cap;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = Vec::with_capacity(b.len() + 1);
+        row.push(i + 1);
+        let mut row_min = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let diag = prev.get(j).copied().unwrap_or(usize::MAX);
+            let up = prev.get(j + 1).copied().unwrap_or(usize::MAX);
+            let left = row.last().copied().unwrap_or(usize::MAX);
+            let cost = usize::from(ca != cb);
+            let v = diag
+                .saturating_add(cost)
+                .min(up.saturating_add(1))
+                .min(left.saturating_add(1));
+            row_min = row_min.min(v);
+            row.push(v);
+        }
+        if row_min >= cap {
+            return cap;
+        }
+        prev = row;
+    }
+    prev.last().copied().unwrap_or(0).min(cap)
+}
+
+/// Stage one of the cascade: URL featurizer + small GBM + band.
+///
+/// [`Self::prescreen`] is a pure function of the URL string, so cascade
+/// decisions are deterministic at any thread count and independent of
+/// caches, clocks and request order.
+#[derive(Debug, Clone)]
+pub struct CascadeClassifier {
+    featurizer: UrlFeaturizer,
+    detector: crate::PhishDetector,
+    band: CascadeBand,
+}
+
+impl CascadeClassifier {
+    /// Assembles the pre-filter from a trained URL-stage detector, the
+    /// ranking it was fitted against, and an uncertainty band.
+    pub fn new(detector: crate::PhishDetector, ranker: DomainRanker, band: CascadeBand) -> Self {
+        CascadeClassifier {
+            featurizer: UrlFeaturizer::new(ranker),
+            detector,
+            band,
+        }
+    }
+
+    /// Assembles the pre-filter from a loaded URL-stage snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots not tagged `stage: "url"` — scoring
+    /// [`URL_FEATURE_COUNT`] features with a 212-feature model would be
+    /// silently wrong.
+    pub fn from_snapshot(
+        snapshot: crate::ModelSnapshot,
+        band: CascadeBand,
+    ) -> Result<Self, crate::SnapshotError> {
+        snapshot.require_stage(crate::snapshot::STAGE_URL)?;
+        Ok(Self::new(snapshot.detector, snapshot.ranker, band))
+    }
+
+    /// The configured uncertainty band.
+    pub fn band(&self) -> CascadeBand {
+        self.band
+    }
+
+    /// Replaces the uncertainty band (used by the frontier sweep, which
+    /// trains once and sweeps many bands).
+    pub fn set_band(&mut self, band: CascadeBand) {
+        self.band = band;
+    }
+
+    /// The stage-one featurizer.
+    pub fn featurizer(&self) -> &UrlFeaturizer {
+        &self.featurizer
+    }
+
+    /// Scores the raw URL without deciding — the frontier sweep's probe.
+    pub fn url_score(&self, url: &str) -> Option<f64> {
+        self.featurizer
+            .features_of(url)
+            .map(|row| self.detector.score(&row))
+    }
+
+    /// Screens one request URL.
+    ///
+    /// Scores below the band finalise as [`PipelineVerdict::Legitimate`];
+    /// scores above it finalise as [`PipelineVerdict::Suspicious`] (the
+    /// URL stage can flag but never identify a target). Scores inside the
+    /// band — and unparseable URLs — fall through.
+    pub fn prescreen(&self, url: &str) -> CascadeDecision {
+        let Some(score) = self.url_score(url) else {
+            return CascadeDecision::Unscorable;
+        };
+        if self.band.contains(score) {
+            CascadeDecision::Uncertain { url_score: score }
+        } else if score < self.band.lo {
+            CascadeDecision::Final(Verdict::url_only(PipelineVerdict::Legitimate { score }))
+        } else {
+            CascadeDecision::Final(Verdict::url_only(PipelineVerdict::Suspicious { score }))
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The URL-stage hyper-parameters: a deliberately small ensemble —
+    /// stage one must stay ~free next to a virtual scrape.
+    pub fn url_stage() -> Self {
+        let mut config = DetectorConfig::default();
+        config.gbm.n_trees = 40;
+        config.gbm.max_depth = 3;
+        config
+    }
+}
+
+/// Trains the URL-stage detector from labeled raw URLs. Unparseable URLs
+/// are skipped (they fall through at serve time anyway); the counts of
+/// usable rows are returned alongside the detector.
+///
+/// # Errors
+///
+/// Fails when either class has no parseable URL — a GBM cannot fit a
+/// single-class set.
+pub fn train_url_stage(
+    legitimate: &[String],
+    phishing: &[String],
+    ranker: &DomainRanker,
+    config: &DetectorConfig,
+) -> Result<crate::PhishDetector, String> {
+    let featurizer = UrlFeaturizer::new(ranker.clone());
+    let mut data = Dataset::with_capacity(URL_FEATURE_COUNT, legitimate.len() + phishing.len());
+    let mut counts = [0usize; 2];
+    for (urls, label) in [(legitimate, false), (phishing, true)] {
+        for url in urls {
+            if let Some(row) = featurizer.features_of(url) {
+                data.push_row(&row, label);
+                counts[usize::from(label)] += 1;
+            }
+        }
+    }
+    let [legit_rows, phish_rows] = counts;
+    if legit_rows == 0 || phish_rows == 0 {
+        return Err(format!(
+            "cannot train the URL stage: {legit_rows} legitimate and {phish_rows} phishing \
+             parseable URLs (need both classes)"
+        ));
+    }
+    Ok(crate::PhishDetector::train(&data, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranker() -> DomainRanker {
+        DomainRanker::from_ranked(["bigbank.com", "shopmart.co.uk", "news.fr"])
+    }
+
+    fn urls(pattern: &str, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| pattern.replace("{i}", &i.to_string()))
+            .collect()
+    }
+
+    fn trained() -> CascadeClassifier {
+        let legit = urls("https://s{i}.bigbank.com/account", 60);
+        let phish = urls(
+            "http://bigbank.com.verify{i}.badhost.tk/login.php?id={i}",
+            60,
+        );
+        let detector =
+            train_url_stage(&legit, &phish, &ranker(), &DetectorConfig::url_stage()).unwrap();
+        CascadeClassifier::new(detector, ranker(), CascadeBand::new(0.3, 0.7).unwrap())
+    }
+
+    #[test]
+    fn feature_row_shape_and_signals() {
+        let f = UrlFeaturizer::new(ranker());
+        let row = f
+            .features_of("http://bigbank.com@10.0.0.1/a/b/c?x=1")
+            .unwrap();
+        assert_eq!(row.len(), URL_FEATURE_COUNT);
+        assert_eq!(row[9], 1.0, "IP host");
+        assert_eq!(row[10], 1.0, "@ count");
+        assert_eq!(row[14], 3.0, "path depth");
+        assert_eq!(row[15], 3.0, "query length");
+    }
+
+    #[test]
+    fn typosquat_distance_separates_brands_from_noise() {
+        let f = UrlFeaturizer::new(ranker());
+        let dist = |u: &str| {
+            let parsed = Url::parse(u).unwrap();
+            f.typosquat_distance(&parsed)
+        };
+        assert_eq!(dist("https://www.bigbank.com/"), 0, "the brand itself");
+        assert_eq!(dist("https://www.bigbanc.com/"), 1, "one-edit typosquat");
+        assert_eq!(
+            dist("http://zzqqxxyy-unrelated.tk/"),
+            TYPOSQUAT_CAP,
+            "unrelated domains hit the cap"
+        );
+        assert_eq!(dist("http://10.0.0.1/"), TYPOSQUAT_CAP, "no mld at all");
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein_capped("kitten", "sitting", 10), 3);
+        assert_eq!(levenshtein_capped("", "abc", 10), 3);
+        assert_eq!(levenshtein_capped("same", "same", 10), 0);
+        assert_eq!(levenshtein_capped("short", "muchlongerstring", 4), 4);
+    }
+
+    #[test]
+    fn band_validation_hard_errors() {
+        assert!(CascadeBand::new(0.2, 0.8).is_ok());
+        assert!(CascadeBand::new(0.8, 0.2).is_err());
+        assert!(CascadeBand::new(-0.1, 0.5).is_err());
+        assert!(CascadeBand::new(0.0, 1.5).is_err());
+        assert!(CascadeBand::new(f64::NAN, 0.5).is_err());
+        assert_eq!(
+            CascadeBand::parse("0.1,0.9").unwrap(),
+            CascadeBand::new(0.1, 0.9).unwrap()
+        );
+        assert_eq!(CascadeBand::parse(" 0.1 , 0.9 ").unwrap().hi, 0.9);
+        assert!(CascadeBand::parse("0.1").is_err());
+        assert!(CascadeBand::parse("a,b").is_err());
+        assert!(CascadeBand::parse("0.9,0.1").is_err());
+        assert_eq!(CascadeBand::FORCED_FULL.to_string(), "0,1");
+    }
+
+    #[test]
+    fn forced_full_band_never_finalises() {
+        let mut cascade = trained();
+        cascade.set_band(CascadeBand::FORCED_FULL);
+        for url in urls("https://s{i}.bigbank.com/account", 20)
+            .iter()
+            .chain(urls("http://bigbank.com.verify{i}.badhost.tk/login.php", 20).iter())
+        {
+            match cascade.prescreen(url) {
+                CascadeDecision::Uncertain { .. } => {}
+                other => panic!("forced-full band finalised {url}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn confident_scores_finalise_with_url_only_stage() {
+        let cascade = trained();
+        let mut finals = 0;
+        for url in urls("https://s{i}.bigbank.com/account", 20) {
+            if let CascadeDecision::Final(v) = cascade.prescreen(&url) {
+                finals += 1;
+                assert_eq!(v.stage, VerdictStage::UrlOnly);
+                assert_eq!(v.label(), VerdictKind::Legitimate);
+                assert!(v.score() < cascade.band().lo);
+            }
+        }
+        for url in urls(
+            "http://bigbank.com.verify{i}.badhost.tk/login.php?id={i}",
+            20,
+        ) {
+            if let CascadeDecision::Final(v) = cascade.prescreen(&url) {
+                finals += 1;
+                assert_eq!(v.label(), VerdictKind::Suspicious);
+                assert!(v.score() > cascade.band().hi);
+            }
+        }
+        assert!(
+            finals > 20,
+            "the trained stage should be confident: {finals}/40"
+        );
+    }
+
+    #[test]
+    fn unparseable_urls_fall_through() {
+        let cascade = trained();
+        assert_eq!(cascade.prescreen("http://"), CascadeDecision::Unscorable);
+        assert_eq!(cascade.prescreen(""), CascadeDecision::Unscorable);
+    }
+
+    #[test]
+    fn prescreen_is_a_pure_function_of_the_url() {
+        let cascade = trained();
+        let url = "http://bigbank.com.verify3.badhost.tk/login.php?id=3";
+        let first = cascade.prescreen(url);
+        for _ in 0..3 {
+            assert_eq!(cascade.prescreen(url), first);
+        }
+    }
+
+    #[test]
+    fn training_rejects_single_class_inputs() {
+        let legit = urls("https://s{i}.bigbank.com/", 10);
+        let err = train_url_stage(&legit, &[], &ranker(), &DetectorConfig::url_stage());
+        assert!(err.is_err());
+        let unparseable = vec!["http://".to_owned()];
+        let err = train_url_stage(
+            &legit,
+            &unparseable,
+            &ranker(),
+            &DetectorConfig::url_stage(),
+        );
+        assert!(err.unwrap_err().contains("0 phishing"));
+    }
+
+    #[test]
+    fn verdict_wrapper_accessors() {
+        let v = Verdict::full(PipelineVerdict::Legitimate { score: 0.12 });
+        assert_eq!(v.stage, VerdictStage::Full);
+        assert_eq!(v.score(), 0.12);
+        assert_eq!(v.label(), VerdictKind::Legitimate);
+        let u = Verdict::url_only(PipelineVerdict::Suspicious { score: 0.93 });
+        assert_eq!(u.stage, VerdictStage::UrlOnly);
+        assert_eq!(u.label(), VerdictKind::Suspicious);
+    }
+}

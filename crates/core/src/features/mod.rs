@@ -18,6 +18,7 @@ mod mld_usage;
 pub use mld_usage::canonical_mld;
 mod rdn_usage;
 mod url_stats;
+pub(crate) use url_stats::single_url_stats;
 
 use crate::DataSources;
 use kyp_url::Url;

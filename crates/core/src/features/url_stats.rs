@@ -23,8 +23,10 @@ const AGG_STATS: [&str; 7] = [
 ];
 
 /// The nine statistics of a single URL (Table IV order). `rdn_buf` is a
-/// reusable scratch string for the ranker lookup key.
-fn single_url_stats(url: &Url, ranker: &DomainRanker, rdn_buf: &mut String) -> [f64; 9] {
+/// reusable scratch string for the ranker lookup key. Shared with the
+/// cascade's URL-only featurizer (`crate::cascade`), whose first nine
+/// features are exactly this row.
+pub(crate) fn single_url_stats(url: &Url, ranker: &DomainRanker, rdn_buf: &mut String) -> [f64; 9] {
     [
         f64::from(url.is_https()),
         url.free_dot_count() as f64,

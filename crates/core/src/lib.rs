@@ -40,17 +40,24 @@
 //! # Ok::<(), kyp_web::VisitError>(())
 //! ```
 
+pub mod cascade;
 mod detector;
 pub mod features;
 pub mod keyterms;
 mod pipeline;
-mod snapshot;
+pub(crate) mod snapshot;
 mod sources;
 mod target;
 
+pub use cascade::{
+    CascadeBand, CascadeClassifier, CascadeDecision, UrlFeaturizer, Verdict, URL_FEATURE_COUNT,
+};
 pub use detector::{DetectorConfig, PhishDetector};
 pub use features::{ConsistencyMetric, ExtractorConfig, FeatureExtractor, FeatureSet};
+/// Re-exported from `kyp-obs`: the stage tag the provenance-carrying
+/// [`Verdict`] API attaches to every output.
+pub use kyp_obs::VerdictStage;
 pub use pipeline::{BatchRun, ClassifiedPage, Pipeline, PipelineVerdict, ScrapeReport};
-pub use snapshot::{ModelSnapshot, SnapshotError, MODEL_SNAPSHOT_VERSION};
+pub use snapshot::{ModelSnapshot, SnapshotError, MODEL_SNAPSHOT_VERSION, STAGE_FULL, STAGE_URL};
 pub use sources::DataSources;
 pub use target::{TargetCandidate, TargetIdentifier, TargetIdentifierConfig, TargetVerdict};

@@ -53,6 +53,16 @@ impl PipelineVerdict {
         )
     }
 
+    /// The detector confidence the verdict carries, whichever variant.
+    pub fn score(&self) -> f64 {
+        match self {
+            PipelineVerdict::Legitimate { score }
+            | PipelineVerdict::ConfirmedLegitimate { score, .. }
+            | PipelineVerdict::Phish { score, .. }
+            | PipelineVerdict::Suspicious { score } => *score,
+        }
+    }
+
     /// The payload-free observation kind of this verdict.
     pub fn kind(&self) -> kyp_obs::VerdictKind {
         match self {

@@ -39,9 +39,17 @@ use std::path::Path;
 /// the detector/ranker inside it) that older readers would misinterpret.
 pub const MODEL_SNAPSHOT_VERSION: u32 = 1;
 
+/// Stage tag of a cascade URL-only model (`stage: "url"`).
+pub const STAGE_URL: &str = "url";
+
+/// Stage tag of a full 212-feature pipeline model. Full-stage snapshots
+/// omit the field entirely, so artifacts written before the cascade
+/// existed keep their exact bytes and parse as full-stage.
+pub const STAGE_FULL: &str = "full";
+
 /// A versioned, self-contained trained-model bundle: everything `eval`,
 /// `scan` and `serve` need to score pages offline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelSnapshot {
     /// Format version stamp; see [`MODEL_SNAPSHOT_VERSION`].
     pub format_version: u32,
@@ -49,6 +57,50 @@ pub struct ModelSnapshot {
     pub detector: PhishDetector,
     /// The domain-popularity ranking the features were computed against.
     pub ranker: DomainRanker,
+    /// Which cascade stage the model scores: `Some("url")` for the
+    /// URL-only pre-filter, `None` for the full pipeline. Absent from the
+    /// json of full-stage snapshots, keeping pre-cascade artifacts
+    /// byte-identical.
+    pub stage: Option<String>,
+}
+
+// Hand-written (de)serialization: the stage field must be *absent* — not
+// null — from full-stage json so pre-cascade snapshots keep their exact
+// bytes, and absent-means-full on the way back in.
+impl Serialize for ModelSnapshot {
+    fn to_json_value(&self) -> serde::Value {
+        let mut fields = vec![
+            (
+                "format_version".to_owned(),
+                self.format_version.to_json_value(),
+            ),
+            ("detector".to_owned(), self.detector.to_json_value()),
+            ("ranker".to_owned(), self.ranker.to_json_value()),
+        ];
+        if let Some(stage) = &self.stage {
+            fields.push(("stage".to_owned(), serde::Value::String(stage.clone())));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ModelSnapshot {
+    fn from_json_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for struct ModelSnapshot"))?;
+        let field = |name: &str| serde::obj_get(fields, name);
+        Ok(ModelSnapshot {
+            format_version: Deserialize::from_json_value(field("format_version"))
+                .map_err(|e| serde::Error::custom(format!("ModelSnapshot.format_version: {e}")))?,
+            detector: Deserialize::from_json_value(field("detector"))
+                .map_err(|e| serde::Error::custom(format!("ModelSnapshot.detector: {e}")))?,
+            ranker: Deserialize::from_json_value(field("ranker"))
+                .map_err(|e| serde::Error::custom(format!("ModelSnapshot.ranker: {e}")))?,
+            stage: Deserialize::from_json_value(field("stage"))
+                .map_err(|e| serde::Error::custom(format!("ModelSnapshot.stage: {e}")))?,
+        })
+    }
 }
 
 /// Why a snapshot could not be loaded.
@@ -68,6 +120,15 @@ pub enum SnapshotError {
         /// The version this build supports.
         expected: u32,
     },
+    /// The snapshot scores a different cascade stage than the seam that
+    /// loaded it expects — e.g. a 17-feature URL model handed to the
+    /// 212-feature pipeline, or vice versa.
+    StageMismatch {
+        /// The stage tag found in the file (`"full"` when untagged).
+        found: String,
+        /// The stage the loading seam requires.
+        expected: String,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -85,6 +146,12 @@ impl fmt::Display for SnapshotError {
                 "model snapshot format version {found} is not supported \
                  (this build reads version {expected}; re-run `kyp train` \
                  with a matching build)"
+            ),
+            SnapshotError::StageMismatch { found, expected } => write!(
+                f,
+                "model snapshot scores the {found:?} cascade stage, but this \
+                 seam needs a {expected:?}-stage model (train one with \
+                 `kyp cascade-train` for \"url\", `kyp train` for \"full\")"
             ),
         }
     }
@@ -106,6 +173,40 @@ impl ModelSnapshot {
             format_version: MODEL_SNAPSHOT_VERSION,
             detector,
             ranker,
+            stage: None,
+        }
+    }
+
+    /// Bundles a URL-stage (cascade pre-filter) model, tagged
+    /// `stage: "url"` so full-pipeline seams reject it at load time.
+    pub fn new_url_stage(detector: PhishDetector, ranker: DomainRanker) -> Self {
+        ModelSnapshot {
+            format_version: MODEL_SNAPSHOT_VERSION,
+            detector,
+            ranker,
+            stage: Some(STAGE_URL.to_owned()),
+        }
+    }
+
+    /// The cascade stage this snapshot scores; untagged snapshots are
+    /// full-stage.
+    pub fn stage(&self) -> &str {
+        self.stage.as_deref().unwrap_or(STAGE_FULL)
+    }
+
+    /// Verifies the snapshot scores the stage a loading seam expects.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::StageMismatch`] when it does not.
+    pub fn require_stage(&self, expected: &str) -> Result<(), SnapshotError> {
+        if self.stage() == expected {
+            Ok(())
+        } else {
+            Err(SnapshotError::StageMismatch {
+                found: self.stage().to_owned(),
+                expected: expected.to_owned(),
+            })
         }
     }
 
@@ -289,6 +390,61 @@ mod tests {
             }
             other => panic!("expected Malformed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn untagged_snapshots_are_full_stage_and_keep_their_bytes() {
+        let snap = snapshot();
+        assert_eq!(snap.stage(), STAGE_FULL);
+        assert!(snap.require_stage(STAGE_FULL).is_ok());
+        let json = snap.to_json().unwrap();
+        assert!(
+            !json.contains("\"stage\""),
+            "full-stage snapshots must serialize without a stage field"
+        );
+        let back = ModelSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.stage(), STAGE_FULL);
+    }
+
+    #[test]
+    fn url_stage_tag_round_trips_with_identical_scores() {
+        let base = snapshot();
+        let snap = ModelSnapshot::new_url_stage(base.detector.clone(), base.ranker.clone());
+        assert_eq!(snap.stage(), STAGE_URL);
+        let json = snap.to_json().unwrap();
+        assert!(json.contains("\"stage\":\"url\""), "{json}");
+        let back = ModelSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.stage(), STAGE_URL);
+        assert!(back.require_stage(STAGE_URL).is_ok());
+        for row in [[1.0, 0.0], [0.0, 1.0], [0.3, 0.7]] {
+            assert_eq!(
+                snap.detector.score(&row).to_bits(),
+                back.detector.score(&row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn stage_mismatch_is_an_explicit_error() {
+        let full = snapshot();
+        let err = full.require_stage(STAGE_URL).unwrap_err();
+        match err {
+            SnapshotError::StageMismatch { found, expected } => {
+                assert_eq!(found, STAGE_FULL);
+                assert_eq!(expected, STAGE_URL);
+            }
+            other => panic!("expected stage mismatch, got {other:?}"),
+        }
+        let url = ModelSnapshot::new_url_stage(full.detector.clone(), full.ranker.clone());
+        assert!(matches!(
+            url.require_stage(STAGE_FULL),
+            Err(SnapshotError::StageMismatch { .. })
+        ));
+        assert!(url
+            .require_stage(STAGE_FULL)
+            .unwrap_err()
+            .to_string()
+            .contains("cascade-train"));
     }
 
     #[test]

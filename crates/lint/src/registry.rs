@@ -16,6 +16,8 @@ pub const ENTRY_POINTS: &[(&str, &str, &str)] = &[
     ("core", "Pipeline", "classify_all"),
     ("core", "Pipeline", "classify_all_observed"),
     ("core", "ModelSnapshot", "from_json"),
+    ("core", "CascadeClassifier", "*"),
+    ("core", "UrlFeaturizer", "*"),
     ("ml", "FlatModel", "predict_proba"),
     ("ml", "FlatModel", "decision_function"),
     ("ml", "FlatModel", "predict_batch"),

@@ -56,8 +56,8 @@ mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry, POW2_BUCKET_BOUNDS};
 pub use observer::{
-    replay, FeatureFamily, NoopObserver, ObsEvent, PipelineObserver, Recorder, ScrapeObservation,
-    TargetStepOutcome, VerdictKind,
+    replay, CascadeOutcome, FeatureFamily, NoopObserver, ObsEvent, PipelineObserver, Recorder,
+    ScrapeObservation, TargetStepOutcome, VerdictKind, VerdictStage,
 };
 pub use sink::ObsSink;
 pub use trace::{FieldValue, SpanId, Tracer};

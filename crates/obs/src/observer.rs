@@ -61,6 +61,71 @@ impl VerdictKind {
     }
 }
 
+/// Which stage of the serving cascade produced a verdict.
+///
+/// Carried end-to-end by the provenance-aware verdict API: every serve,
+/// cluster and store verdict records the stage that decided it, and the
+/// sink counts verdicts per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictStage {
+    /// The cheap URL-only pre-filter decided without a scrape.
+    UrlOnly,
+    /// The full scrape-and-classify pipeline decided.
+    Full,
+    /// A previously computed verdict was replayed from the cache.
+    Cached,
+    /// The request was shed at admission; no verdict was computed.
+    Shed,
+}
+
+impl VerdictStage {
+    /// Stable snake_case name used in metric names and wire fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictStage::UrlOnly => "url_only",
+            VerdictStage::Full => "full",
+            VerdictStage::Cached => "cached",
+            VerdictStage::Shed => "shed",
+        }
+    }
+
+    /// The inverse of [`VerdictStage::name`]: `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "url_only" => Some(VerdictStage::UrlOnly),
+            "full" => Some(VerdictStage::Full),
+            "cached" => Some(VerdictStage::Cached),
+            "shed" => Some(VerdictStage::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// What the URL-only cascade pre-filter concluded for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CascadeOutcome {
+    /// The URL score fell outside the uncertainty band; the verdict is
+    /// final and the scrape is skipped entirely.
+    UrlOnlyFinal,
+    /// The URL score fell inside the band; the request falls through to
+    /// the full pipeline.
+    Fallthrough,
+    /// The URL did not parse; the full pipeline decides (and reports the
+    /// fetch failure).
+    Unscorable,
+}
+
+impl CascadeOutcome {
+    /// Stable snake_case name used in metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            CascadeOutcome::UrlOnlyFinal => "url_only",
+            CascadeOutcome::Fallthrough => "fallthrough",
+            CascadeOutcome::Unscorable => "unscorable",
+        }
+    }
+}
+
 /// What a target-identification step concluded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TargetStepOutcome {
@@ -132,6 +197,13 @@ pub trait PipelineObserver {
 
     /// The page received its terminal verdict, closing the page.
     fn verdict(&mut self, _kind: VerdictKind) {}
+
+    /// The URL-only cascade pre-filter screened a request.
+    fn cascade_prescreen(&mut self, _outcome: CascadeOutcome) {}
+
+    /// A verdict was delivered to a caller, attributed to the stage that
+    /// decided it.
+    fn verdict_stage(&mut self, _stage: VerdictStage) {}
 
     /// The serving layer answered a request from the verdict cache.
     fn cache_hit(&mut self) {}
@@ -212,6 +284,16 @@ pub enum ObsEvent {
     Verdict {
         /// The terminal verdict kind.
         kind: VerdictKind,
+    },
+    /// [`PipelineObserver::cascade_prescreen`].
+    CascadePrescreen {
+        /// What the pre-filter concluded.
+        outcome: CascadeOutcome,
+    },
+    /// [`PipelineObserver::verdict_stage`].
+    VerdictStageDelivered {
+        /// The stage that decided the delivered verdict.
+        stage: VerdictStage,
     },
     /// [`PipelineObserver::cache_hit`].
     CacheHit,
@@ -307,6 +389,14 @@ impl PipelineObserver for Recorder {
         self.events.push(ObsEvent::Verdict { kind });
     }
 
+    fn cascade_prescreen(&mut self, outcome: CascadeOutcome) {
+        self.events.push(ObsEvent::CascadePrescreen { outcome });
+    }
+
+    fn verdict_stage(&mut self, stage: VerdictStage) {
+        self.events.push(ObsEvent::VerdictStageDelivered { stage });
+    }
+
     fn cache_hit(&mut self) {
         self.events.push(ObsEvent::CacheHit);
     }
@@ -343,6 +433,8 @@ pub fn replay(events: &[ObsEvent], target: &mut dyn PipelineObserver) {
             }
             ObsEvent::TargetStep { step, outcome } => target.target_step(*step, outcome),
             ObsEvent::Verdict { kind } => target.verdict(*kind),
+            ObsEvent::CascadePrescreen { outcome } => target.cascade_prescreen(*outcome),
+            ObsEvent::VerdictStageDelivered { stage } => target.verdict_stage(*stage),
             ObsEvent::CacheHit => target.cache_hit(),
             ObsEvent::CacheMiss => target.cache_miss(),
             ObsEvent::Shed => target.shed(),
@@ -365,6 +457,8 @@ mod tests {
         rec.target_step(1, &TargetStepOutcome::Continue);
         rec.target_step(2, &TargetStepOutcome::Candidates { count: 3 });
         rec.verdict(VerdictKind::Phish);
+        rec.cascade_prescreen(CascadeOutcome::Fallthrough);
+        rec.verdict_stage(VerdictStage::Full);
         rec.cache_miss();
         rec.batch_flush(4);
 
@@ -400,5 +494,9 @@ mod tests {
             "confirmed_legitimate"
         );
         assert_eq!(VerdictKind::Suspicious.name(), "suspicious");
+        assert_eq!(VerdictStage::UrlOnly.name(), "url_only");
+        assert_eq!(VerdictStage::Cached.name(), "cached");
+        assert_eq!(CascadeOutcome::UrlOnlyFinal.name(), "url_only");
+        assert_eq!(CascadeOutcome::Unscorable.name(), "unscorable");
     }
 }

@@ -8,7 +8,8 @@
 
 use crate::metrics::{MetricsRegistry, POW2_BUCKET_BOUNDS};
 use crate::observer::{
-    FeatureFamily, PipelineObserver, ScrapeObservation, TargetStepOutcome, VerdictKind,
+    CascadeOutcome, FeatureFamily, PipelineObserver, ScrapeObservation, TargetStepOutcome,
+    VerdictKind, VerdictStage,
 };
 use crate::trace::{FieldValue, SpanId, Tracer};
 
@@ -89,6 +90,13 @@ impl ObsSink {
         registry.register_counter("verdict.confirmed_legitimate");
         registry.register_counter("verdict.phish");
         registry.register_counter("verdict.suspicious");
+        for stage in ["url_only", "full", "cached", "shed"] {
+            registry.register_counter(&format!("verdict.stage.{stage}"));
+        }
+        registry.register_counter("cascade.screened");
+        registry.register_counter("cascade.url_only");
+        registry.register_counter("cascade.fallthrough");
+        registry.register_counter("cascade.unscorable");
         registry.register_counter("serve.cache.hits");
         registry.register_counter("serve.cache.misses");
         registry.register_counter("serve.shed");
@@ -263,6 +271,16 @@ impl PipelineObserver for ObsSink {
         }
     }
 
+    fn cascade_prescreen(&mut self, outcome: CascadeOutcome) {
+        self.registry.inc("cascade.screened");
+        self.registry.inc(&format!("cascade.{}", outcome.name()));
+    }
+
+    fn verdict_stage(&mut self, stage: VerdictStage) {
+        self.registry
+            .inc(&format!("verdict.stage.{}", stage.name()));
+    }
+
     fn cache_hit(&mut self) {
         self.registry.inc("serve.cache.hits");
     }
@@ -385,5 +403,28 @@ mod tests {
         assert_eq!(sink.registry().counter("scrape.failed"), 1);
         assert_eq!(sink.registry().counter("scrape.failed.timeout"), 1);
         let _ = NoopObserver;
+    }
+
+    #[test]
+    fn cascade_and_stage_counters_accumulate() {
+        let mut sink = ObsSink::new();
+        sink.cascade_prescreen(CascadeOutcome::UrlOnlyFinal);
+        sink.cascade_prescreen(CascadeOutcome::Fallthrough);
+        sink.cascade_prescreen(CascadeOutcome::Unscorable);
+        sink.verdict_stage(VerdictStage::UrlOnly);
+        sink.verdict_stage(VerdictStage::Full);
+        sink.verdict_stage(VerdictStage::Cached);
+        sink.verdict_stage(VerdictStage::Shed);
+        assert_eq!(sink.registry().counter("cascade.screened"), 3);
+        assert_eq!(sink.registry().counter("cascade.url_only"), 1);
+        assert_eq!(sink.registry().counter("cascade.fallthrough"), 1);
+        assert_eq!(sink.registry().counter("cascade.unscorable"), 1);
+        for stage in ["url_only", "full", "cached", "shed"] {
+            assert_eq!(
+                sink.registry().counter(&format!("verdict.stage.{stage}")),
+                1,
+                "{stage}"
+            );
+        }
     }
 }

@@ -4,6 +4,7 @@
 //! object per line. `kyp serve` speaks exactly this over stdin/stdout; the
 //! library API exchanges the same types directly.
 
+use kyp_obs::VerdictStage;
 use serde::{Deserialize, Serialize};
 
 /// One scoring request.
@@ -47,6 +48,35 @@ pub enum ServeOutcome {
     },
 }
 
+impl ServeOutcome {
+    /// Maps a pipeline verdict onto the wire outcome.
+    pub fn from_verdict(verdict: &kyp_core::PipelineVerdict) -> Self {
+        use kyp_core::PipelineVerdict;
+        match verdict {
+            PipelineVerdict::Legitimate { score } => ServeOutcome::Verdict {
+                kind: "legitimate".to_owned(),
+                score: *score,
+                targets: Vec::new(),
+            },
+            PipelineVerdict::ConfirmedLegitimate { score, .. } => ServeOutcome::Verdict {
+                kind: "confirmed_legitimate".to_owned(),
+                score: *score,
+                targets: Vec::new(),
+            },
+            PipelineVerdict::Phish { score, candidates } => ServeOutcome::Verdict {
+                kind: "phish".to_owned(),
+                score: *score,
+                targets: candidates.iter().map(|c| c.mld.clone()).collect(),
+            },
+            PipelineVerdict::Suspicious { score } => ServeOutcome::Verdict {
+                kind: "suspicious".to_owned(),
+                score: *score,
+                targets: Vec::new(),
+            },
+        }
+    }
+}
+
 /// Where the response's verdict came from, cache-wise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CacheState {
@@ -61,7 +91,7 @@ pub enum CacheState {
 }
 
 /// One scored (or rejected) request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeResponse {
     /// The request's correlation id.
     pub id: u64,
@@ -77,6 +107,71 @@ pub struct ServeResponse {
     pub latency_ms: u64,
     /// Completion time on the service's virtual clock.
     pub completed_ms: u64,
+    /// Which cascade stage decided the verdict. A verdict-cache hit keeps
+    /// the stage that originally *decided* it ([`VerdictStage::Full`] —
+    /// the serve cache only stores full-pipeline verdicts), so cache-on
+    /// and cache-off runs stay byte-identical.
+    pub stage: VerdictStage,
+}
+
+// Hand-written (de)serialization: the stage field is serialized only when
+// it differs from [`VerdictStage::Full`], so every pre-cascade output —
+// and every cascade-off run — keeps its exact bytes.
+impl Serialize for ServeResponse {
+    fn to_json_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_owned(), self.id.to_json_value()),
+            ("url".to_owned(), self.url.to_json_value()),
+            ("outcome".to_owned(), self.outcome.to_json_value()),
+            ("cache".to_owned(), self.cache.to_json_value()),
+            ("degraded".to_owned(), self.degraded.to_json_value()),
+            ("latency_ms".to_owned(), self.latency_ms.to_json_value()),
+            ("completed_ms".to_owned(), self.completed_ms.to_json_value()),
+        ];
+        if self.stage != VerdictStage::Full {
+            fields.push((
+                "stage".to_owned(),
+                serde::Value::String(self.stage.name().to_owned()),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ServeResponse {
+    fn from_json_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for struct ServeResponse"))?;
+        let field = |name: &str| serde::obj_get(fields, name);
+        let stage = match field("stage") {
+            serde::Value::Null => VerdictStage::Full,
+            v => {
+                let name = String::from_json_value(v)
+                    .map_err(|e| serde::Error::custom(format!("ServeResponse.stage: {e}")))?;
+                VerdictStage::parse(&name).ok_or_else(|| {
+                    serde::Error::custom(format!("ServeResponse.stage: unknown stage {name:?}"))
+                })?
+            }
+        };
+        Ok(ServeResponse {
+            id: Deserialize::from_json_value(field("id"))
+                .map_err(|e| serde::Error::custom(format!("ServeResponse.id: {e}")))?,
+            url: Deserialize::from_json_value(field("url"))
+                .map_err(|e| serde::Error::custom(format!("ServeResponse.url: {e}")))?,
+            outcome: Deserialize::from_json_value(field("outcome"))
+                .map_err(|e| serde::Error::custom(format!("ServeResponse.outcome: {e}")))?,
+            cache: Deserialize::from_json_value(field("cache"))
+                .map_err(|e| serde::Error::custom(format!("ServeResponse.cache: {e}")))?,
+            degraded: Deserialize::from_json_value(field("degraded"))
+                .map_err(|e| serde::Error::custom(format!("ServeResponse.degraded: {e}")))?,
+            latency_ms: Deserialize::from_json_value(field("latency_ms"))
+                .map_err(|e| serde::Error::custom(format!("ServeResponse.latency_ms: {e}")))?,
+            completed_ms: Deserialize::from_json_value(field("completed_ms"))
+                .map_err(|e| serde::Error::custom(format!("ServeResponse.completed_ms: {e}")))?,
+            stage,
+        })
+    }
 }
 
 impl ServeResponse {
@@ -91,10 +186,15 @@ impl ServeResponse {
     pub fn verdict_line(&self) -> String {
         // kyp-lint: allow(P01) — serializing a field-only enum is infallible; a Result here would infect the whole protocol surface
         let outcome = serde_json::to_string(&self.outcome).expect("serialize outcome");
-        format!(
+        let mut line = format!(
             "{} {} {} degraded={}",
             self.id, self.url, outcome, self.degraded
-        )
+        );
+        if self.stage != VerdictStage::Full {
+            line.push_str(" stage=");
+            line.push_str(self.stage.name());
+        }
+        line
     }
 }
 
@@ -128,10 +228,24 @@ mod tests {
             degraded: false,
             latency_ms: 14,
             completed_ms: 210,
+            stage: VerdictStage::Full,
         };
         let json = serde_json::to_string(&resp).unwrap();
+        assert!(
+            !json.contains("stage"),
+            "full-stage responses keep their pre-cascade bytes: {json}"
+        );
         let back: ServeResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, resp);
+        // A URL-only verdict carries its stage on the wire and back.
+        let tagged = ServeResponse {
+            stage: VerdictStage::UrlOnly,
+            ..resp
+        };
+        let json = serde_json::to_string(&tagged).unwrap();
+        assert!(json.contains("\"stage\":\"url_only\""), "{json}");
+        let back: ServeResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tagged);
     }
 
     #[test]
@@ -146,11 +260,32 @@ mod tests {
             degraded: false,
             latency_ms: 5,
             completed_ms: 100,
+            stage: VerdictStage::Full,
         };
         let line = resp.verdict_line();
         resp.latency_ms = 99;
         resp.completed_ms = 999;
         resp.cache = CacheState::Hit;
         assert_eq!(line, resp.verdict_line());
+        assert!(!line.contains("stage="), "full stage stays invisible");
+    }
+
+    #[test]
+    fn verdict_line_tags_non_full_stages() {
+        let resp = ServeResponse {
+            id: 2,
+            url: "http://y.com/".into(),
+            outcome: ServeOutcome::Verdict {
+                kind: "suspicious".into(),
+                score: 0.97,
+                targets: Vec::new(),
+            },
+            cache: CacheState::Skipped,
+            degraded: false,
+            latency_ms: 0,
+            completed_ms: 40,
+            stage: VerdictStage::UrlOnly,
+        };
+        assert!(resp.verdict_line().ends_with(" stage=url_only"));
     }
 }

@@ -36,8 +36,9 @@ use crate::cache::{CacheConfig, VerdictCache};
 use crate::protocol::{CacheState, ServeOutcome, ServeRequest, ServeResponse};
 use crate::queue::AdmissionQueue;
 use crate::source::{canonical_key, canonical_url, PageSource};
-use crate::stats::{LatencyHistogram, ServeReport};
-use kyp_core::{Pipeline, PipelineVerdict};
+use crate::stats::{CascadeCounters, LatencyHistogram, ServeReport};
+use kyp_core::{CascadeClassifier, CascadeDecision, Pipeline, PipelineVerdict};
+use kyp_obs::{CascadeOutcome, VerdictStage};
 use kyp_web::{FailureCause, ScrapedPage};
 use std::collections::HashMap;
 
@@ -100,6 +101,8 @@ pub struct ScoringService<S> {
     source: S,
     config: ServeConfig,
     cache: Option<VerdictCache<(PipelineVerdict, bool)>>,
+    cascade: Option<CascadeClassifier>,
+    cascade_counters: CascadeCounters,
     queue: AdmissionQueue<ServeRequest>,
     batcher: MicroBatcher,
     latency: LatencyHistogram,
@@ -124,6 +127,8 @@ impl<S: PageSource> ScoringService<S> {
             source,
             config,
             cache,
+            cascade: None,
+            cascade_counters: CascadeCounters::default(),
             queue,
             batcher,
             latency: LatencyHistogram::new(),
@@ -141,6 +146,20 @@ impl<S: PageSource> ScoringService<S> {
     /// The configuration in force.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Installs the URL-only cascade pre-filter in front of admission:
+    /// requests whose URL score falls outside the cascade's uncertainty
+    /// band are answered immediately at their arrival instant — no queue,
+    /// no batch, no fetch, no cache — tagged [`VerdictStage::UrlOnly`].
+    pub fn with_cascade(mut self, cascade: CascadeClassifier) -> Self {
+        self.cascade = Some(cascade);
+        self
+    }
+
+    /// The installed cascade pre-filter, if any.
+    pub fn cascade(&self) -> Option<&CascadeClassifier> {
+        self.cascade.as_ref()
     }
 
     /// Feeds one arrival into the service, returning every response that
@@ -172,6 +191,45 @@ impl<S: PageSource> ScoringService<S> {
             self.flush_at(due, &mut out, obs);
         }
 
+        // Stage one: the URL-only pre-filter. A final verdict answers at
+        // the arrival instant and never touches queue, batcher, fetch or
+        // cache — the whole point of the cascade. Prescreening is a pure
+        // function of the URL string, so this branch is deterministic at
+        // any thread count.
+        if let Some(cascade) = &self.cascade {
+            let decision = cascade.prescreen(&request.url);
+            self.cascade_counters.screened += 1;
+            obs.clock(arrival);
+            match decision {
+                CascadeDecision::Final(verdict) => {
+                    self.cascade_counters.url_only += 1;
+                    self.answered += 1;
+                    self.latency.record(0);
+                    obs.cascade_prescreen(CascadeOutcome::UrlOnlyFinal);
+                    obs.verdict_stage(VerdictStage::UrlOnly);
+                    out.push(ServeResponse {
+                        id: request.id,
+                        url: request.url,
+                        outcome: verdict_outcome(&verdict.verdict),
+                        cache: CacheState::Skipped,
+                        degraded: false,
+                        latency_ms: 0,
+                        completed_ms: arrival,
+                        stage: VerdictStage::UrlOnly,
+                    });
+                    return out;
+                }
+                CascadeDecision::Uncertain { .. } => {
+                    self.cascade_counters.fallthrough += 1;
+                    obs.cascade_prescreen(CascadeOutcome::Fallthrough);
+                }
+                CascadeDecision::Unscorable => {
+                    self.cascade_counters.unscorable += 1;
+                    obs.cascade_prescreen(CascadeOutcome::Unscorable);
+                }
+            }
+        }
+
         let request = ServeRequest {
             arrival_ms: arrival,
             ..request
@@ -179,6 +237,7 @@ impl<S: PageSource> ScoringService<S> {
         if let Err(rejected) = self.queue.offer(request) {
             obs.clock(arrival);
             obs.shed();
+            obs.verdict_stage(VerdictStage::Shed);
             out.push(ServeResponse {
                 id: rejected.id,
                 url: rejected.url,
@@ -189,6 +248,7 @@ impl<S: PageSource> ScoringService<S> {
                 degraded: false,
                 latency_ms: 0,
                 completed_ms: arrival,
+                stage: VerdictStage::Full,
             });
         }
         out
@@ -324,7 +384,9 @@ impl<S: PageSource> ScoringService<S> {
         } else {
             0.0
         };
-        let requests = queue.admitted + queue.shed;
+        // Cascade-final requests never reach the admission queue, so the
+        // request total adds them back in.
+        let requests = queue.admitted + queue.shed + self.cascade_counters.url_only;
         let shed_ratio = if requests > 0 {
             queue.shed as f64 / requests as f64
         } else {
@@ -343,6 +405,8 @@ impl<S: PageSource> ScoringService<S> {
                 .as_ref()
                 .map(super::cache::VerdictCache::counters)
                 .unwrap_or_default(),
+            cascade_enabled: self.cascade.is_some(),
+            cascade: self.cascade_counters,
             queue,
             batches: self.batcher.counters(),
             latency: self.latency.summary(),
@@ -386,6 +450,30 @@ impl<S: PageSource> ScoringService<S> {
             registry,
             "serve.report.cache.expirations",
             report.cache.expirations,
+        );
+        registry.set_gauge(
+            "serve.report.cascade_enabled",
+            i64::from(report.cascade_enabled),
+        );
+        gauge(
+            registry,
+            "serve.report.cascade.screened",
+            report.cascade.screened,
+        );
+        gauge(
+            registry,
+            "serve.report.cascade.url_only",
+            report.cascade.url_only,
+        );
+        gauge(
+            registry,
+            "serve.report.cascade.fallthrough",
+            report.cascade.fallthrough,
+        );
+        gauge(
+            registry,
+            "serve.report.cascade.unscorable",
+            report.cascade.unscorable,
         );
         gauge(
             registry,
@@ -510,10 +598,14 @@ impl<S: PageSource> ScoringService<S> {
                 }
                 Slot::Cached(verdict, degraded) => {
                     self.answered += 1;
+                    // The wire stage stays Full (the stage that decided
+                    // the cached verdict); Cached is metrics provenance.
+                    obs.verdict_stage(VerdictStage::Cached);
                     (verdict_outcome(&verdict), CacheState::Hit, degraded)
                 }
                 Slot::Pending(idx) => {
                     self.answered += 1;
+                    obs.verdict_stage(VerdictStage::Full);
                     // kyp-lint: allow(P02) — Pending slots are built from `classified` positions earlier in this function
                     let page = &classified[idx];
                     let state = if self.cache.is_some() {
@@ -536,6 +628,7 @@ impl<S: PageSource> ScoringService<S> {
                 degraded,
                 latency_ms,
                 completed_ms: completion_ms,
+                stage: VerdictStage::Full,
             });
         }
     }
@@ -543,28 +636,7 @@ impl<S: PageSource> ScoringService<S> {
 
 /// Maps a pipeline verdict onto the wire outcome.
 fn verdict_outcome(verdict: &PipelineVerdict) -> ServeOutcome {
-    match verdict {
-        PipelineVerdict::Legitimate { score } => ServeOutcome::Verdict {
-            kind: "legitimate".to_owned(),
-            score: *score,
-            targets: Vec::new(),
-        },
-        PipelineVerdict::ConfirmedLegitimate { score, .. } => ServeOutcome::Verdict {
-            kind: "confirmed_legitimate".to_owned(),
-            score: *score,
-            targets: Vec::new(),
-        },
-        PipelineVerdict::Phish { score, candidates } => ServeOutcome::Verdict {
-            kind: "phish".to_owned(),
-            score: *score,
-            targets: candidates.iter().map(|c| c.mld.clone()).collect(),
-        },
-        PipelineVerdict::Suspicious { score } => ServeOutcome::Verdict {
-            kind: "suspicious".to_owned(),
-            score: *score,
-            targets: Vec::new(),
-        },
-    }
+    ServeOutcome::from_verdict(verdict)
 }
 
 #[cfg(test)]
@@ -917,6 +989,78 @@ mod tests {
         assert!(r.shed > 0);
         let expected = r.shed as f64 / r.requests as f64;
         assert!((r.shed_ratio - expected).abs() < 1e-12);
+    }
+
+    fn cascade(band: kyp_core::CascadeBand) -> CascadeClassifier {
+        let legit: Vec<String> = (0..40)
+            .map(|i| legit_page(i).starting_url.to_string())
+            .collect();
+        let phish: Vec<String> = (0..40)
+            .map(|i| phish_page(i).starting_url.to_string())
+            .collect();
+        let ranker = kyp_web::DomainRanker::from_ranked(["mybank0.example.com"]);
+        let detector = kyp_core::cascade::train_url_stage(
+            &legit,
+            &phish,
+            &ranker,
+            &kyp_core::DetectorConfig::url_stage(),
+        )
+        .unwrap();
+        CascadeClassifier::new(detector, ranker, band)
+    }
+
+    #[test]
+    fn cascade_finalises_confident_urls_without_fetching() {
+        let band = kyp_core::CascadeBand::new(0.35, 0.65).unwrap();
+        let mut svc = service(true).with_cascade(cascade(band));
+        let trace = trace(100, 0.0);
+        let responses = svc.run_trace(&trace);
+        assert_eq!(responses.len(), 100);
+        let report = svc.report();
+        assert_eq!(report.requests, 100);
+        assert_eq!(report.answered, 100);
+        assert!(report.cascade_enabled);
+        assert_eq!(report.cascade.screened, 100);
+        assert!(
+            report.cascade.url_only > 50,
+            "the URL stage should finalise most of this lexically easy trace: {:?}",
+            report.cascade
+        );
+        assert_eq!(
+            report.cascade.url_only + report.cascade.fallthrough + report.cascade.unscorable,
+            report.cascade.screened
+        );
+        // Cascade-final requests never fetch: the memo only holds the
+        // fallthroughs.
+        assert!(svc.page_store.len() as u64 <= report.cascade.fallthrough);
+        for r in &responses {
+            if r.stage == kyp_obs::VerdictStage::UrlOnly {
+                assert_eq!(r.latency_ms, 0, "URL-stage verdicts answer at arrival");
+                assert_eq!(r.cache, CacheState::Skipped);
+                assert!(r.verdict_line().ends_with(" stage=url_only"));
+            }
+        }
+    }
+
+    #[test]
+    fn forced_full_band_is_byte_identical_to_no_cascade() {
+        let trace = trace(150, 0.3);
+        let mut plain = service(true);
+        let mut forced = service(true).with_cascade(cascade(kyp_core::CascadeBand::FORCED_FULL));
+        let lines_plain: Vec<String> = plain
+            .run_trace(&trace)
+            .iter()
+            .map(ServeResponse::verdict_line)
+            .collect();
+        let lines_forced: Vec<String> = forced
+            .run_trace(&trace)
+            .iter()
+            .map(ServeResponse::verdict_line)
+            .collect();
+        assert_eq!(lines_plain, lines_forced);
+        let report = forced.report();
+        assert_eq!(report.cascade.url_only, 0, "band 0,1 never finalises");
+        assert_eq!(report.cascade.fallthrough, 150);
     }
 
     #[test]

@@ -115,6 +115,20 @@ pub struct LatencySummary {
     pub max_ms: u64,
 }
 
+/// Event counts of the URL-only cascade pre-filter. All zero when the
+/// cascade is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CascadeCounters {
+    /// Requests the URL stage prescreened (every arrival when enabled).
+    pub screened: u64,
+    /// Requests finalised by the URL stage — each one a scrape avoided.
+    pub url_only: u64,
+    /// Requests whose URL score fell inside the uncertainty band.
+    pub fallthrough: u64,
+    /// Requests whose URL did not parse (the full pipeline decides).
+    pub unscorable: u64,
+}
+
 /// Serializable end-of-run report of a scoring service.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -137,6 +151,10 @@ pub struct ServeReport {
     pub cache_enabled: bool,
     /// Verdict-cache event counts.
     pub cache: CacheCounters,
+    /// Whether the URL-only cascade pre-filter was enabled.
+    pub cascade_enabled: bool,
+    /// Cascade pre-filter event counts.
+    pub cascade: CascadeCounters,
     /// Admission-queue event counts.
     pub queue: QueueCounters,
     /// Micro-batcher event counts.

@@ -62,6 +62,23 @@ impl DomainRanker {
         self.ranks.contains_key(rdn)
     }
 
+    /// The `n` best-ranked RDNs, ordered by `(rank, name)`.
+    ///
+    /// The sort key makes the result independent of hash-map iteration
+    /// order, so it is safe to derive features (the cascade's typosquat
+    /// distance) from it.
+    pub fn top_rdns(&self, n: usize) -> Vec<(u32, String)> {
+        let mut pairs: Vec<(u32, String)> = self
+            .ranks
+            // kyp-lint: allow(D01) — drained pairs are fully sorted by (rank, name) below, so the result is iteration-order independent
+            .iter()
+            .map(|(rdn, rank)| (*rank, rdn.clone()))
+            .collect();
+        pairs.sort();
+        pairs.truncate(n);
+        pairs
+    }
+
     /// Number of ranked domains.
     pub fn len(&self) -> usize {
         self.ranks.len()
@@ -98,6 +115,24 @@ mod tests {
         let r = DomainRanker::from_ranked(["a.com", "a.com", "b.com"]);
         assert_eq!(r.rank("a.com"), 1);
         assert_eq!(r.rank("b.com"), 3);
+    }
+
+    #[test]
+    fn top_rdns_sorted_and_capped() {
+        let r = DomainRanker::from_ranked(["c.com", "a.com", "b.com"]);
+        assert_eq!(
+            r.top_rdns(2),
+            vec![(1, "c.com".to_owned()), (2, "a.com".to_owned())]
+        );
+        assert_eq!(r.top_rdns(10).len(), 3);
+        // Ties break on the name, not on hash order.
+        let mut tied = DomainRanker::new();
+        tied.insert("z.com", 7);
+        tied.insert("m.com", 7);
+        assert_eq!(
+            tied.top_rdns(2),
+            vec![(7, "m.com".to_owned()), (7, "z.com".to_owned())]
+        );
     }
 
     #[test]

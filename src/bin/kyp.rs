@@ -20,12 +20,12 @@
 use knowyourphish::cli::{ArgSpec, CommandSpec, Parsed, ParsedOpts};
 use knowyourphish::cluster::{verdict_stream, ClusterConfig, ClusterService, CrashPlan};
 use knowyourphish::core::{
-    DetectorConfig, FeatureExtractor, ModelSnapshot, PhishDetector, Pipeline, PipelineVerdict,
-    ScrapeReport, TargetIdentifier,
+    CascadeBand, CascadeClassifier, CascadeDecision, DetectorConfig, FeatureExtractor,
+    ModelSnapshot, PhishDetector, Pipeline, PipelineVerdict, ScrapeReport, TargetIdentifier,
 };
 use knowyourphish::datagen::{CampaignConfig, Corpus};
 use knowyourphish::ml::{metrics, Dataset};
-use knowyourphish::obs::ObsSink;
+use knowyourphish::obs::{CascadeOutcome, ObsSink, PipelineObserver};
 use knowyourphish::search::SearchEngine;
 use knowyourphish::serve::{
     generate, ArrivalPattern, BatchPolicy, CacheConfig, ScoringService, ServeConfig, ServeRequest,
@@ -59,6 +59,19 @@ const TRACE_ARG: ArgSpec = ArgSpec {
     name: "trace",
     value: "<path>",
     help: "write the span/event trace as newline-delimited json",
+};
+
+const CASCADE_ARG: ArgSpec = ArgSpec {
+    name: "cascade",
+    value: "<model.json>",
+    help:
+        "URL-only pre-filter snapshot (`kyp cascade-train`); confident URLs skip the full pipeline",
+};
+
+const CASCADE_BAND_ARG: ArgSpec = ArgSpec {
+    name: "cascade-band",
+    value: "<lo,hi>",
+    help: "cascade uncertainty band in [0,1] (default 0.15,0.85; `0,1` forces every page full)",
 };
 
 /// Every `kyp` subcommand, with the full set of options it accepts.
@@ -125,6 +138,29 @@ const COMMANDS: &[CommandSpec] = &[
         ],
     },
     CommandSpec {
+        name: "cascade-train",
+        summary: "train the URL-only cascade pre-filter from the training URLs",
+        positional: None,
+        args: &[
+            ArgSpec {
+                name: "data",
+                value: "<dir>",
+                help: "`kyp gen` jsonl directory (this or --from-store)",
+            },
+            ArgSpec {
+                name: "from-store",
+                value: "<dir>",
+                help: "read the training URLs from a `kyp gen --store` directory instead",
+            },
+            ArgSpec {
+                name: "out",
+                value: "<model.json>",
+                help: "URL-stage snapshot path (required)",
+            },
+            THREADS_ARG,
+        ],
+    },
+    CommandSpec {
         name: "eval",
         summary: "Table VI-style metrics on the held-out test bundles",
         positional: None,
@@ -177,6 +213,8 @@ const COMMANDS: &[CommandSpec] = &[
                 value: "<path>",
                 help: "with --from-store: write the verdict stream here instead of stdout",
             },
+            CASCADE_ARG,
+            CASCADE_BAND_ARG,
             METRICS_ARG,
             TRACE_ARG,
             THREADS_ARG,
@@ -242,6 +280,8 @@ const COMMANDS: &[CommandSpec] = &[
                 value: "on|off",
                 help: "verdict cache (default on)",
             },
+            CASCADE_ARG,
+            CASCADE_BAND_ARG,
             METRICS_ARG,
             TRACE_ARG,
             THREADS_ARG,
@@ -317,6 +357,8 @@ const COMMANDS: &[CommandSpec] = &[
                 value: "<path>",
                 help: "write the id-sorted verdict stream (the placement-invariant bytes)",
             },
+            CASCADE_ARG,
+            CASCADE_BAND_ARG,
             METRICS_ARG,
             THREADS_ARG,
         ],
@@ -458,6 +500,7 @@ fn main() -> ExitCode {
     finish(match spec.name {
         "gen" => cmd_gen(&opts),
         "train" => cmd_train(&opts),
+        "cascade-train" => cmd_cascade_train(&opts),
         "eval" => cmd_eval(&opts),
         "scan" => cmd_scan(&opts),
         "serve" => cmd_serve(&opts),
@@ -476,22 +519,27 @@ USAGE:
             [--store <dir>]                          ...into a columnar store too
   kyp train --data <dir> --out <model.json>          train the detector
             [--from-store <dir>]                     ...from stored feature rows
+  kyp cascade-train --data <dir> --out <model.json>  train the URL-only pre-filter
+            [--from-store <dir>]                     ...from stored training URLs
   kyp eval  --data <dir> --model <model.json>        evaluate on the test sets
             [--from-store <dir>]                     ...from stored feature rows
   kyp scan  --model <model.json> --data <dir> --page <page.json>
             [--metrics <path>] [--trace <path>]      classify one scraped page
             [--from-store <dir>] [--verdicts <path>] ...or every stored page
+            [--cascade <model.json>] [--cascade-band <lo,hi>]
   kyp serve --model <model.json> --data <dir>        online scoring service
             [--requests <n>] [--trace-seed <n>]      built-in seeded workload...
             [--duplicate-rate <f>] [--arrival-gap-ms <n>]
             [--queue-capacity <n>] [--max-batch <n>] [--max-delay-ms <n>]
             [--cache on|off]                         ...or requests over stdin
+            [--cascade <model.json>] [--cascade-band <lo,hi>]
             [--metrics <path>] [--trace <path>]      observability exports
   kyp cluster --model <model.json> --data <dir>      multi-node serving simulation
             [--shards <n>] [--replicas <n>]          cache shards + hot fan-out
             [--crash-rate <f>] [--crash-seed <n>]    seeded crash/recovery schedule
             [--requests <n>] [--trace-seed <n>]      seeded synthetic workload
             [--duplicate-rate <f>] [--arrival-gap-ms <n>] [--queue-capacity <n>]
+            [--cascade <model.json>] [--cascade-band <lo,hi>]
             [--verdicts <path>] [--metrics <path>]   invariant bytes + cluster.* metrics
   kyp lint  [--root <dir>] [--rules D01,D02,...]     determinism static analysis
             [--json <path>]                          (see DESIGN.md section 8e)
@@ -519,6 +567,15 @@ stdout line (the end-of-run report goes to stderr):
 
 With --requests <n> it serves a seeded synthetic trace over the corpus
 URLs instead; the same seed always produces the same responses.
+
+`kyp cascade-train` fits a cheap URL-only detector over lexical URL
+features (no page content). Passing that snapshot to scan, serve or
+cluster via --cascade screens every URL first: scores outside the
+uncertainty band are final at ~zero cost and carry `stage=url_only`;
+only the uncertain band runs the full pipeline. --cascade-band 0,1
+forces every page through the full pipeline — that stream is
+byte-identical to the same run without --cascade (CI proves it with
+`cmp`).
 
 `kyp cluster` replays the same kind of trace through a simulated fleet:
 N scoring nodes behind a consistent-hash router, with per-node
@@ -782,6 +839,66 @@ fn cmd_train(opts: &ParsedOpts) -> Result<(), String> {
     Ok(())
 }
 
+/// `kyp cascade-train`: fit the URL-only first stage of the cascade
+/// from the training bundles' raw URLs — no page content, no scraping.
+fn cmd_cascade_train(opts: &ParsedOpts) -> Result<(), String> {
+    let (data_dir, from_store) = data_source(opts)?;
+    let out = PathBuf::from(opts.require("out")?);
+    let ranker = load_ranker(&data_dir)?;
+    let (legit, phish) = if from_store {
+        storeflow::load_split_urls(&data_dir, "leg_train", "phish_train")?
+    } else {
+        let url_strings = |pages: Vec<VisitedPage>| -> Vec<String> {
+            pages.iter().map(|p| p.starting_url.to_string()).collect()
+        };
+        (
+            url_strings(read_jsonl(&data_dir.join("leg_train.jsonl"))?),
+            url_strings(read_jsonl(&data_dir.join("phish_train.jsonl"))?),
+        )
+    };
+    eprintln!(
+        "training the URL stage on {} legitimate + {} phish URLs...",
+        legit.len(),
+        phish.len()
+    );
+    let detector = knowyourphish::core::cascade::train_url_stage(
+        &legit,
+        &phish,
+        &ranker,
+        &DetectorConfig::url_stage(),
+    )?;
+    let snapshot = ModelSnapshot::new_url_stage(detector, ranker);
+    snapshot
+        .save(&out)
+        .map_err(|e| format!("write {out:?}: {e}"))?;
+    eprintln!(
+        "URL-stage snapshot (format v{}) written to {out:?}",
+        snapshot.format_version
+    );
+    Ok(())
+}
+
+/// Resolves `--cascade` / `--cascade-band` into a ready pre-filter.
+/// `Ok(None)` means the cascade is off; a band without a model is a
+/// hard error, as is a malformed band or a snapshot of the wrong stage.
+fn load_cascade(opts: &ParsedOpts) -> Result<Option<CascadeClassifier>, String> {
+    let Some(path) = opts.get("cascade") else {
+        if opts.get("cascade-band").is_some() {
+            return Err("--cascade-band needs --cascade <model.json>".to_owned());
+        }
+        return Ok(None);
+    };
+    let band = match opts.get("cascade-band") {
+        Some(spec) => CascadeBand::parse(spec)?,
+        None => CascadeBand::default(),
+    };
+    let snapshot =
+        ModelSnapshot::load(Path::new(path)).map_err(|e| format!("load {path:?}: {e}"))?;
+    let cascade = CascadeClassifier::from_snapshot(snapshot, band)
+        .map_err(|e| format!("load {path:?}: {e}"))?;
+    Ok(Some(cascade))
+}
+
 fn load_model(opts: &ParsedOpts) -> Result<ModelSnapshot, String> {
     let path = PathBuf::from(opts.require("model")?);
     ModelSnapshot::load(&path).map_err(|e| format!("load {path:?}: {e}"))
@@ -843,7 +960,20 @@ fn scan_store(opts: &ParsedOpts, dir: &Path) -> Result<(), String> {
     let extractor = FeatureExtractor::new(bundle.ranker.clone());
     let identifier = TargetIdentifier::new(Arc::new(engine));
     let pipeline = Pipeline::new(extractor, bundle.detector, identifier);
-    let lines = storeflow::store_verdict_lines(dir, &pipeline)?;
+    let lines = if let Some(cascade) = load_cascade(opts)? {
+        let (lines, counters) = storeflow::store_verdict_lines_cascade(dir, &pipeline, &cascade)?;
+        eprintln!(
+            "cascade (band {}): {} screened, {} final at the URL stage, {} fell through, {} unscorable",
+            cascade.band(),
+            counters.screened,
+            counters.url_only,
+            counters.fallthrough,
+            counters.unscorable
+        );
+        lines
+    } else {
+        storeflow::store_verdict_lines(dir, &pipeline)?
+    };
     if let Some(path) = opts.get("verdicts") {
         let mut stream = lines.join("\n");
         stream.push('\n');
@@ -886,6 +1016,39 @@ fn cmd_scan(opts: &ParsedOpts) -> Result<(), String> {
     println!("page  : {}", page.landing_url);
     println!("title : {:?}", page.title);
     let mut sink = ObsSink::new();
+    if let Some(cascade) = load_cascade(opts)? {
+        match cascade.prescreen(page.starting_url.as_ref()) {
+            CascadeDecision::Final(verdict) => {
+                sink.cascade_prescreen(CascadeOutcome::UrlOnlyFinal);
+                println!(
+                    "cascade: URL score {:.3} outside band {} — final at the URL stage, no scrape",
+                    verdict.score(),
+                    cascade.band()
+                );
+                match verdict.verdict {
+                    PipelineVerdict::Suspicious { score } => {
+                        println!("verdict: suspicious (confidence {score:.3}) stage=url_only");
+                    }
+                    _ => println!(
+                        "verdict: legitimate (confidence {:.3}) stage=url_only",
+                        verdict.score()
+                    ),
+                }
+                return write_obs_exports(opts, &sink);
+            }
+            CascadeDecision::Uncertain { url_score } => {
+                sink.cascade_prescreen(CascadeOutcome::Fallthrough);
+                println!(
+                    "cascade: URL score {url_score:.3} inside band {} — running the full pipeline",
+                    cascade.band()
+                );
+            }
+            CascadeDecision::Unscorable => {
+                sink.cascade_prescreen(CascadeOutcome::Unscorable);
+                println!("cascade: URL unscorable — running the full pipeline");
+            }
+        }
+    }
     match pipeline.classify_bundle(&page, &SourceAvailability::FULL, &mut sink) {
         PipelineVerdict::Legitimate { score } => {
             println!("verdict: legitimate (confidence {score:.3})");
@@ -976,6 +1139,9 @@ fn cmd_serve(opts: &ParsedOpts) -> Result<(), String> {
         ..ServeConfig::default()
     };
     let mut service = ScoringService::new(pipeline, pages, config);
+    if let Some(cascade) = load_cascade(opts)? {
+        service = service.with_cascade(cascade);
+    }
     let mut sink = ObsSink::new();
 
     let stdout = std::io::stdout();
@@ -1067,6 +1233,9 @@ fn cmd_cluster(opts: &ParsedOpts) -> Result<(), String> {
         crash_rate
     );
     let mut cluster = ClusterService::new(pipeline, pages, config);
+    if let Some(cascade) = load_cascade(opts)? {
+        cluster = cluster.with_cascade(cascade);
+    }
     let responses = cluster.run_trace(&trace);
 
     let stdout = std::io::stdout();
@@ -1228,6 +1397,22 @@ mod tests {
         }
         let gen = COMMANDS.iter().find(|s| s.name == "gen").unwrap();
         assert!(gen.args.iter().any(|a| a.name == "store"));
+    }
+
+    #[test]
+    fn cascade_consumers_accept_both_cascade_flags() {
+        for name in ["scan", "serve", "cluster"] {
+            let spec = COMMANDS.iter().find(|s| s.name == name).unwrap();
+            for needed in ["cascade", "cascade-band"] {
+                assert!(
+                    spec.args.iter().any(|a| a.name == needed),
+                    "`kyp {name}` is missing --{needed}"
+                );
+            }
+        }
+        let trainer = COMMANDS.iter().find(|s| s.name == "cascade-train").unwrap();
+        assert!(trainer.args.iter().any(|a| a.name == "from-store"));
+        assert!(trainer.args.iter().any(|a| a.name == "out"));
     }
 
     #[test]

@@ -326,6 +326,69 @@ pub fn load_split_dataset(
     Ok(legit)
 }
 
+/// Streams two bundles' starting URLs back out of a store directory as
+/// `(legitimate, phishing)` lists for URL-stage cascade training.
+///
+/// The page store does not record bundles, and its blocks re-buffer
+/// across bundle boundaries — but both files persist the same records
+/// in the same generation order ([`build_store`] appends each scraped
+/// page to both writers). The feature stream therefore yields a bundle
+/// id per record *position*, which labels the page at the same global
+/// index.
+///
+/// # Errors
+///
+/// Store-format failures, unknown bundle names, and stores whose page
+/// and feature files disagree on their record count.
+pub fn load_split_urls(
+    dir: &Path,
+    legit_bundle: &str,
+    phish_bundle: &str,
+) -> Result<(Vec<String>, Vec<String>), String> {
+    let mut features = open_feature_stream(dir)?;
+    let (legit_id, phish_id) = bundle_ids(features.header(), legit_bundle, phish_bundle)?;
+    let mut record_bundles: Vec<u32> = Vec::new();
+    while let Some(block) = features
+        .next_block()
+        .map_err(|e| format!("read feature store: {e}"))?
+    {
+        record_bundles.resize(record_bundles.len() + block.labels.len(), block.bundle);
+    }
+    let path = pages_path(dir);
+    let mut pages =
+        PageStoreReader::open(&path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut legit = Vec::new();
+    let mut phish = Vec::new();
+    let mut index = 0usize;
+    while let Some(block) = pages
+        .next_block()
+        .map_err(|e| format!("read page store: {e}"))?
+    {
+        for page in block {
+            let Some(&bundle) = record_bundles.get(index) else {
+                return Err(
+                    "page store holds more records than the feature store; regenerate the store"
+                        .to_owned(),
+                );
+            };
+            index += 1;
+            if bundle == legit_id {
+                legit.push(page.starting_url.to_string());
+            } else if bundle == phish_id {
+                phish.push(page.starting_url.to_string());
+            }
+        }
+    }
+    if index != record_bundles.len() {
+        return Err(format!(
+            "page store holds {index} records but the feature store holds {}; \
+             regenerate the store",
+            record_bundles.len()
+        ));
+    }
+    Ok((legit, phish))
+}
+
 /// Streams two bundles' feature blocks through the compiled flat model
 /// without materialising the matrix, returning `(scores, labels)` in
 /// the same legit-then-phish order as [`load_split_dataset`].
@@ -369,8 +432,27 @@ pub fn score_split_streaming(
 /// as exact IEEE-754 bit patterns, so equal lines mean bit-equal
 /// classifications and `cmp` on the whole stream is meaningful.
 pub fn verdict_line(page: &ClassifiedPage) -> String {
+    render_verdict_line(
+        &page.url,
+        &page.verdict,
+        page.degraded,
+        crate::core::VerdictStage::Full,
+    )
+}
+
+/// The shared line renderer behind [`verdict_line`]: the stage tag is
+/// appended only when it differs from [`VerdictStage::Full`], so every
+/// pre-cascade stream keeps its exact bytes.
+///
+/// [`VerdictStage::Full`]: crate::core::VerdictStage::Full
+fn render_verdict_line(
+    url: &str,
+    verdict: &crate::core::PipelineVerdict,
+    degraded: bool,
+    stage: crate::core::VerdictStage,
+) -> String {
     use crate::core::PipelineVerdict;
-    let (kind, score, extra) = match &page.verdict {
+    let (kind, score, extra) = match verdict {
         PipelineVerdict::Legitimate { score } => ("legitimate", *score, String::new()),
         PipelineVerdict::ConfirmedLegitimate { score, step } => {
             ("confirmed-legitimate", *score, format!(" step={step}"))
@@ -381,12 +463,15 @@ pub fn verdict_line(page: &ClassifiedPage) -> String {
         }
         PipelineVerdict::Suspicious { score } => ("suspicious", *score, String::new()),
     };
-    format!(
-        "{}\t{kind}{extra} score_bits={:016x} degraded={}",
-        page.url,
+    let mut line = format!(
+        "{url}\t{kind}{extra} score_bits={:016x} degraded={degraded}",
         score.to_bits(),
-        page.degraded
-    )
+    );
+    if stage != crate::core::VerdictStage::Full {
+        line.push_str(" stage=");
+        line.push_str(stage.name());
+    }
+    line
 }
 
 /// Classifies every stored page block by block (scraping nothing) and
@@ -424,6 +509,77 @@ pub fn store_verdict_lines(dir: &Path, pipeline: &Pipeline) -> Result<Vec<String
         }
     }
     Ok(lines)
+}
+
+/// Like [`store_verdict_lines`], with the URL-only cascade pre-filter in
+/// front: pages whose starting URL scores outside the uncertainty band
+/// never run the full pipeline, and their lines carry a
+/// ` stage=url_only` tag. With [`CascadeBand::FORCED_FULL`] every page
+/// falls through and the stream is byte-identical to
+/// [`store_verdict_lines`] — the equivalence CI proves with `cmp`.
+///
+/// [`CascadeBand::FORCED_FULL`]: crate::core::CascadeBand::FORCED_FULL
+///
+/// # Errors
+///
+/// Store-format failures, rendered as strings.
+pub fn store_verdict_lines_cascade(
+    dir: &Path,
+    pipeline: &Pipeline,
+    cascade: &crate::core::CascadeClassifier,
+) -> Result<(Vec<String>, crate::serve::CascadeCounters), String> {
+    use crate::core::CascadeDecision;
+    let path = pages_path(dir);
+    let mut reader =
+        PageStoreReader::open(&path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut lines = Vec::new();
+    let mut counters = crate::serve::CascadeCounters::default();
+    while let Some(block) = reader
+        .next_block()
+        .map_err(|e| format!("read page store: {e}"))?
+    {
+        // Per page: either a finished URL-stage line, or an index into
+        // the block's full-classification batch (stored order preserved).
+        enum Line {
+            Done(String),
+            Pending(usize),
+        }
+        let mut slots = Vec::with_capacity(block.len());
+        let mut batch: Vec<(String, ScrapedPage)> = Vec::new();
+        for visit in block {
+            let url = visit.starting_url.to_string();
+            counters.screened += 1;
+            match cascade.prescreen(&url) {
+                CascadeDecision::Final(v) => {
+                    counters.url_only += 1;
+                    slots.push(Line::Done(render_verdict_line(
+                        &url, &v.verdict, false, v.stage,
+                    )));
+                    continue;
+                }
+                CascadeDecision::Uncertain { .. } => counters.fallthrough += 1,
+                CascadeDecision::Unscorable => counters.unscorable += 1,
+            }
+            slots.push(Line::Pending(batch.len()));
+            batch.push((
+                url,
+                ScrapedPage {
+                    visit,
+                    availability: SourceAvailability::FULL,
+                    attempts: 1,
+                    elapsed_ms: 0,
+                },
+            ));
+        }
+        let classified = pipeline.classify_scraped(&batch);
+        for slot in slots {
+            match slot {
+                Line::Done(line) => lines.push(line),
+                Line::Pending(idx) => lines.push(verdict_line(&classified[idx])),
+            }
+        }
+    }
+    Ok((lines, counters))
 }
 
 /// Rebuilds the serving page source from a store directory: the same
